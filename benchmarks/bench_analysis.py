@@ -1,0 +1,75 @@
+"""Analysis benchmarks: gain decomposition and the w-Pareto frontier.
+
+Two questions the paper raises but does not answer quantitatively:
+
+- *where* does the Hybrid gain come from (arbitrage vs routing)?
+- *what does a millisecond cost* — i.e. how does the fixed
+  ``w = 10 $/s^2`` trade latency against money?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.decomposition import decompose_hybrid_gain
+from repro.analysis.sensitivity import latency_cost_frontier, ufc_sensitivity
+from repro.core.strategies import HYBRID
+from repro.experiments.common import evaluation_setup
+from repro.sim.simulator import Simulator
+from repro.viz.ascii import bar_chart
+
+HOURS = 48
+
+
+def test_gain_decomposition(run_once):
+    bundle, model = evaluation_setup(hours=HOURS)
+    sim = Simulator(model, bundle)
+
+    def sweep():
+        sourcing = routing = 0.0
+        for t in range(HOURS):
+            d = decompose_hybrid_gain(sim.problem_for_slot(t, HYBRID))
+            sourcing += d.sourcing_gain
+            routing += d.routing_gain
+        return sourcing, routing
+
+    sourcing, routing = run_once(sweep)
+    total = sourcing + routing
+    print("\nHybrid-over-Grid gain decomposition (48 h totals)")
+    print(bar_chart({"sourcing (arbitrage)": sourcing,
+                     "routing (re-shaping)": routing}, width=40))
+    assert sourcing >= -1e-3
+    assert routing >= -1e-3
+    assert total > 0
+    # Source-switching is the first-order mechanism on these traces.
+    assert sourcing > routing
+
+
+def test_latency_cost_frontier(run_once):
+    bundle, model = evaluation_setup(hours=HOURS)
+    weights = (0.0, 1.0, 3.0, 10.0, 30.0, 100.0)
+    frontier = run_once(
+        lambda: latency_cost_frontier(model, bundle, weights=weights)
+    )
+    print("\nlatency/cost Pareto frontier (sweeping w)")
+    print(f"{'w':>7} {'latency':>9} {'cost $':>10}")
+    for p in frontier:
+        marker = "  <- paper" if p.latency_weight == 10.0 else ""
+        print(f"{p.latency_weight:>7} {p.mean_latency_ms:>8.2f}ms "
+              f"{p.total_cost:>10,.0f}{marker}")
+    lat = [p.mean_latency_ms for p in frontier]
+    cost = [p.total_cost for p in frontier]
+    assert all(a >= b - 1e-6 for a, b in zip(lat, lat[1:]))
+    assert all(a <= b + 1e-2 for a, b in zip(cost, cost[1:]))
+    # The paper's w=10 point buys most of the latency improvement.
+    idx = weights.index(10.0)
+    assert lat[idx] - lat[-1] < 0.25 * (lat[0] - lat[-1])
+
+
+def test_parameter_sensitivities(run_once):
+    bundle, model = evaluation_setup(hours=24)
+    sens = run_once(lambda: ufc_sensitivity(model, bundle))
+    print("\nmean-UFC sensitivities ($ per unit)")
+    for name, value in sens.items():
+        print(f"  d(UFC)/d({name}) = {value:+.2f}")
+    assert all(v <= 1e-6 for v in sens.values())

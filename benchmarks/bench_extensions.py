@@ -1,0 +1,100 @@
+"""Benchmarks for the paper's optional extensions.
+
+- right-sizing (Sec. II-C Remark): how much UFC does shutting idle
+  servers buy at realistic utilization?
+- ramp-limited fuel cells: how fast must stacks ramp before the
+  paper's load-following benefit survives?
+- forecast robustness: how accurate must arrival prediction be for
+  the paper's perfect-information assumption to be harmless?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies import HYBRID
+from repro.experiments.common import evaluation_setup
+from repro.extensions.forecast_robustness import evaluate_forecast_robustness
+from repro.extensions.ramping import RampingSimulator
+from repro.extensions.rightsizing import right_sized_model
+from repro.forecast.predictors import ARPredictor, HoltWintersPredictor, SeasonalNaive
+from repro.sim.simulator import Simulator
+
+HOURS = 72
+
+
+def test_right_sizing_benefit(run_once):
+    bundle, model = evaluation_setup(hours=HOURS)
+
+    def compare():
+        fixed = Simulator(model, bundle).run(HYBRID)
+        sized = Simulator(right_sized_model(model), bundle).run(HYBRID)
+        return fixed, sized
+
+    fixed, sized = run_once(compare)
+    saving = 1 - sized.total_energy_cost() / fixed.total_energy_cost()
+    print(
+        f"\nright-sizing: energy ${fixed.total_energy_cost():,.0f} -> "
+        f"${sized.total_energy_cost():,.0f} ({100 * saving:.0f}% saving), "
+        f"mean UFC {fixed.ufc.mean():,.0f} -> {sized.ufc.mean():,.0f}"
+    )
+    assert (sized.ufc >= fixed.ufc - 1e-6).all()
+    # At ~50-60% utilization, idle power is a large share of demand.
+    assert saving > 0.25
+
+
+def test_ramp_rate_sweep(run_once):
+    bundle, model = evaluation_setup(hours=HOURS)
+    ramps = (0.1, 0.5, 2.0, np.inf)
+
+    def sweep():
+        rows = []
+        for ramp in ramps:
+            res = RampingSimulator(model, bundle, ramp_mw_per_hour=ramp).run(HYBRID)
+            rows.append(
+                (ramp, res.result.ufc.mean(), res.result.mean_utilization(),
+                 res.ramp_binding_slots)
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print("\nramp-rate sweep (Hybrid, 72 h)")
+    print(f"{'ramp MW/h':>10} {'mean UFC':>10} {'FC util':>8} {'binding':>8}")
+    for ramp, ufc, util, binding in rows:
+        print(f"{ramp:>10} {ufc:>10,.0f} {100 * util:>7.1f}% {binding:>8}")
+    ufcs = [r[1] for r in rows]
+    utils = [r[2] for r in rows]
+    # Looser ramps monotonically help (up to solver tolerance).
+    assert all(a <= b + 1e-6 for a, b in zip(ufcs, ufcs[1:]))
+    assert all(a <= b + 1e-6 for a, b in zip(utils, utils[1:]))
+    # Unconstrained equals the paper's setting; tight ramps bind often.
+    assert rows[0][3] > 0
+    assert rows[-1][3] == 0
+
+
+def test_forecast_robustness(run_once):
+    bundle, model = evaluation_setup(hours=HOURS)
+    predictors = {
+        "seasonal-naive": SeasonalNaive(),
+        "holt-winters": HoltWintersPredictor(),
+        "ar(24)": ARPredictor(order=24, min_history=48),
+    }
+
+    def sweep():
+        rows = {}
+        for name, predictor in predictors.items():
+            res = evaluate_forecast_robustness(
+                model, bundle, predictor, start=48
+            )
+            rows[name] = (res.forecast_mape, res.mean_degradation)
+        return rows
+
+    rows = run_once(sweep)
+    print("\nforecast robustness (Hybrid, slots 48-71)")
+    print(f"{'predictor':<16} {'MAPE':>7} {'UFC loss':>9}")
+    for name, (err, deg) in rows.items():
+        print(f"{name:<16} {100 * err:>6.1f}% {100 * deg:>8.2f}%")
+    for name, (err, deg) in rows.items():
+        # The paper's premise: decent predictors cost almost nothing.
+        assert err < 0.35, name
+        assert deg < 0.05, name

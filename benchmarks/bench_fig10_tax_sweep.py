@@ -1,0 +1,28 @@
+"""Regenerates Fig. 10: the carbon-tax rate sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig10_tax_sweep import render_fig10, run_fig10
+
+
+def test_fig10_tax_sweep(run_once):
+    result = run_once(run_fig10)
+    print("\n" + render_fig10(result))
+
+    # Both curves increase with the tax rate.
+    assert (np.diff(result.improvement) >= -1e-6).all()
+    assert (np.diff(result.utilization) >= -1e-6).all()
+    # Utilization approaches saturation around $140/tonne (paper: ~100%).
+    at_140 = result.utilization[list(result.rates).index(140.0)]
+    assert at_140 > 0.85
+    # Utilization responds faster than UFC improvement (paper's remark).
+    rel_util = result.utilization[-1] - result.utilization[0]
+    rel_imp = result.improvement[-1] - result.improvement[0]
+    assert rel_util > rel_imp
+    # The 2014 policy band ($5-39/tonne) fails to promote either curve
+    # beyond ~20%.
+    at_25 = list(result.rates).index(25.0)
+    assert result.utilization[at_25] < 0.30
+    assert result.improvement[at_25] < 0.20

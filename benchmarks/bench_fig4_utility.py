@@ -1,0 +1,22 @@
+"""Regenerates Fig. 4: per-slot UFC improvements (full week)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig4_utility import render_fig4, run_fig4
+
+
+def test_fig4_ufc_improvements(run_once):
+    result = run_once(run_fig4)
+    print("\n" + render_fig4(result))
+
+    # Hybrid never falls below Grid (its feasible set is a superset).
+    assert (result.i_hg > -1e-4).all()
+    # Hybrid beats Fuel cell in every slot, meaningfully on average.
+    assert (result.i_hf > 0).all()
+    assert result.i_hf.mean() > 0.10
+    # Fuel cell hurts during off-peak hours (negative I_fg common)...
+    assert (result.i_fg < 0).mean() > 0.5
+    # ...and its best slot gain stays bounded (paper: <= ~30%).
+    assert result.i_fg.max() < 0.6
+    # Hybrid gains peak in the tens of percent (paper: up to ~50%).
+    assert 0.2 < result.i_hg.max() < 0.9

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 8: fuel-cell utilization over the week (Hybrid)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_utilization import render_fig8, run_fig8
+
+
+def test_fig8_utilization(run_once):
+    result = run_once(run_fig8)
+    print("\n" + render_fig8(result))
+
+    # Paper: average 16.2%, never reaching 70%, wildly fluctuating.
+    assert 0.08 < result.mean < 0.30
+    assert result.peak < 0.85
+    u = result.utilization
+    assert u.std() > 0.1           # wild fluctuation
+    assert (u < 1e-6).mean() > 0.2  # idle in a meaningful share of slots

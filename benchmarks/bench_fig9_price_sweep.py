@@ -1,0 +1,26 @@
+"""Regenerates Fig. 9: the fuel-cell generation price sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig9_price_sweep import render_fig9, run_fig9
+
+
+def test_fig9_price_sweep(run_once):
+    result = run_once(run_fig9)
+    print("\n" + render_fig9(result))
+
+    # Both curves decrease as p0 rises.
+    assert (np.diff(result.improvement) <= 1e-6).all()
+    assert (np.diff(result.utilization) <= 1e-6).all()
+    # Crossover: utilization saturates at ~$27/MWh (the paper's number).
+    at_27 = result.utilization[list(result.prices).index(27.0)]
+    assert at_27 > 0.97
+    # The 2014 market band ($80-110) leaves fuel cells poorly used
+    # (paper: 11-16% utilization, 11-17% improvement).
+    at_80 = result.utilization[list(result.prices).index(80.0)]
+    at_110 = result.utilization[list(result.prices).index(110.0)]
+    assert 0.05 < at_110 <= at_80 < 0.30
+    imp_80 = result.improvement[list(result.prices).index(80.0)]
+    assert 0.02 < imp_80 < 0.25

@@ -1,0 +1,76 @@
+"""Scenario benchmarks: the system beyond the paper's four sites.
+
+Two deployments the paper never ran:
+
+- a **European** cloud (Dublin/Frankfurt/Stockholm/Madrid) — different
+  geography, prices and a hydro/nuclear-clean Nordic grid;
+- the paper's own geography under a **2020s renewable-heavy** grid —
+  showing how decarbonization mutes the carbon-tax lever of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies import GRID, HYBRID
+from repro.costs.carbon import LinearCarbonTax
+from repro.sim.metrics import average_improvement
+from repro.sim.simulator import Simulator, build_model
+from repro.traces.datasets import default_bundle
+from repro.traces.scenarios import europe_bundle, renewable_heavy_bundle
+
+HOURS = 48
+
+
+def test_europe_deployment(run_once):
+    bundle = europe_bundle(hours=HOURS)
+    model = build_model(bundle)
+
+    def compare():
+        sim = Simulator(model, bundle)
+        return sim.run(GRID), sim.run(HYBRID)
+
+    grid, hybrid = run_once(compare)
+    gain = average_improvement(hybrid.ufc, grid.ufc)
+    print(
+        f"\nEurope (48 h): hybrid gains {100 * gain:+.1f}% over grid, "
+        f"utilization {100 * hybrid.mean_utilization():.1f}%, "
+        f"latency {hybrid.avg_latency_ms.mean():.1f} ms"
+    )
+    assert (hybrid.ufc >= grid.ufc - 1e-4).all()
+    # Different geography, same qualitative story.
+    assert 5.0 < hybrid.avg_latency_ms.mean() < 40.0
+
+
+def test_renewable_grid_mutes_carbon_tax(run_once):
+    tax = LinearCarbonTax(140.0)
+
+    def compare():
+        rows = {}
+        for name, bundle in (
+            ("2012 grid", default_bundle(hours=HOURS)),
+            ("2020s grid", renewable_heavy_bundle(hours=HOURS)),
+        ):
+            model = build_model(bundle).with_emission_costs(tax)
+            sim = Simulator(model, bundle)
+            hybrid = sim.run(HYBRID)
+            grid = sim.run(GRID)
+            rows[name] = (
+                hybrid.mean_utilization(),
+                average_improvement(hybrid.ufc, grid.ufc),
+                hybrid.total_carbon_tonnes(),
+            )
+        return rows
+
+    rows = run_once(compare)
+    print("\n$140/tonne carbon tax under two grids (Hybrid, 48 h)")
+    print(f"{'grid':<12} {'FC util':>8} {'I_hg':>7} {'carbon (t)':>11}")
+    for name, (util, gain, carbon) in rows.items():
+        print(f"{name:<12} {100 * util:>7.1f}% {100 * gain:>6.1f}% "
+              f"{carbon:>11.1f}")
+    # The same tax buys much less fuel-cell utilization on a clean grid
+    # — and, counterintuitively, *more* absolute emissions: the cleaner
+    # grid out-competes the carbon-free fuel cells, so the cloud burns
+    # grid power instead (each MWh cleaner, but far more grid MWh).
+    assert rows["2020s grid"][0] < 0.7 * rows["2012 grid"][0]
+    assert rows["2020s grid"][1] < rows["2012 grid"][1]

@@ -1,0 +1,17 @@
+"""The reproduction scorecard: every paper shape target, one run.
+
+This is the capstone benchmark — it regenerates every experiment at
+full length and asserts all the qualitative claims of the paper's
+evaluation hold simultaneously.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.validation import render_scorecard, run_validation
+
+
+def test_full_scorecard(run_once):
+    checks = run_once(run_validation)
+    print("\n" + render_scorecard(checks))
+    failed = [c for c in checks if not c.passed]
+    assert not failed, [f"{c.artifact}: {c.claim}" for c in failed]

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the solver substrate.
+
+These time the hot kernels of one ADM-G iteration (per-front-end
+simplex QP, per-datacenter rank-one QP, emission prox) and the
+per-slot solvers, so performance regressions in the substrate are
+visible alongside the experiment regenerations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.admg.solver import ADMGState, DistributedUFCSolver
+from repro.core.centralized import CentralizedSolver
+from repro.core.strategies import HYBRID
+from repro.experiments.common import evaluation_setup
+from repro.optim.rank_one import solve_capped_rank_one_qp
+from repro.optim.simplex import minimize_qp_simplex
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def slot_problem():
+    bundle, model = evaluation_setup(hours=4)
+    return Simulator(model, bundle).problem_for_slot(2, HYBRID)
+
+
+def test_bench_simplex_qp(benchmark):
+    rng = np.random.default_rng(0)
+    l_vec = rng.uniform(0.01, 0.08, size=4)
+    h = 0.3 * np.eye(4) + 40.0 * np.outer(l_vec, l_vec)
+    q = rng.normal(size=4)
+    result = benchmark(minimize_qp_simplex, h, q, 5.0)
+    assert result.x.sum() == pytest.approx(5.0, rel=1e-8)
+
+
+def test_bench_rank_one_qp(benchmark):
+    rng = np.random.default_rng(1)
+    c = rng.normal(size=10) * 2
+    a = benchmark(solve_capped_rank_one_qp, c, 0.3, 0.06, 20.0)
+    assert (a >= 0).all()
+
+
+def test_bench_centralized_slot(benchmark, slot_problem):
+    res = benchmark(CentralizedSolver().solve, slot_problem)
+    assert res.converged
+
+
+def test_bench_admg_iteration(benchmark, slot_problem):
+    solver = DistributedUFCSolver(rho=0.3)
+    view, _ = solver.scaled_context(slot_problem)
+    state = ADMGState.zeros(view.num_frontends, view.num_datacenters)
+    # Advance a few iterations so the benchmark measures mid-flight work.
+    for _ in range(5):
+        state, _ = solver.iterate(slot_problem, state)
+    out = benchmark(solver.iterate, slot_problem, state)
+    assert out is not None
+
+
+def test_bench_distributed_slot(benchmark, slot_problem):
+    solver = DistributedUFCSolver(rho=0.3, tol=6e-3)
+    res = benchmark.pedantic(
+        solver.solve, args=(slot_problem,), rounds=1, iterations=1
+    )
+    assert res.converged

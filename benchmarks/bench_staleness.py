@@ -1,0 +1,47 @@
+"""Ablation: synchronous vs bounded-staleness execution of ADM-G.
+
+Over a WAN, waiting for stragglers costs every round; proceeding with
+stale values costs extra rounds.  This benchmark quantifies the trade:
+iteration counts grow gracefully with the per-message delay
+probability while solution quality is unaffected (the fixed point
+doesn't move).
+"""
+
+from __future__ import annotations
+
+from repro.admg.solver import DistributedUFCSolver
+from repro.core.centralized import CentralizedSolver
+from repro.core.strategies import HYBRID
+from repro.distributed.staleness import StalenessRuntime
+from repro.experiments.common import evaluation_setup
+from repro.sim.simulator import Simulator
+
+DELAYS = (0.0, 0.1, 0.3, 0.5)
+
+
+def test_staleness_tolerance(run_once):
+    bundle, model = evaluation_setup(hours=8)
+    problem = Simulator(model, bundle).problem_for_slot(5, HYBRID)
+    cent = CentralizedSolver().solve(problem)
+    solver = DistributedUFCSolver(rho=0.3, tol=6e-3, max_iter=4000)
+
+    def sweep():
+        rows = []
+        for p in DELAYS:
+            run = StalenessRuntime(
+                problem, solver, delay_probability=p, seed=11
+            ).run()
+            gap = abs(run.ufc - cent.ufc) / abs(cent.ufc)
+            rows.append((p, run.iterations, run.converged, gap,
+                         run.delayed_messages, run.total_messages))
+        return rows
+
+    rows = run_once(sweep)
+    print("\nbounded-staleness ADM-G (per-message delay probability)")
+    print(f"{'p':>5} {'rounds':>7} {'gap':>9} {'delayed':>16}")
+    for p, rounds, conv, gap, delayed, total in rows:
+        print(f"{p:>5} {rounds:>7} {100 * gap:>8.3f}% {delayed:>7}/{total:<8}")
+        assert conv
+        assert gap < 1e-2
+    # Degradation is graceful: p = 0.3 costs < 3x the synchronous rounds.
+    assert rows[2][1] < 3 * max(rows[0][1], 1)

@@ -1,0 +1,21 @@
+"""Regenerates Table I (and the Fig. 1 input profiles)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import PAPER_TABLE1, render_table1, run_table1
+
+
+def test_table1(run_once):
+    result = run_once(run_table1)
+    print("\n" + render_table1(result))
+
+    dallas = result.costs["dallas"]
+    san_jose = result.costs["san_jose"]
+    # Shape: who wins and by roughly what factor (paper Table I).
+    assert dallas["fuel_cell"] == san_jose["fuel_cell"]
+    assert dallas["grid"] < 0.45 * dallas["fuel_cell"]
+    assert san_jose["hybrid"] < 0.85 * san_jose["grid"]
+    assert dallas["hybrid"] <= dallas["grid"]
+    for site, row in PAPER_TABLE1.items():
+        for key, published in row.items():
+            assert abs(result.costs[site][key] - published) / published < 0.20

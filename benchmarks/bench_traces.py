@@ -1,0 +1,21 @@
+"""Regenerates the Fig. 3 trace panels (workload, prices, carbon)."""
+
+from __future__ import annotations
+
+from repro.experiments.traces_fig3 import render_fig3, run_fig3
+
+
+def test_fig3_traces(run_once):
+    result = run_once(run_fig3)
+    print("\n" + render_fig3(result))
+
+    w = result.workload_total
+    # Diurnal interactive workload: strong peak-to-trough swing.
+    assert w.max() / w.min() > 2.0
+    # Price levels: Dallas cheap, San Jose straddling $80 (mean 70-95).
+    assert result.price_stats["dallas"][0] < 35.0
+    assert 70.0 < result.price_stats["san_jose"][0] < 95.0
+    # Carbon diversity: clean CAISO vs coal-heavy Alberta/PJM.
+    assert result.carbon_stats["san_jose"][0] < 350.0
+    assert result.carbon_stats["calgary"][0] > 550.0
+    assert result.carbon_stats["pittsburgh"][0] > 500.0

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures
+at full length (168 hourly slots), asserts its qualitative shape, and
+prints the same rows/series the paper reports (run pytest with ``-s``
+to see them).  Timings are collected by pytest-benchmark with a single
+round — these are experiment regenerations, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,95 @@
+"""Fuel-cell capacity planning under a deployment budget.
+
+The paper assumes every site can be fully fuel-cell powered
+(``mu_max = peak demand``) to expose the *maximum* benefit.  A real
+operator deploys incrementally.  This example sweeps a deployment
+budget (total MW of fuel cells) and two placement policies —
+spread evenly vs concentrated at the sites with the highest effective
+grid price (price + taxed carbon) — and reports the UFC each buys,
+using the public API end to end.
+
+Run:
+    python examples/capacity_planning.py [--hours 72]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import HYBRID, Simulator, build_model, default_bundle
+from repro.core.model import CloudModel, Datacenter
+
+
+def with_capacities(model: CloudModel, caps_mw: np.ndarray) -> CloudModel:
+    """Copy of ``model`` with per-site fuel-cell capacities ``caps_mw``."""
+    datacenters = [
+        Datacenter(
+            name=dc.name,
+            servers=dc.servers,
+            power=dc.power,
+            fuel_cell_capacity_mw=float(cap),
+        )
+        for dc, cap in zip(model.datacenters, caps_mw)
+    ]
+    return CloudModel(
+        datacenters=datacenters,
+        frontends=model.frontends,
+        latency_ms=model.latency_ms,
+        fuel_cell_price=model.fuel_cell_price,
+        latency_weight=model.latency_weight,
+        utility=model.utility,
+        emission_costs=model.emission_costs,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=72)
+    parser.add_argument("--seed", type=int, default=2014)
+    args = parser.parse_args()
+
+    bundle = default_bundle(hours=args.hours, seed=args.seed)
+    model = build_model(bundle)
+    full_capacity = model.mu_max.sum()
+
+    # Effective grid price per site: mean LMP + taxed mean carbon.
+    effective = bundle.prices.mean(axis=0) + 0.025 * bundle.carbon_rates.mean(axis=0)
+    order = np.argsort(effective)[::-1]
+    print(
+        "effective grid price by site: "
+        + ", ".join(
+            f"{bundle.regions[j]}=${effective[j]:.0f}/MWh" for j in order
+        )
+    )
+    print(f"full deployment would be {full_capacity:.1f} MW\n")
+
+    print(f"{'budget':>7} {'policy':<14} {'mean UFC ($/h)':>14} "
+          f"{'energy $':>9} {'FC util':>8}")
+    for fraction in (0.0, 0.25, 0.5, 1.0):
+        budget = fraction * full_capacity
+        policies: dict[str, np.ndarray] = {}
+        policies["even"] = np.minimum(
+            model.mu_max, budget / model.num_datacenters
+        )
+        greedy = np.zeros(model.num_datacenters)
+        remaining = budget
+        for j in order:
+            take = min(remaining, model.mu_max[j])
+            greedy[j] = take
+            remaining -= take
+        policies["price-greedy"] = greedy
+        for name, caps in policies.items():
+            result = Simulator(with_capacities(model, caps), bundle).run(HYBRID)
+            print(
+                f"{fraction:>6.0%} {name:<14} {result.ufc.mean():>14,.0f} "
+                f"{result.total_energy_cost():>9,.0f} "
+                f"{100 * result.mean_utilization():>7.1f}%"
+            )
+            if fraction == 0.0:
+                break  # both policies are identical at zero budget
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: one simulated week of the paper's evaluation cloud.
+
+Builds the default Sec. IV-A setup (4 datacenters, 10 front-ends, one
+week of traces), runs the three operating strategies and prints the
+headline metrics the paper reports: UFC improvements, energy cost,
+carbon, latency and fuel-cell utilization.
+
+Run:
+    python examples/quickstart.py [--hours 48]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Simulator, build_model, default_bundle
+from repro.sim.metrics import improvement_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--hours", type=int, default=168, help="horizon in hourly slots"
+    )
+    parser.add_argument("--seed", type=int, default=2014, help="trace seed")
+    args = parser.parse_args()
+
+    bundle = default_bundle(hours=args.hours, seed=args.seed)
+    model = build_model(bundle)
+    print(
+        f"cloud: {model.num_datacenters} datacenters "
+        f"({', '.join(dc.name for dc in model.datacenters)}), "
+        f"{model.num_frontends} front-ends, "
+        f"{bundle.capacities.sum():,.0f} servers total"
+    )
+    print(
+        f"fuel cells: {model.mu_max.sum():.1f} MW capacity at "
+        f"${model.fuel_cell_price:.0f}/MWh\n"
+    )
+
+    sim = Simulator(model, bundle)
+    comparison = sim.compare_strategies()
+
+    for result in (comparison.grid, comparison.fuel_cell, comparison.hybrid):
+        print(result.summary())
+        print()
+
+    i_hg = improvement_series(comparison.hybrid.ufc, comparison.grid.ufc)
+    i_hf = improvement_series(comparison.hybrid.ufc, comparison.fuel_cell.ufc)
+    print(
+        "hybrid vs grid     : "
+        f"mean UFC improvement {100 * i_hg.mean():+.1f}% "
+        f"(peaks at {100 * i_hg.max():+.1f}%)"
+    )
+    print(
+        "hybrid vs fuel cell: "
+        f"mean UFC improvement {100 * i_hf.mean():+.1f}%"
+    )
+    saving = 1 - comparison.hybrid.total_energy_cost() / comparison.fuel_cell.total_energy_cost()
+    print(f"hybrid energy saving vs fuel-cell-only: {100 * saving:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Operating ramp-limited fuel cells through a price-spike day.
+
+The paper's load-following argument assumes fuel cells can track the
+workload instantly.  Real stacks ramp up slowly: this example runs the
+same week under increasingly tight ramp limits and shows how the
+hybrid strategy's arbitrage (and UFC) erodes when the stacks cannot
+chase price peaks — and how pre-warming (a non-zero initial output)
+recovers part of it.
+
+Run:
+    python examples/ramp_constrained_operations.py [--hours 72]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import HYBRID, build_model, default_bundle
+from repro.extensions import RampingSimulator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=72)
+    parser.add_argument("--seed", type=int, default=2014)
+    args = parser.parse_args()
+
+    bundle = default_bundle(hours=args.hours, seed=args.seed)
+    model = build_model(bundle)
+    print(
+        f"fleet: {model.mu_max.sum():.1f} MW of fuel cells across "
+        f"{model.num_datacenters} sites\n"
+    )
+
+    print(f"{'ramp (MW/h)':>12} {'start':>8} {'mean UFC':>10} "
+          f"{'FC util':>8} {'binding slots':>14}")
+    for ramp in (0.1, 0.5, 2.0, float("inf")):
+        for label, initial in (("cold", 0.0), ("warm", model.mu_max / 2)):
+            res = RampingSimulator(
+                model,
+                bundle,
+                ramp_mw_per_hour=ramp,
+                initial_mu_mw=initial,
+            ).run(HYBRID)
+            print(
+                f"{ramp:>12} {label:>8} {res.result.ufc.mean():>10,.0f} "
+                f"{100 * res.result.mean_utilization():>7.1f}% "
+                f"{res.ramp_binding_slots:>14}"
+            )
+            if not np.isfinite(ramp):
+                break  # warm start is irrelevant without a ramp limit
+
+    print(
+        "\ninterpretation: below ~0.5 MW/h the stacks cannot reach the "
+        "price peaks that make the hybrid strategy pay; pre-warming "
+        "recovers part of the arbitrage at tight ramps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` uses PEP 517 editable builds, which require
+``wheel``; fully offline environments may lack it.  This shim keeps the
+legacy path working there::
+
+    python setup.py develop --user
+
+Metadata lives in pyproject.toml; only what the legacy path needs is
+repeated here.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,329 @@
+"""Matrix-form driver for the distributed 4-block ADM-G algorithm.
+
+:class:`DistributedUFCSolver` iterates the prediction procedures and
+the Gaussian back-substitution correction of
+:mod:`repro.admg.subproblems` until the coupling and power-balance
+residuals (and the iterate change) fall below a relative tolerance.
+The message-passing deployment in :mod:`repro.distributed` reproduces
+these iterates exactly; this driver exists for speed and for tests.
+
+The returned allocation is *polished*: the predicted routing is
+repaired against capacities and the exact optimal power split is
+recomputed, so reported metrics always come from a strictly feasible
+point (see :mod:`repro.core.repair`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.admg import subproblems as sp
+from repro.core.problem import SlotInputs, UFCProblem
+from repro.core.repair import polish_allocation
+from repro.core.solution import Allocation
+
+__all__ = ["ADMGState", "UFCADMGResult", "DistributedUFCSolver", "ScaledView"]
+
+
+class ScaledView:
+    """A unit-rescaled view of a cloud model for the ADM-G iteration.
+
+    The ADMM penalty ``rho`` couples blocks whose natural magnitudes
+    differ wildly: routing variables are ~1e4 servers while power
+    variables are a few MW and the utility curvature is ~1e-5 $ per
+    server^2.  With the paper's ``rho = 0.3`` the raw iteration stalls.
+    Measuring workload in units of ``scale`` servers (chosen so
+    arrivals are O(1)) makes every block O(1) *without changing the
+    problem*: ``beta`` and the latency weight absorb the scale, and
+    capacities/arrivals shrink by it.  The view exposes exactly the
+    attributes the subproblem functions read, so they run unmodified.
+    """
+
+    def __init__(self, model, scale: float) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.workload_scale = float(scale)
+        self.alphas = model.alphas
+        self.betas = model.betas * scale
+        self.capacities = model.capacities / scale
+        self.mu_max = model.mu_max
+        self.utility = model.utility
+        self.latency_weight = model.latency_weight * scale
+        self.latency_ms = model.latency_ms
+        self.fuel_cell_price = model.fuel_cell_price
+        self.emission_costs = model.emission_costs
+        self.num_datacenters = model.num_datacenters
+        self.num_frontends = model.num_frontends
+        self.datacenters = model.datacenters
+
+    @staticmethod
+    def natural_scale(model, rho: float = 0.3) -> float:
+        """Slot-independent workload unit balancing the iteration.
+
+        Chosen so the scaled utility curvature
+        ``2 w scale^2 L^2 / A`` matches the penalty ``rho`` at typical
+        arrivals ``A ~ total capacity / M`` and mean latency ``L`` —
+        the conditioning under which the paper's rho = 0.3 converges in
+        tens of iterations.  Falls back to ``total capacity / M`` when
+        the utility has no curvature (e.g. the linear utility).
+        """
+        typical_arrival = max(1.0, float(model.capacities.sum()) / model.num_frontends)
+        mean_latency_ms = float(np.mean(model.latency_ms))
+        # Query the utility's own quadratic form at unit arrival; the
+        # linear utility (zero curvature) falls back to arrival scaling.
+        h, _ = model.utility.neg_quad_form(
+            np.array([mean_latency_ms]), 1.0, model.latency_weight
+        )
+        curvature = float(h[0, 0])
+        if curvature <= 0:
+            return typical_arrival
+        return max(1.0, float(np.sqrt(rho * typical_arrival / curvature)))
+
+
+@dataclass
+class ADMGState:
+    """The full iterate of the 4-block ADM-G algorithm.
+
+    Attributes:
+        lam: (M, N) routing ``lambda``.
+        mu: (N,) fuel-cell generation.
+        nu: (N,) grid draw.
+        a: (M, N) auxiliary routing copies.
+        phi: (N,) power-balance duals.
+        varphi: (M, N) coupling duals.
+    """
+
+    lam: np.ndarray
+    mu: np.ndarray
+    nu: np.ndarray
+    a: np.ndarray
+    phi: np.ndarray
+    varphi: np.ndarray
+
+    @classmethod
+    def zeros(cls, num_frontends: int, num_datacenters: int) -> "ADMGState":
+        """The paper's initialization: everything at zero."""
+        m, n = num_frontends, num_datacenters
+        return cls(
+            lam=np.zeros((m, n)),
+            mu=np.zeros(n),
+            nu=np.zeros(n),
+            a=np.zeros((m, n)),
+            phi=np.zeros(n),
+            varphi=np.zeros((m, n)),
+        )
+
+    def copy(self) -> "ADMGState":
+        """A deep copy (arrays duplicated), safe to iterate from."""
+        return ADMGState(
+            lam=self.lam.copy(),
+            mu=self.mu.copy(),
+            nu=self.nu.copy(),
+            a=self.a.copy(),
+            phi=self.phi.copy(),
+            varphi=self.varphi.copy(),
+        )
+
+
+@dataclass
+class UFCADMGResult:
+    """Outcome of a distributed ADM-G solve.
+
+    Attributes:
+        allocation: polished, strictly feasible allocation.
+        ufc: UFC value of the polished allocation.
+        iterations: ADM-G iterations performed.
+        converged: whether the residual criterion was met.
+        coupling_residuals: per-iteration ``max|a~ - lambda~|`` (relative).
+        power_residuals: per-iteration power-balance residual (relative).
+        state: final solver state (for warm starts).
+        raw_allocation: unpolished predicted allocation.
+    """
+
+    allocation: Allocation
+    ufc: float
+    iterations: int
+    converged: bool
+    coupling_residuals: list[float] = field(default_factory=list)
+    power_residuals: list[float] = field(default_factory=list)
+    state: ADMGState | None = None
+    raw_allocation: Allocation | None = None
+
+
+class DistributedUFCSolver:
+    """The paper's distributed 4-block ADM-G algorithm (Sec. III-C).
+
+    Args:
+        rho: ADMM penalty parameter (paper default 0.3).
+        eps: Gaussian back-substitution step in (0.5, 1] (default 1.0).
+        tol: relative convergence tolerance on residuals and iterate
+            change (default 1e-3; drives the Fig. 11 iteration counts).
+        max_iter: iteration cap.
+        polish: repair + power-split the final routing (default True).
+        workload_scale: servers per scaled workload unit (see
+            :class:`ScaledView`); None picks the model's natural scale.
+    """
+
+    def __init__(
+        self,
+        rho: float = 0.3,
+        eps: float = 1.0,
+        tol: float = 1e-3,
+        max_iter: int = 500,
+        polish: bool = True,
+        workload_scale: float | None = None,
+    ) -> None:
+        if rho <= 0:
+            raise ValueError(f"rho must be positive, got {rho}")
+        if not 0.5 < eps <= 1.0:
+            raise ValueError(f"eps must lie in (0.5, 1], got {eps}")
+        if tol <= 0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self.polish = polish
+        self.workload_scale = workload_scale
+
+    def scaled_context(self, problem: UFCProblem) -> tuple[ScaledView, SlotInputs]:
+        """The rescaled model view and inputs the iteration runs on.
+
+        Solver state (:class:`ADMGState`) is expressed in these scaled
+        workload units; multiply routing blocks by
+        ``view.workload_scale`` to recover servers.
+        """
+        scale = (
+            self.workload_scale
+            if self.workload_scale is not None
+            else ScaledView.natural_scale(problem.model, self.rho)
+        )
+        view = ScaledView(problem.model, scale)
+        inputs = SlotInputs(
+            arrivals=problem.inputs.arrivals / scale,
+            prices=problem.inputs.prices,
+            carbon_rates=problem.inputs.carbon_rates,
+        )
+        return view, inputs
+
+    def iterate(self, problem: UFCProblem, state: ADMGState) -> tuple[ADMGState, ADMGState]:
+        """One full ADM-G iteration (prediction + correction).
+
+        ``state`` is in scaled workload units (see
+        :meth:`scaled_context`).
+
+        Returns:
+            ``(new_state, prediction)`` — the corrected iterate and the
+            prediction it was built from (whose ``lam``/``mu``/``nu``
+            are the feasible candidates used for reporting).
+        """
+        model, inputs = self.scaled_context(problem)
+        strategy = problem.strategy
+        lam_pred = sp.lambda_minimization(
+            model, inputs, state.a, state.varphi, self.rho, lam_warm=state.lam
+        )
+        mu_pred = sp.mu_minimization(model, strategy, state.a, state.nu, state.phi, self.rho)
+        nu_pred = sp.nu_minimization(
+            model, inputs, strategy, state.a, mu_pred, state.phi, self.rho
+        )
+        a_pred = sp.a_minimization(
+            model, lam_pred, mu_pred, nu_pred, state.phi, state.varphi, self.rho
+        )
+        phi_pred, varphi_pred = sp.dual_updates(
+            model, lam_pred, mu_pred, nu_pred, a_pred, state.phi, state.varphi, self.rho
+        )
+        lam_new, mu_new, nu_new, a_new, phi_new, varphi_new = sp.correction_step(
+            model,
+            self.eps,
+            lam_pred,
+            state.mu,
+            mu_pred,
+            state.nu,
+            nu_pred,
+            state.a,
+            a_pred,
+            state.phi,
+            phi_pred,
+            state.varphi,
+            varphi_pred,
+        )
+        prediction = ADMGState(
+            lam=lam_pred, mu=mu_pred, nu=nu_pred, a=a_pred,
+            phi=phi_pred, varphi=varphi_pred,
+        )
+        new_state = ADMGState(
+            lam=lam_new, mu=mu_new, nu=nu_new, a=a_new,
+            phi=phi_new, varphi=varphi_new,
+        )
+        return new_state, prediction
+
+    def solve(
+        self, problem: UFCProblem, initial: ADMGState | None = None
+    ) -> UFCADMGResult:
+        """Run ADM-G to convergence on one slot's UFC problem.
+
+        ``initial`` warm-starts the iteration (e.g. from the previous
+        slot); the default is the paper's all-zeros initialization.
+        """
+        view, scaled_inputs = self.scaled_context(problem)
+        state = (
+            initial.copy()
+            if initial is not None
+            else ADMGState.zeros(view.num_frontends, view.num_datacenters)
+        )
+        arrival_scale = max(1.0, float(scaled_inputs.arrivals.max(initial=0.0)))
+        power_scale = max(
+            1.0, float((view.alphas + view.betas * view.capacities).max())
+        )
+        coupling_hist: list[float] = []
+        power_hist: list[float] = []
+        converged = False
+        prediction = state
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            prev = state
+            state, prediction = self.iterate(problem, state)
+            coupling = float(np.abs(prediction.a - prediction.lam).max()) / arrival_scale
+            balance = (
+                view.alphas
+                + view.betas * prediction.a.sum(axis=0)
+                - prediction.mu
+                - prediction.nu
+            )
+            power = float(np.abs(balance).max()) / power_scale
+            change = max(
+                float(np.abs(state.lam - prev.lam).max()) / arrival_scale,
+                float(np.abs(state.a - prev.a).max()) / arrival_scale,
+                float(np.abs(state.mu - prev.mu).max()) / power_scale,
+                float(np.abs(state.nu - prev.nu).max()) / power_scale,
+            )
+            coupling_hist.append(coupling)
+            power_hist.append(power)
+            if max(coupling, power, change) < self.tol:
+                converged = True
+                break
+
+        lam_servers = prediction.lam * view.workload_scale
+        raw = Allocation(
+            lam=lam_servers,
+            mu=prediction.mu,
+            nu=prediction.nu,
+        )
+        if self.polish:
+            alloc = polish_allocation(
+                problem.model, problem.inputs, lam_servers, strategy=problem.strategy
+            )
+        else:
+            alloc = raw
+        return UFCADMGResult(
+            allocation=alloc,
+            ufc=problem.ufc(alloc),
+            iterations=it,
+            converged=converged,
+            coupling_residuals=coupling_hist,
+            power_residuals=power_hist,
+            state=state,
+            raw_allocation=raw,
+        )

@@ -1,0 +1,311 @@
+"""The five procedures of the distributed ADM-G prediction step and the
+closed-form Gaussian back-substitution correction (paper Sec. III-C).
+
+Every function here is pure: it maps the previous iterate (and the
+slot's parameters) to new values.  The *row/column-level* functions
+(``lambda_row_minimization``, ``mu_scalar_minimization``, ...) contain
+the actual arithmetic and are what the message-passing agents in
+:mod:`repro.distributed` execute locally; the *matrix-level* wrappers
+stack them for the fast solver in :mod:`repro.admg.solver`.  Both
+deployments therefore share the exact same computation.
+
+Sign conventions follow the paper: the duals ``phi_j`` (power balance)
+and ``varphi_ij`` (``a_ij = lambda_ij`` coupling) are *subtracted*
+multiples of the residuals, i.e. ``phi~ = phi - rho * residual``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies import Strategy
+from repro.costs.carbon import EmissionCostFunction
+from repro.costs.latency import LatencyUtility
+from repro.optim.rank_one import solve_capped_rank_one_qp
+from repro.optim.simplex import minimize_qp_simplex
+
+__all__ = [
+    "lambda_row_minimization",
+    "mu_scalar_minimization",
+    "nu_scalar_minimization",
+    "a_column_minimization",
+    "lambda_minimization",
+    "mu_minimization",
+    "nu_minimization",
+    "a_minimization",
+    "dual_updates",
+    "correction_step",
+]
+
+
+# -- row/column-level procedures (what each agent computes locally) ----------
+
+
+def lambda_row_minimization(
+    utility: LatencyUtility,
+    weight: float,
+    latency_row: np.ndarray,
+    arrival: float,
+    a_row: np.ndarray,
+    varphi_row: np.ndarray,
+    rho: float,
+    warm: np.ndarray | None = None,
+) -> np.ndarray:
+    """One front-end's lambda-minimization (paper Eq. (17)).
+
+    Minimizes ``-w U(lambda) + sum_j [varphi_j lambda_j
+    + rho/2 (lambda_j^2 - 2 a_j lambda_j)]`` over the scaled simplex
+    ``sum lambda = arrival, lambda >= 0``.
+    """
+    n = len(a_row)
+    if arrival <= 0:
+        return np.zeros(n)
+    h_util, g_util = utility.neg_quad_form(latency_row, arrival, weight)
+    h = rho * np.eye(n) + h_util
+    q = varphi_row - rho * a_row + g_util
+    return minimize_qp_simplex(h, q, arrival, x0=warm).x
+
+
+def mu_scalar_minimization(
+    alpha: float,
+    beta: float,
+    p0: float,
+    mu_max: float,
+    a_col_sum: float,
+    nu: float,
+    phi: float,
+    rho: float,
+) -> float:
+    """One datacenter's closed-form mu-minimization (paper Eq. (18)):
+
+    ``mu~ = clip(alpha + beta * sum_i a_i - nu - (phi + p0)/rho,
+    0, mu_max)``.
+    """
+    return float(
+        np.clip(alpha + beta * a_col_sum - nu - (phi + p0) / rho, 0.0, mu_max)
+    )
+
+
+def nu_scalar_minimization(
+    emission_cost: EmissionCostFunction,
+    carbon_rate: float,
+    price: float,
+    alpha: float,
+    beta: float,
+    a_col_sum: float,
+    mu_pred: float,
+    phi: float,
+    rho: float,
+    grid_enabled: bool = True,
+) -> float:
+    """One datacenter's nu-minimization (paper Eq. (19)) via the
+    emission-cost prox:
+
+    ``min_{nu >= 0} V(C nu) + (p + phi) nu + rho/2 (d - nu)^2``
+    with ``d = alpha + beta sum_i a_i - mu~``.
+    """
+    if not grid_enabled:
+        return 0.0
+    d = alpha + beta * a_col_sum - mu_pred
+    return emission_cost.prox_nu(
+        c_rate=carbon_rate, linear=price + phi, d=d, rho=rho
+    )
+
+
+def a_column_minimization(
+    alpha: float,
+    beta: float,
+    capacity: float,
+    lam_col: np.ndarray,
+    mu_pred: float,
+    nu_pred: float,
+    phi: float,
+    varphi_col: np.ndarray,
+    rho: float,
+) -> np.ndarray:
+    """One datacenter's a-minimization (paper Eq. (20)), the capacitated
+    QP with diagonal-plus-rank-one Hessian ``rho (I + beta^2 1 1^T)``,
+    solved exactly by
+    :func:`repro.optim.rank_one.solve_capped_rank_one_qp`.
+    """
+    c = (
+        varphi_col
+        + beta * phi
+        + rho * lam_col
+        - rho * beta * (alpha - mu_pred - nu_pred)
+    )
+    return solve_capped_rank_one_qp(c, rho=rho, beta=beta, cap=capacity)
+
+
+# -- matrix-level wrappers (the fast solver's view) ---------------------------
+
+
+def lambda_minimization(
+    model,
+    inputs,
+    a: np.ndarray,
+    varphi: np.ndarray,
+    rho: float,
+    lam_warm: np.ndarray | None = None,
+) -> np.ndarray:
+    """Procedure 1.1: every front-end's simplex QP (17), stacked.
+
+    ``model`` may be a :class:`~repro.core.model.CloudModel` or a
+    :class:`~repro.admg.solver.ScaledView`.
+    """
+    m, n = a.shape
+    lam = np.zeros((m, n))
+    for i in range(m):
+        lam[i] = lambda_row_minimization(
+            utility=model.utility,
+            weight=model.latency_weight,
+            latency_row=model.latency_ms[i],
+            arrival=float(inputs.arrivals[i]),
+            a_row=a[i],
+            varphi_row=varphi[i],
+            rho=rho,
+            warm=lam_warm[i] if lam_warm is not None else None,
+        )
+    return lam
+
+
+def mu_minimization(
+    model,
+    strategy: Strategy,
+    a: np.ndarray,
+    nu: np.ndarray,
+    phi: np.ndarray,
+    rho: float,
+) -> np.ndarray:
+    """Procedure 1.2: the closed-form fuel-cell updates (18), stacked."""
+    load = a.sum(axis=0)
+    mu_caps = strategy.effective_mu_max(model.mu_max)
+    return np.array(
+        [
+            mu_scalar_minimization(
+                alpha=float(model.alphas[j]),
+                beta=float(model.betas[j]),
+                p0=model.fuel_cell_price,
+                mu_max=float(mu_caps[j]),
+                a_col_sum=float(load[j]),
+                nu=float(nu[j]),
+                phi=float(phi[j]),
+                rho=rho,
+            )
+            for j in range(model.num_datacenters)
+        ]
+    )
+
+
+def nu_minimization(
+    model,
+    inputs,
+    strategy: Strategy,
+    a: np.ndarray,
+    mu_pred: np.ndarray,
+    phi: np.ndarray,
+    rho: float,
+) -> np.ndarray:
+    """Procedure 1.3: per-datacenter grid-draw updates (19), stacked."""
+    load = a.sum(axis=0)
+    return np.array(
+        [
+            nu_scalar_minimization(
+                emission_cost=model.emission_costs[j],
+                carbon_rate=float(inputs.carbon_rates[j]),
+                price=float(inputs.prices[j]),
+                alpha=float(model.alphas[j]),
+                beta=float(model.betas[j]),
+                a_col_sum=float(load[j]),
+                mu_pred=float(mu_pred[j]),
+                phi=float(phi[j]),
+                rho=rho,
+                grid_enabled=strategy.grid_enabled,
+            )
+            for j in range(model.num_datacenters)
+        ]
+    )
+
+
+def a_minimization(
+    model,
+    lam_pred: np.ndarray,
+    mu_pred: np.ndarray,
+    nu_pred: np.ndarray,
+    phi: np.ndarray,
+    varphi: np.ndarray,
+    rho: float,
+) -> np.ndarray:
+    """Procedure 1.4: per-datacenter capacitated QPs (20), stacked."""
+    m, n = lam_pred.shape
+    a = np.empty((m, n))
+    for j in range(n):
+        a[:, j] = a_column_minimization(
+            alpha=float(model.alphas[j]),
+            beta=float(model.betas[j]),
+            capacity=float(model.capacities[j]),
+            lam_col=lam_pred[:, j],
+            mu_pred=float(mu_pred[j]),
+            nu_pred=float(nu_pred[j]),
+            phi=float(phi[j]),
+            varphi_col=varphi[:, j],
+            rho=rho,
+        )
+    return a
+
+
+def dual_updates(
+    model,
+    lam_pred: np.ndarray,
+    mu_pred: np.ndarray,
+    nu_pred: np.ndarray,
+    a_pred: np.ndarray,
+    phi: np.ndarray,
+    varphi: np.ndarray,
+    rho: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Procedure 1.5: predicted duals.
+
+    ``phi~_j  = phi_j  - rho (alpha_j + beta_j sum_i a~_ij - mu~_j - nu~_j)``
+    ``varphi~_ij = varphi_ij - rho (a~_ij - lambda~_ij)``.
+    """
+    balance = model.alphas + model.betas * a_pred.sum(axis=0) - mu_pred - nu_pred
+    phi_pred = phi - rho * balance
+    varphi_pred = varphi - rho * (a_pred - lam_pred)
+    return phi_pred, varphi_pred
+
+
+def correction_step(
+    model,
+    eps: float,
+    lam_pred: np.ndarray,
+    mu: np.ndarray,
+    mu_pred: np.ndarray,
+    nu: np.ndarray,
+    nu_pred: np.ndarray,
+    a: np.ndarray,
+    a_pred: np.ndarray,
+    phi: np.ndarray,
+    phi_pred: np.ndarray,
+    varphi: np.ndarray,
+    varphi_pred: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Step 2: the Gaussian back-substitution correction, in the closed
+    form the block structure admits (verified against the generic
+    upper-triangular ``G`` of Eq. (10) in the test suite):
+
+    - duals and ``a`` move by ``eps`` toward their predictions;
+    - ``nu`` additionally absorbs ``beta_j sum_i (a^{k+1} - a^k)_ij``;
+    - ``mu`` additionally absorbs that term minus ``(nu^{k+1} - nu^k)``;
+    - ``lambda^{k+1} = lambda~`` (block 1 is not corrected).
+
+    Returns:
+        ``(lam, mu, nu, a, phi, varphi)`` at iterate ``k+1``.
+    """
+    phi_new = phi + eps * (phi_pred - phi)
+    varphi_new = varphi + eps * (varphi_pred - varphi)
+    a_new = a + eps * (a_pred - a)
+    coupling = model.betas * (a_new - a).sum(axis=0)
+    nu_new = nu + eps * (nu_pred - nu) + coupling
+    mu_new = mu + eps * (mu_pred - mu) - (nu_new - nu) + coupling
+    return lam_pred.copy(), mu_new, nu_new, a_new, phi_new, varphi_new

@@ -1,0 +1,24 @@
+"""Analysis tools on top of the simulator.
+
+- :mod:`repro.analysis.decomposition` — split the Hybrid strategy's
+  UFC gain over Grid into its two mechanisms (smarter *routing* vs
+  smarter *sourcing*) by counterfactual evaluation;
+- :mod:`repro.analysis.sensitivity` — finite-difference elasticities
+  of the mean UFC with respect to the model's economic knobs, and the
+  latency/cost Pareto frontier traced by the utility weight ``w``.
+"""
+
+from repro.analysis.decomposition import GainDecomposition, decompose_hybrid_gain
+from repro.analysis.sensitivity import (
+    ParetoPoint,
+    latency_cost_frontier,
+    ufc_sensitivity,
+)
+
+__all__ = [
+    "GainDecomposition",
+    "ParetoPoint",
+    "decompose_hybrid_gain",
+    "latency_cost_frontier",
+    "ufc_sensitivity",
+]

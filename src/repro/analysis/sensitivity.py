@@ -1,0 +1,145 @@
+"""Parameter sensitivities and the latency/cost Pareto frontier.
+
+The paper sweeps ``p0`` (Fig. 9) and the carbon tax (Fig. 10) but
+fixes the latency weight at ``w = 10 $/s^2``.  These tools complete
+the sensitivity picture:
+
+- :func:`ufc_sensitivity` — central-difference derivatives of the
+  mean UFC with respect to ``p0``, the tax rate and ``w``;
+- :func:`latency_cost_frontier` — the Pareto frontier between average
+  latency and total (energy + carbon) cost traced by sweeping ``w``,
+  quantifying what a millisecond costs the operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import CloudModel
+from repro.core.strategies import HYBRID, Strategy
+from repro.costs.carbon import LinearCarbonTax
+from repro.sim.simulator import Simulator
+from repro.traces.datasets import TraceBundle
+
+__all__ = ["ufc_sensitivity", "ParetoPoint", "latency_cost_frontier"]
+
+
+def _mean_ufc(model: CloudModel, bundle: TraceBundle, strategy: Strategy,
+              hours: int | None) -> float:
+    return float(Simulator(model, bundle).run(strategy, hours=hours).ufc.mean())
+
+
+def ufc_sensitivity(
+    model: CloudModel,
+    bundle: TraceBundle,
+    strategy: Strategy = HYBRID,
+    hours: int | None = None,
+    rel_step: float = 0.05,
+) -> dict[str, float]:
+    """Central-difference sensitivities of mean UFC per parameter.
+
+    Returns:
+        ``{"fuel_cell_price": dUFC/dp0, "carbon_tax": dUFC/dr,
+        "latency_weight": dUFC/dw}`` in $ per parameter unit.
+
+    The carbon-tax derivative requires the model's emission costs to be
+    flat taxes (the evaluation default); other shapes raise.
+    """
+    taxes = []
+    for v in model.emission_costs:
+        if not isinstance(v, LinearCarbonTax):
+            raise ValueError(
+                "carbon-tax sensitivity needs LinearCarbonTax emission costs"
+            )
+        taxes.append(v.rate_per_tonne)
+    base_tax = float(np.mean(taxes))
+
+    out: dict[str, float] = {}
+
+    h = max(model.fuel_cell_price * rel_step, 1e-3)
+    up = _mean_ufc(model.with_fuel_cell_price(model.fuel_cell_price + h),
+                   bundle, strategy, hours)
+    dn = _mean_ufc(model.with_fuel_cell_price(model.fuel_cell_price - h),
+                   bundle, strategy, hours)
+    out["fuel_cell_price"] = (up - dn) / (2 * h)
+
+    h = max(base_tax * rel_step, 1e-3)
+    up = _mean_ufc(model.with_emission_costs(LinearCarbonTax(base_tax + h)),
+                   bundle, strategy, hours)
+    dn = _mean_ufc(
+        model.with_emission_costs(LinearCarbonTax(max(base_tax - h, 0.0))),
+        bundle, strategy, hours,
+    )
+    out["carbon_tax"] = (up - dn) / (2 * h)
+
+    h = max(model.latency_weight * rel_step, 1e-3)
+    w_model_up = CloudModel(
+        model.datacenters, model.frontends, model.latency_ms,
+        fuel_cell_price=model.fuel_cell_price,
+        latency_weight=model.latency_weight + h,
+        utility=model.utility, emission_costs=model.emission_costs,
+    )
+    w_model_dn = CloudModel(
+        model.datacenters, model.frontends, model.latency_ms,
+        fuel_cell_price=model.fuel_cell_price,
+        latency_weight=max(model.latency_weight - h, 0.0),
+        utility=model.utility, emission_costs=model.emission_costs,
+    )
+    up = _mean_ufc(w_model_up, bundle, strategy, hours)
+    dn = _mean_ufc(w_model_dn, bundle, strategy, hours)
+    out["latency_weight"] = (up - dn) / (2 * h)
+    return out
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the latency/cost frontier.
+
+    Attributes:
+        latency_weight: the ``w`` that produced this operating point.
+        mean_latency_ms: request-weighted average latency.
+        total_cost: energy + emission cost over the horizon, $.
+    """
+
+    latency_weight: float
+    mean_latency_ms: float
+    total_cost: float
+
+
+def latency_cost_frontier(
+    model: CloudModel,
+    bundle: TraceBundle,
+    weights: Sequence[float] = (0.0, 1.0, 3.0, 10.0, 30.0, 100.0),
+    strategy: Strategy = HYBRID,
+    hours: int | None = None,
+) -> list[ParetoPoint]:
+    """Trace the latency/cost trade-off by sweeping ``w``.
+
+    Larger ``w`` buys lower latency at higher cost; the paper's
+    ``w = 10`` sits on this frontier.  Points are returned in the given
+    weight order (monotone in both coordinates up to solver tolerance).
+    """
+    points = []
+    for w in weights:
+        if w < 0:
+            raise ValueError(f"weights must be non-negative, got {w}")
+        swept = CloudModel(
+            model.datacenters, model.frontends, model.latency_ms,
+            fuel_cell_price=model.fuel_cell_price,
+            latency_weight=w,
+            utility=model.utility, emission_costs=model.emission_costs,
+        )
+        result = Simulator(swept, bundle).run(strategy, hours=hours)
+        points.append(
+            ParetoPoint(
+                latency_weight=float(w),
+                mean_latency_ms=float(result.avg_latency_ms.mean()),
+                total_cost=float(
+                    result.energy_cost.sum() + result.carbon_cost.sum()
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,27 @@
+"""Baseline algorithms the paper compares against (or implies).
+
+- :mod:`repro.baselines.dual_subgradient` — the classic dual
+  (sub)gradient method used by prior geographical-load-balancing work
+  (the paper's Fig. 11 remark: such gradient/projection methods take
+  "hundreds of iterations" against ADM-G's tens).
+- :mod:`repro.baselines.heuristics` — non-optimizing routing policies
+  (nearest-datacenter, cheapest-power, proportional-to-capacity), each
+  combined with the optimal per-site power split, quantifying what the
+  joint optimization actually buys.
+"""
+
+from repro.baselines.dual_subgradient import DualSubgradientSolver
+from repro.baselines.heuristics import (
+    cheapest_power_routing,
+    nearest_datacenter_routing,
+    proportional_routing,
+    solve_heuristic,
+)
+
+__all__ = [
+    "DualSubgradientSolver",
+    "cheapest_power_routing",
+    "nearest_datacenter_routing",
+    "proportional_routing",
+    "solve_heuristic",
+]

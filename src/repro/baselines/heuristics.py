@@ -1,0 +1,124 @@
+"""Non-optimizing routing heuristics + optimal power split.
+
+Each heuristic produces a feasible routing by a simple policy; the
+per-site power sourcing is then chosen optimally for that routing
+(:func:`repro.core.centralized.optimal_power_split`), so the gap to
+the jointly optimized Hybrid strategy isolates the value of
+*optimizing the routing* itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.problem import UFCProblem
+from repro.core.repair import polish_allocation
+from repro.core.solution import Allocation
+
+__all__ = [
+    "HeuristicResult",
+    "nearest_datacenter_routing",
+    "cheapest_power_routing",
+    "proportional_routing",
+    "solve_heuristic",
+]
+
+RoutingPolicy = Callable[[UFCProblem], np.ndarray]
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """A heuristic allocation and its UFC."""
+
+    name: str
+    allocation: Allocation
+    ufc: float
+
+
+def _greedy_fill(problem: UFCProblem, dc_order_for_frontend) -> np.ndarray:
+    """Waterfill each front-end's demand along its datacenter ranking,
+    respecting remaining capacities.  Always feasible because total
+    capacity covers total arrivals (model invariant)."""
+    model, inputs = problem.model, problem.inputs
+    m, n = model.num_frontends, model.num_datacenters
+    lam = np.zeros((m, n))
+    remaining = model.capacities.astype(float).copy()
+    for i in range(m):
+        demand = float(inputs.arrivals[i])
+        for j in dc_order_for_frontend(i):
+            if demand <= 0:
+                break
+            take = min(demand, remaining[j])
+            lam[i, j] += take
+            remaining[j] -= take
+            demand -= take
+    return lam
+
+
+def nearest_datacenter_routing(problem: UFCProblem) -> np.ndarray:
+    """Route each front-end to its nearest datacenters first.
+
+    This is the latency-optimal greedy policy (the implicit routing of
+    the paper's Fuel-cell discussion: requests stay near users).
+    """
+    latency = problem.model.latency_ms
+
+    def order(i: int):
+        return np.argsort(latency[i])
+
+    return _greedy_fill(problem, order)
+
+
+def cheapest_power_routing(problem: UFCProblem) -> np.ndarray:
+    """Route toward the cheapest effective power first.
+
+    Effective marginal price per site: the better of the grid
+    (price + marginal emission cost) and the fuel cell, times
+    ``beta_j`` — a pure cost-chaser that ignores latency entirely.
+    """
+    model, inputs = problem.model, problem.inputs
+    # Marginal emission cost of the first MWh: V(C * 1) - V(0).
+    emission_marginal = np.array(
+        [
+            v.cost(float(c)) - v.cost(0.0)
+            for v, c in zip(model.emission_costs, inputs.carbon_rates)
+        ]
+    )
+    effective = np.minimum(
+        inputs.prices + emission_marginal, model.fuel_cell_price
+    ) * model.betas
+    order_global = np.argsort(effective)
+
+    def order(i: int):
+        return order_global
+
+    return _greedy_fill(problem, order)
+
+
+def proportional_routing(problem: UFCProblem) -> np.ndarray:
+    """Split every front-end's demand proportionally to capacities.
+
+    The naive load balancer: always feasible, never clever.
+    """
+    model, inputs = problem.model, problem.inputs
+    weights = model.capacities / model.capacities.sum()
+    return np.outer(inputs.arrivals, weights)
+
+
+def solve_heuristic(
+    problem: UFCProblem, policy: RoutingPolicy, name: str | None = None
+) -> HeuristicResult:
+    """Apply a routing policy, choose the optimal power split, and
+    evaluate the UFC of the result."""
+    lam = policy(problem)
+    alloc = polish_allocation(
+        problem.model, problem.inputs, lam, strategy=problem.strategy
+    )
+    return HeuristicResult(
+        name=name or policy.__name__,
+        allocation=alloc,
+        ufc=problem.ufc(alloc),
+    )

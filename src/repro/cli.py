@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+Installed as ``python -m repro``::
+
+    python -m repro simulate --hours 48 --strategy hybrid
+    python -m repro compare --hours 24
+    python -m repro report --fast
+    python -m repro sweep price --hours 48
+    python -m repro sweep tax --hours 48
+    python -m repro table1
+    python -m repro convergence --hours 24
+    python -m repro export --out results/ --hours 48
+    python -m repro validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.admg.solver import DistributedUFCSolver
+from repro.core.strategies import FUEL_CELL, GRID, HYBRID, Strategy
+from repro.sim.simulator import Simulator, build_model
+from repro.traces.datasets import default_bundle
+
+__all__ = ["main", "build_parser"]
+
+_STRATEGIES: dict[str, Strategy] = {
+    "grid": GRID,
+    "fuel-cell": FUEL_CELL,
+    "hybrid": HYBRID,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Fuel Cell Generation in "
+        "Geo-Distributed Cloud Services' (ICDCS 2014)",
+    )
+    parser.add_argument("--hours", type=int, default=168, help="horizon (slots)")
+    parser.add_argument("--seed", type=int, default=2014, help="trace seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one strategy and print a summary")
+    sim.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="hybrid"
+    )
+    sim.add_argument(
+        "--solver", choices=["centralized", "distributed"], default="centralized"
+    )
+    sim.add_argument("--rho", type=float, default=0.3)
+
+    sub.add_parser("compare", help="run all three strategies")
+
+    report = sub.add_parser("report", help="regenerate every table/figure")
+    report.add_argument("--fast", action="store_true", help="skip sweeps/Fig.11")
+
+    sweep = sub.add_parser("sweep", help="regenerate Fig. 9 or Fig. 10")
+    sweep.add_argument("kind", choices=["price", "tax"])
+
+    sub.add_parser("table1", help="regenerate Table I")
+
+    conv = sub.add_parser("convergence", help="regenerate Fig. 11")
+    conv.add_argument("--rho", type=float, default=0.3)
+    conv.add_argument("--tol", type=float, default=6e-3)
+
+    export = sub.add_parser("export", help="write every figure's series to CSV")
+    export.add_argument("--out", default="results", help="output directory")
+
+    sub.add_parser(
+        "validate", help="run every experiment and print the scorecard"
+    )
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    bundle = default_bundle(hours=args.hours, seed=args.seed)
+    model = build_model(bundle)
+    solver = (
+        DistributedUFCSolver(rho=args.rho)
+        if args.solver == "distributed"
+        else "centralized"
+    )
+    result = Simulator(model, bundle, solver=solver).run(_STRATEGIES[args.strategy])
+    print(result.summary())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    bundle = default_bundle(hours=args.hours, seed=args.seed)
+    model = build_model(bundle)
+    comp = Simulator(model, bundle).compare_strategies()
+    for result in (comp.grid, comp.fuel_cell, comp.hybrid):
+        print(result.summary())
+        print()
+    gain = np.mean(
+        (comp.hybrid.ufc - comp.grid.ufc) / np.abs(comp.grid.ufc)
+    )
+    print(f"mean hybrid-over-grid UFC improvement: {100 * gain:+.1f}%")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    print(generate_report(hours=args.hours, seed=args.seed, fast=args.fast))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.kind == "price":
+        from repro.experiments.fig9_price_sweep import render_fig9, run_fig9
+
+        print(render_fig9(run_fig9(hours=args.hours, seed=args.seed)))
+    else:
+        from repro.experiments.fig10_tax_sweep import render_fig10, run_fig10
+
+        print(render_fig10(run_fig10(hours=args.hours, seed=args.seed)))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    print(render_table1(run_table1()))
+    return 0
+
+
+def _cmd_convergence(args) -> int:
+    from repro.experiments.fig11_convergence import render_fig11, run_fig11
+
+    print(
+        render_fig11(
+            run_fig11(hours=args.hours, seed=args.seed, rho=args.rho, tol=args.tol)
+        )
+    )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments.export import export_all
+
+    paths = export_all(args.out, hours=args.hours, seed=args.seed)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.experiments.validation import render_scorecard, run_validation
+
+    checks = run_validation(hours=args.hours, seed=args.seed)
+    print(render_scorecard(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "table1": _cmd_table1,
+    "convergence": _cmd_convergence,
+    "export": _cmd_export,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse and dispatch."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

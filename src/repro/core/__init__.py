@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the UFC model and its optimization.
+
+- :mod:`repro.core.model` — the geo-distributed cloud description;
+- :mod:`repro.core.problem` — per-slot UFC maximization instances,
+  exact metric evaluation and QP compilation;
+- :mod:`repro.core.solution` — allocations and feasibility checking;
+- :mod:`repro.core.strategies` — Grid / Fuel cell / Hybrid;
+- :mod:`repro.core.centralized` — the interior-point reference solver
+  and the fixed-routing power-split (arbitrage) subroutine.
+"""
+
+from repro.core.centralized import (
+    CentralizedResult,
+    CentralizedSolver,
+    optimal_power_split,
+)
+from repro.core.model import CloudModel, Datacenter, FrontEnd
+from repro.core.problem import QPForm, SlotInputs, UFCProblem
+from repro.core.solution import Allocation, FeasibilityReport
+from repro.core.strategies import ALL_STRATEGIES, FUEL_CELL, GRID, HYBRID, Strategy
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "Allocation",
+    "CentralizedResult",
+    "CentralizedSolver",
+    "CloudModel",
+    "Datacenter",
+    "FUEL_CELL",
+    "FeasibilityReport",
+    "FrontEnd",
+    "GRID",
+    "HYBRID",
+    "QPForm",
+    "SlotInputs",
+    "Strategy",
+    "UFCProblem",
+    "optimal_power_split",
+]

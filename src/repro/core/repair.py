@@ -1,0 +1,95 @@
+"""Feasibility repair: turning near-feasible iterates into exact ones.
+
+A distributed algorithm stopped at a finite tolerance leaves small
+constraint violations: the routing may exceed a datacenter's capacity
+by the coupling residual, and the power balance may be off by the
+dual residual.  :func:`repair_routing` restores capacity feasibility
+while preserving every front-end's load-balance equality, and
+:func:`polish_allocation` then recomputes the exact optimal
+``(mu, nu)`` for the repaired routing, yielding a strictly feasible
+allocation whose objective is within the stopping tolerance of the
+optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.centralized import optimal_power_split
+from repro.core.model import CloudModel
+from repro.core.problem import SlotInputs
+from repro.core.solution import Allocation
+from repro.core.strategies import HYBRID, Strategy
+
+__all__ = ["repair_routing", "polish_allocation"]
+
+
+def repair_routing(
+    lam: np.ndarray,
+    arrivals: np.ndarray,
+    capacities: np.ndarray,
+    max_passes: int = 20,
+) -> np.ndarray:
+    """Project a row-feasible routing onto the capacity constraints.
+
+    Overflowing columns are scaled down uniformly; each row's resulting
+    deficit is redistributed to datacenters proportionally to their
+    remaining slack.  Row sums (the load-balance equalities (4)) are
+    preserved exactly at every pass.  Requires total capacity >= total
+    arrivals, which the model guarantees.
+
+    Raises:
+        ValueError: if total arrivals exceed total capacity (no feasible
+            routing exists).
+    """
+    lam = np.maximum(np.asarray(lam, dtype=float).copy(), 0.0)
+    arrivals = np.asarray(arrivals, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if arrivals.sum() > capacities.sum() * (1 + 1e-12):
+        raise ValueError(
+            f"total arrivals {arrivals.sum():.3f} exceed total capacity "
+            f"{capacities.sum():.3f}"
+        )
+    # Restore exact row sums first (iterates may be off by the residual).
+    row = lam.sum(axis=1)
+    for i in range(lam.shape[0]):
+        if row[i] > 0:
+            lam[i] *= arrivals[i] / row[i]
+        elif arrivals[i] > 0:
+            lam[i] = arrivals[i] / lam.shape[1]
+
+    for _ in range(max_passes):
+        load = lam.sum(axis=0)
+        over = load > capacities * (1 + 1e-15)
+        if not over.any():
+            break
+        scale = np.where(over, capacities / np.maximum(load, 1e-300), 1.0)
+        shrunk = lam * scale
+        deficit = lam.sum(axis=1) - shrunk.sum(axis=1)
+        lam = shrunk
+        slack = np.maximum(capacities - lam.sum(axis=0), 0.0)
+        slack_total = slack.sum()
+        if slack_total <= 0:
+            break
+        share = slack / slack_total
+        lam += np.outer(deficit, share)
+    return lam
+
+
+def polish_allocation(
+    model: CloudModel,
+    inputs: SlotInputs,
+    lam: np.ndarray,
+    strategy: Strategy = HYBRID,
+) -> Allocation:
+    """Exactly-feasible allocation from a near-feasible routing.
+
+    Repairs the routing against capacities, then solves the scalar
+    convex power-split per datacenter for the exact optimal
+    ``(mu, nu)`` given that routing.
+    """
+    lam_fixed = repair_routing(lam, inputs.arrivals, model.capacities)
+    mu, nu = optimal_power_split(
+        model, inputs, lam_fixed.sum(axis=0), strategy=strategy
+    )
+    return Allocation(lam=lam_fixed, mu=mu, nu=nu)

@@ -1,0 +1,119 @@
+"""Allocations (control decisions) and their derived metrics.
+
+An :class:`Allocation` is one slot's joint decision: the routing
+matrix ``lambda`` (M, N), fuel-cell outputs ``mu`` (N,) and grid draws
+``nu`` (N,).  Metric evaluation (energy cost, carbon, latency, UFC)
+lives in :class:`repro.core.problem.UFCProblem`; this module holds the
+container and feasibility checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Allocation", "FeasibilityReport"]
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Constraint-violation magnitudes for an allocation.
+
+    All entries are max absolute violations (0 when satisfied); the
+    report is `ok` when every violation is below the tolerance used to
+    produce it.
+    """
+
+    load_balance: float
+    capacity: float
+    power_balance: float
+    bounds: float
+    ok: bool
+
+    def max_violation(self) -> float:
+        """The largest violation across all constraint families."""
+        return max(self.load_balance, self.capacity, self.power_balance, self.bounds)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One time slot's control decisions.
+
+    Attributes:
+        lam: (M, N) request routing ``lambda_ij``, servers' worth.
+        mu: (N,) fuel-cell generation in MW.
+        nu: (N,) grid power draw in MW.
+    """
+
+    lam: np.ndarray
+    mu: np.ndarray
+    nu: np.ndarray
+
+    def __post_init__(self) -> None:
+        lam = np.asarray(self.lam, dtype=float)
+        mu = np.asarray(self.mu, dtype=float)
+        nu = np.asarray(self.nu, dtype=float)
+        if lam.ndim != 2:
+            raise ValueError(f"lam must be 2-d (M, N), got shape {lam.shape}")
+        n = lam.shape[1]
+        if mu.shape != (n,) or nu.shape != (n,):
+            raise ValueError(
+                f"mu/nu must have shape ({n},), got {mu.shape} / {nu.shape}"
+            )
+        object.__setattr__(self, "lam", lam)
+        object.__setattr__(self, "mu", mu)
+        object.__setattr__(self, "nu", nu)
+
+    @property
+    def num_frontends(self) -> int:
+        return self.lam.shape[0]
+
+    @property
+    def num_datacenters(self) -> int:
+        return self.lam.shape[1]
+
+    def datacenter_load(self) -> np.ndarray:
+        """(N,) total workload per datacenter, ``sum_i lambda_ij``."""
+        return self.lam.sum(axis=0)
+
+    def check_feasibility(
+        self,
+        arrivals: np.ndarray,
+        capacities: np.ndarray,
+        alphas: np.ndarray,
+        betas: np.ndarray,
+        mu_max: np.ndarray,
+        tol: float = 1e-6,
+    ) -> FeasibilityReport:
+        """Measure violations of the paper's constraints (4)-(6) + bounds.
+
+        ``tol`` is relative to the natural scale of each constraint.
+        """
+        arrivals = np.asarray(arrivals, dtype=float)
+        load = self.datacenter_load()
+        load_balance = float(np.abs(self.lam.sum(axis=1) - arrivals).max())
+        capacity = float(np.maximum(load - capacities, 0.0).max())
+        balance = alphas + betas * load - self.mu - self.nu
+        power_balance = float(np.abs(balance).max())
+        bounds = max(
+            float(np.maximum(-self.lam, 0.0).max()),
+            float(np.maximum(-self.mu, 0.0).max()),
+            float(np.maximum(self.mu - mu_max, 0.0).max()),
+            float(np.maximum(-self.nu, 0.0).max()),
+        )
+        arrival_scale = max(1.0, float(arrivals.max(initial=0.0)))
+        power_scale = max(1.0, float((alphas + betas * capacities).max()))
+        ok = (
+            load_balance < tol * arrival_scale
+            and capacity < tol * arrival_scale
+            and power_balance < tol * power_scale
+            and bounds < tol * max(arrival_scale, power_scale)
+        )
+        return FeasibilityReport(
+            load_balance=load_balance,
+            capacity=capacity,
+            power_balance=power_balance,
+            bounds=bounds,
+            ok=ok,
+        )

@@ -1,0 +1,54 @@
+"""The three operating strategies compared throughout the paper.
+
+- **Grid** uses only grid electricity (adds ``mu_j = 0``);
+- **Fuel cell** uses only fuel-cell generation (adds ``nu_j = 0``);
+- **Hybrid** jointly optimizes both sources (the paper's proposal).
+
+A strategy is just a pair of switches restricting the ``mu``/``nu``
+boxes; every solver in the library accepts one and solves the same
+UFC maximization under the restricted feasible set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Strategy", "GRID", "FUEL_CELL", "HYBRID", "ALL_STRATEGIES"]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """An operating strategy for the cloud's power sourcing.
+
+    Attributes:
+        name: display name.
+        fuel_cell_enabled: when False, forces ``mu_j = 0`` (Grid).
+        grid_enabled: when False, forces ``nu_j = 0`` (Fuel cell).
+    """
+
+    name: str
+    fuel_cell_enabled: bool
+    grid_enabled: bool
+
+    def __post_init__(self) -> None:
+        if not (self.fuel_cell_enabled or self.grid_enabled):
+            raise ValueError("a strategy must enable at least one power source")
+
+    def effective_mu_max(self, mu_max: np.ndarray) -> np.ndarray:
+        """Fuel-cell upper bounds under this strategy."""
+        return np.asarray(mu_max, dtype=float) if self.fuel_cell_enabled else np.zeros_like(
+            np.asarray(mu_max, dtype=float)
+        )
+
+    @property
+    def nu_allowed(self) -> bool:
+        return self.grid_enabled
+
+
+GRID = Strategy("Grid", fuel_cell_enabled=False, grid_enabled=True)
+FUEL_CELL = Strategy("Fuel cell", fuel_cell_enabled=True, grid_enabled=False)
+HYBRID = Strategy("Hybrid", fuel_cell_enabled=True, grid_enabled=True)
+
+ALL_STRATEGIES: tuple[Strategy, ...] = (GRID, FUEL_CELL, HYBRID)

@@ -1,0 +1,52 @@
+"""Cost models: server power, carbon emission, and latency utility.
+
+Unit conventions used throughout the library (documented once here and
+assumed everywhere):
+
+- workload is measured in *servers' worth of requests* (the paper's
+  normalization): ``A_i``, ``lambda_ij`` and ``S_j`` share this unit;
+- power is in **MW**; time slots are one hour, so a power level in MW
+  equals the slot's energy in **MWh**;
+- electricity and fuel-cell prices are in **$/MWh**;
+- carbon intensity ``C_j`` is in **kg/MWh** (numerically identical to
+  the paper's g/kWh);
+- carbon-tax rates are quoted in **$/tonne** and converted internally;
+- distances are in **km**, propagation latency in **ms**
+  (``0.02 ms/km``), and the latency-utility weight ``w`` in **$/s^2**
+  (the paper's unit), converted internally.
+"""
+
+from repro.costs.carbon import (
+    CAP_AND_TRADE_DEFAULT_PERMIT_PRICE,
+    FUEL_CARBON_RATES_G_PER_KWH,
+    CapAndTrade,
+    EmissionCostFunction,
+    LinearCarbonTax,
+    NoEmissionCost,
+    QuadraticEmissionCost,
+    SteppedCarbonTax,
+    carbon_intensity,
+)
+from repro.costs.energy import ServerPowerModel
+from repro.costs.latency import (
+    LatencyUtility,
+    LinearLatencyUtility,
+    QuadraticLatencyUtility,
+    latency_matrix_from_distances,
+)
+
+__all__ = [
+    "CAP_AND_TRADE_DEFAULT_PERMIT_PRICE",
+    "CapAndTrade",
+    "EmissionCostFunction",
+    "FUEL_CARBON_RATES_G_PER_KWH",
+    "LatencyUtility",
+    "LinearCarbonTax",
+    "LinearLatencyUtility",
+    "NoEmissionCost",
+    "QuadraticEmissionCost",
+    "QuadraticLatencyUtility",
+    "ServerPowerModel",
+    "carbon_intensity",
+    "latency_matrix_from_distances",
+]

@@ -1,0 +1,81 @@
+"""The linear server power model of Sec. II-B1.
+
+The aggregated power draw of ``S`` homogeneous servers handling a
+workload of ``lambda`` servers' worth of requests is
+
+    (S * P_idle + (P_peak - P_idle) * lambda) * PUE,
+
+which the paper abbreviates as ``alpha + beta * lambda`` with
+``alpha = S * P_idle * PUE`` and ``beta = (P_peak - P_idle) * PUE``.
+This module keeps per-server wattages in W and exposes ``alpha`` (MW)
+and ``beta`` (MW per server of workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerPowerModel"]
+
+_W_PER_MW = 1e6
+
+
+@dataclass(frozen=True)
+class ServerPowerModel:
+    """Linear power model for a datacenter of homogeneous servers.
+
+    Attributes:
+        idle_watts: per-server idle power ``P_idle`` (paper default 100 W).
+        peak_watts: per-server peak power ``P_peak`` (paper default 200 W).
+        pue: facility power usage effectiveness (paper default 1.2).
+    """
+
+    idle_watts: float = 100.0
+    peak_watts: float = 200.0
+    pue: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0:
+            raise ValueError(f"idle_watts must be non-negative, got {self.idle_watts}")
+        if self.peak_watts < self.idle_watts:
+            raise ValueError(
+                f"peak_watts ({self.peak_watts}) must be >= idle_watts "
+                f"({self.idle_watts})"
+            )
+        if self.pue < 1.0:
+            raise ValueError(f"PUE must be >= 1, got {self.pue}")
+
+    def alpha_mw(self, servers: float) -> float:
+        """Baseline (idle) facility power in MW for ``servers`` active servers."""
+        if servers < 0:
+            raise ValueError(f"server count must be non-negative, got {servers}")
+        return servers * self.idle_watts * self.pue / _W_PER_MW
+
+    @property
+    def beta_mw_per_server(self) -> float:
+        """Marginal facility power in MW per server's worth of workload."""
+        return (self.peak_watts - self.idle_watts) * self.pue / _W_PER_MW
+
+    def demand_mw(self, servers: float, workload: float) -> float:
+        """Total facility power demand ``alpha + beta * workload`` in MW.
+
+        ``workload`` may not exceed ``servers`` (each unit of workload
+        occupies one server).
+        """
+        if workload < 0:
+            raise ValueError(f"workload must be non-negative, got {workload}")
+        if workload > servers * (1 + 1e-9):
+            raise ValueError(
+                f"workload {workload} exceeds server capacity {servers}"
+            )
+        return self.alpha_mw(servers) + self.beta_mw_per_server * workload
+
+    def peak_demand_mw(self, servers: float) -> float:
+        """Facility power at full load, ``S * P_peak * PUE`` in MW.
+
+        This is the paper's fuel-cell sizing rule
+        ``mu_max = P_peak * S_j * PUE_j``.
+        """
+        if servers < 0:
+            raise ValueError(f"server count must be non-negative, got {servers}")
+        return servers * self.peak_watts * self.pue / _W_PER_MW

@@ -1,0 +1,112 @@
+"""Propagation-latency model and workload-utility functions ``U``.
+
+The paper approximates wide-area propagation latency from geographic
+distance as ``L_ij = 0.02 ms/km * d_ij`` and evaluates workload
+performance through a decreasing concave utility of the average
+latency experienced by each front-end's users.  Its evaluation default
+is the quadratic Eq. (2):
+
+    U(lambda_i) = -A_i * (sum_j lambda_ij L_ij / A_i)^2,
+
+with latency in seconds and the weight ``w`` in $/s^2.  We also provide
+a linear variant (utility proportional to average latency itself).
+Both yield exact quadratic/linear contributions to the per-front-end
+``lambda``-minimization QP, which the classes expose directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "MS_PER_KM",
+    "latency_matrix_from_distances",
+    "LatencyUtility",
+    "QuadraticLatencyUtility",
+    "LinearLatencyUtility",
+]
+
+#: Empirical propagation constant: 1 km of geographic distance costs
+#: about 0.02 ms of propagation latency (paper Sec. II-B3).
+MS_PER_KM: float = 0.02
+
+_SECONDS_PER_MS = 1e-3
+
+
+def latency_matrix_from_distances(distances_km: np.ndarray) -> np.ndarray:
+    """Propagation-latency matrix in ms from a distance matrix in km."""
+    d = np.asarray(distances_km, dtype=float)
+    if (d < 0).any():
+        raise ValueError("distances must be non-negative")
+    return d * MS_PER_KM
+
+
+class LatencyUtility(ABC):
+    """A decreasing concave utility of per-front-end average latency.
+
+    Implementations expose the exact quadratic form of ``-w U`` needed
+    by the solvers: ``-w U(lambda_i) = 0.5 lambda^T H lambda + g^T lambda``.
+    """
+
+    @abstractmethod
+    def value(self, lam_row: np.ndarray, latency_ms: np.ndarray, arrival: float) -> float:
+        """Utility ``U(lambda_i)`` in dollars (before the weight ``w``)."""
+
+    @abstractmethod
+    def neg_quad_form(
+        self, latency_ms: np.ndarray, arrival: float, weight: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(H, g)`` with ``-w U = 0.5 x^T H x + g^T x`` (+const)."""
+
+    def average_latency_ms(self, lam_row: np.ndarray, latency_ms: np.ndarray,
+                           arrival: float) -> float:
+        """Average propagation latency ``sum_j lambda_ij L_ij / A_i`` in ms."""
+        if arrival <= 0:
+            return 0.0
+        return float(lam_row @ latency_ms) / arrival
+
+
+class QuadraticLatencyUtility(LatencyUtility):
+    """Paper Eq. (2): ``U = -A_i (avg latency in s)^2``.
+
+    Reflects users' increasing tendency to abandon a service as latency
+    grows; with ``w`` in $/s^2 the weighted utility is commensurate with
+    hourly electricity cost at the paper's scale.
+    """
+
+    def value(self, lam_row: np.ndarray, latency_ms: np.ndarray, arrival: float) -> float:
+        if arrival <= 0:
+            return 0.0
+        avg_s = float(lam_row @ latency_ms) * _SECONDS_PER_MS / arrival
+        return -arrival * avg_s * avg_s
+
+    def neg_quad_form(
+        self, latency_ms: np.ndarray, arrival: float, weight: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = len(latency_ms)
+        if arrival <= 0:
+            return np.zeros((n, n)), np.zeros(n)
+        l_s = np.asarray(latency_ms, dtype=float) * _SECONDS_PER_MS
+        # -w U = (w / A_i) (l^T x)^2  =>  H = (2w/A_i) l l^T, g = 0.
+        h = (2.0 * weight / arrival) * np.outer(l_s, l_s)
+        return h, np.zeros(n)
+
+
+class LinearLatencyUtility(LatencyUtility):
+    """Linear utility ``U = -A_i * (avg latency in s) = -(sum lambda L) in s``.
+
+    A risk-neutral alternative: every served request values latency at a
+    constant rate.  Yields a purely linear term in the routing QP.
+    """
+
+    def value(self, lam_row: np.ndarray, latency_ms: np.ndarray, arrival: float) -> float:
+        return -float(lam_row @ latency_ms) * _SECONDS_PER_MS
+
+    def neg_quad_form(
+        self, latency_ms: np.ndarray, arrival: float, weight: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = len(latency_ms)
+        l_s = np.asarray(latency_ms, dtype=float) * _SECONDS_PER_MS
+        return np.zeros((n, n)), weight * l_s

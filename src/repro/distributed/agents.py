@@ -1,0 +1,240 @@
+"""Front-end and datacenter agents of the distributed deployment.
+
+Each agent owns exactly the state the paper assigns it (Sec. III-C,
+Fig. 2):
+
+- a **front-end** ``i`` owns its routing row ``lambda_i``, its copy of
+  the auxiliary row ``a_i`` and the coupling duals ``varphi_i``;
+- a **datacenter** ``j`` owns its column ``a_j``, its power decisions
+  ``mu_j``/``nu_j`` and the power-balance dual ``phi_j``.
+
+Both sides apply the Gaussian back-substitution correction to their
+own state, using only values they computed or received this round, so
+no global coordination beyond the two message waves is needed.  All
+quantities are in the solver's scaled workload units (see
+:class:`repro.admg.solver.ScaledView`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.admg.subproblems import (
+    a_column_minimization,
+    lambda_row_minimization,
+    mu_scalar_minimization,
+    nu_scalar_minimization,
+)
+from repro.costs.carbon import EmissionCostFunction
+from repro.costs.latency import LatencyUtility
+
+__all__ = ["FrontEndAgent", "DatacenterAgent"]
+
+
+class FrontEndAgent:
+    """One front-end proxy server.
+
+    Args:
+        index: front-end index ``i``.
+        arrival: this slot's request arrival ``A_i`` (scaled units).
+        latency_row: (N,) propagation latencies ``L_ij`` in ms.
+        utility: the workload utility ``U``.
+        weight: the (scaled) latency weight ``w``.
+        rho: ADMM penalty.
+        eps: Gaussian back-substitution step.
+        num_datacenters: N.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        arrival: float,
+        latency_row: np.ndarray,
+        utility: LatencyUtility,
+        weight: float,
+        rho: float,
+        eps: float,
+        num_datacenters: int,
+    ) -> None:
+        self.index = index
+        self.arrival = float(arrival)
+        self.latency_row = np.asarray(latency_row, dtype=float)
+        self.utility = utility
+        self.weight = float(weight)
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self.lam = np.zeros(num_datacenters)
+        self.a = np.zeros(num_datacenters)
+        self.varphi = np.zeros(num_datacenters)
+        self._lam_pred = np.zeros(num_datacenters)
+        self.last_lam_change = 0.0
+        self.last_a_change = 0.0
+
+    def propose(self) -> tuple[np.ndarray, np.ndarray]:
+        """Procedure 1.1: compute ``lambda~_i`` from local state.
+
+        Returns:
+            ``(lam_pred, varphi)`` — the values to send to each
+            datacenter (one ``(lambda~_ij, varphi_ij)`` pair per j).
+        """
+        self._lam_pred = lambda_row_minimization(
+            utility=self.utility,
+            weight=self.weight,
+            latency_row=self.latency_row,
+            arrival=self.arrival,
+            a_row=self.a,
+            varphi_row=self.varphi,
+            rho=self.rho,
+            warm=self.lam,
+        )
+        return self._lam_pred, self.varphi.copy()
+
+    def integrate(self, a_pred: np.ndarray) -> float:
+        """Procedures 1.5 + correction, on receipt of ``a~_i``.
+
+        Updates ``varphi`` (dual), ``a`` (corrected copy) and ``lambda``
+        locally.
+
+        Returns:
+            the coupling residual ``max_j |a~_ij - lambda~_ij|`` this
+            front-end observed (reported to the coordinator for the
+            stopping rule).
+        """
+        a_pred = np.asarray(a_pred, dtype=float)
+        varphi_pred = self.varphi - self.rho * (a_pred - self._lam_pred)
+        self.varphi = self.varphi + self.eps * (varphi_pred - self.varphi)
+        new_a = self.a + self.eps * (a_pred - self.a)
+        self.last_a_change = float(np.abs(new_a - self.a).max(initial=0.0))
+        self.last_lam_change = float(
+            np.abs(self._lam_pred - self.lam).max(initial=0.0)
+        )
+        self.a = new_a
+        self.lam = self._lam_pred.copy()
+        return float(np.abs(a_pred - self._lam_pred).max(initial=0.0))
+
+
+class DatacenterAgent:
+    """One back-end datacenter.
+
+    Args:
+        index: datacenter index ``j``.
+        alpha: idle power ``alpha_j`` (MW).
+        beta: (scaled) marginal power ``beta_j``.
+        capacity: (scaled) server capacity ``S_j``.
+        mu_max: fuel-cell capacity under the active strategy (MW).
+        price: this slot's grid price ``p_j``.
+        carbon_rate: this slot's carbon intensity ``C_j``.
+        emission_cost: the emission-cost function ``V_j``.
+        fuel_cell_price: ``p0``.
+        grid_enabled: False under the Fuel-cell strategy.
+        rho: ADMM penalty.
+        eps: Gaussian back-substitution step.
+        num_frontends: M.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        alpha: float,
+        beta: float,
+        capacity: float,
+        mu_max: float,
+        price: float,
+        carbon_rate: float,
+        emission_cost: EmissionCostFunction,
+        fuel_cell_price: float,
+        grid_enabled: bool,
+        rho: float,
+        eps: float,
+        num_frontends: int,
+    ) -> None:
+        self.index = index
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.capacity = float(capacity)
+        self.mu_max = float(mu_max)
+        self.price = float(price)
+        self.carbon_rate = float(carbon_rate)
+        self.emission_cost = emission_cost
+        self.fuel_cell_price = float(fuel_cell_price)
+        self.grid_enabled = grid_enabled
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self.a = np.zeros(num_frontends)
+        self.mu = 0.0
+        self.nu = 0.0
+        self.phi = 0.0
+        self.mu_pred = 0.0
+        self.nu_pred = 0.0
+        self.last_power_residual = 0.0
+        self.last_mu_change = 0.0
+        self.last_nu_change = 0.0
+
+    def process(self, lam_col: np.ndarray, varphi_col: np.ndarray) -> np.ndarray:
+        """Procedures 1.2-1.5 + correction, on receipt of the proposals.
+
+        Computes ``mu~``, ``nu~`` and ``a~_j``, updates the local dual
+        ``phi`` and applies the corrections to ``a_j``, ``nu`` and
+        ``mu``.
+
+        Returns:
+            the predicted column ``a~_j`` to send back to the
+            front-ends.
+        """
+        lam_col = np.asarray(lam_col, dtype=float)
+        varphi_col = np.asarray(varphi_col, dtype=float)
+        a_sum = float(self.a.sum())
+        self.mu_pred = mu_scalar_minimization(
+            alpha=self.alpha,
+            beta=self.beta,
+            p0=self.fuel_cell_price,
+            mu_max=self.mu_max,
+            a_col_sum=a_sum,
+            nu=self.nu,
+            phi=self.phi,
+            rho=self.rho,
+        )
+        self.nu_pred = nu_scalar_minimization(
+            emission_cost=self.emission_cost,
+            carbon_rate=self.carbon_rate,
+            price=self.price,
+            alpha=self.alpha,
+            beta=self.beta,
+            a_col_sum=a_sum,
+            mu_pred=self.mu_pred,
+            phi=self.phi,
+            rho=self.rho,
+            grid_enabled=self.grid_enabled,
+        )
+        a_pred = a_column_minimization(
+            alpha=self.alpha,
+            beta=self.beta,
+            capacity=self.capacity,
+            lam_col=lam_col,
+            mu_pred=self.mu_pred,
+            nu_pred=self.nu_pred,
+            phi=self.phi,
+            varphi_col=varphi_col,
+            rho=self.rho,
+        )
+        balance = (
+            self.alpha + self.beta * float(a_pred.sum()) - self.mu_pred - self.nu_pred
+        )
+        self.last_power_residual = abs(balance)
+        phi_pred = self.phi - self.rho * balance
+
+        # Gaussian back-substitution on locally owned blocks.
+        self.phi = self.phi + self.eps * (phi_pred - self.phi)
+        new_a = self.a + self.eps * (a_pred - self.a)
+        coupling = self.beta * float((new_a - self.a).sum())
+        new_nu = self.nu + self.eps * (self.nu_pred - self.nu) + coupling
+        new_mu = (
+            self.mu
+            + self.eps * (self.mu_pred - self.mu)
+            - (new_nu - self.nu)
+            + coupling
+        )
+        self.last_nu_change = abs(new_nu - self.nu)
+        self.last_mu_change = abs(new_mu - self.mu)
+        self.a, self.nu, self.mu = new_a, new_nu, new_mu
+        return a_pred

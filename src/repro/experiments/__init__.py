@@ -1,0 +1,45 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning a typed result and
+a ``render`` helper printing the same rows/series the paper reports:
+
+- :mod:`repro.experiments.table1` — Table I (+ the Fig. 1 profiles);
+- :mod:`repro.experiments.traces_fig3` — Fig. 3 trace statistics;
+- :mod:`repro.experiments.fig4_utility` — Fig. 4 UFC improvements;
+- :mod:`repro.experiments.fig5_latency` — Fig. 5 propagation latency;
+- :mod:`repro.experiments.fig6_energy` — Fig. 6 energy cost;
+- :mod:`repro.experiments.fig7_carbon` — Fig. 7 carbon cost;
+- :mod:`repro.experiments.fig8_utilization` — Fig. 8 fuel-cell
+  utilization;
+- :mod:`repro.experiments.fig9_price_sweep` — Fig. 9 fuel-cell price
+  sweep;
+- :mod:`repro.experiments.fig10_tax_sweep` — Fig. 10 carbon-tax sweep;
+- :mod:`repro.experiments.fig11_convergence` — Fig. 11 ADM-G
+  convergence CDF.
+"""
+
+from repro.experiments.common import evaluation_setup
+from repro.experiments.fig4_utility import run_fig4
+from repro.experiments.fig5_latency import run_fig5
+from repro.experiments.fig6_energy import run_fig6
+from repro.experiments.fig7_carbon import run_fig7
+from repro.experiments.fig8_utilization import run_fig8
+from repro.experiments.fig9_price_sweep import run_fig9
+from repro.experiments.fig10_tax_sweep import run_fig10
+from repro.experiments.fig11_convergence import run_fig11
+from repro.experiments.table1 import run_table1
+from repro.experiments.traces_fig3 import run_fig3
+
+__all__ = [
+    "evaluation_setup",
+    "run_fig10",
+    "run_fig11",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_table1",
+]

@@ -1,0 +1,141 @@
+"""CSV exporters: every figure's series, written to disk.
+
+The renderers in this package print headline statistics; these
+exporters dump the underlying per-slot/per-point series so external
+plotting tools can redraw the paper's figures.  No plotting library is
+required (or used) anywhere in the repository.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.fig4_utility import run_fig4
+from repro.experiments.fig8_utilization import run_fig8
+from repro.experiments.fig9_price_sweep import run_fig9
+from repro.experiments.fig10_tax_sweep import run_fig10
+from repro.experiments.fig11_convergence import run_fig11
+from repro.experiments.table1 import run_table1
+from repro.experiments.traces_fig3 import run_fig3
+
+__all__ = ["export_all"]
+
+
+def _write_csv(path: Path, header: list[str], rows) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_all(out_dir: str | Path, hours: int = 168, seed: int = 2014) -> list[Path]:
+    """Write every artifact's data series under ``out_dir``.
+
+    Returns the list of files written.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    t1 = run_table1()
+    path = out / "table1_energy_costs.csv"
+    _write_csv(
+        path,
+        ["site", "grid", "fuel_cell", "hybrid"],
+        [
+            [site, row["grid"], row["fuel_cell"], row["hybrid"]]
+            for site, row in t1.costs.items()
+        ],
+    )
+    written.append(path)
+
+    f3 = run_fig3(hours=hours, seed=seed)
+    path = out / "fig3_traces.csv"
+    bundle = f3.bundle
+    header = (
+        ["hour", "workload_total"]
+        + [f"price_{r}" for r in bundle.regions]
+        + [f"carbon_{r}" for r in bundle.regions]
+    )
+    rows = [
+        [t, f3.workload_total[t], *bundle.prices[t], *bundle.carbon_rates[t]]
+        for t in range(bundle.hours)
+    ]
+    _write_csv(path, header, rows)
+    written.append(path)
+
+    f4 = run_fig4(hours=hours, seed=seed)
+    path = out / "fig4_ufc_improvements.csv"
+    _write_csv(
+        path,
+        ["hour", "i_hg", "i_hf", "i_fg"],
+        [[t, f4.i_hg[t], f4.i_hf[t], f4.i_fg[t]] for t in range(len(f4.i_hg))],
+    )
+    written.append(path)
+
+    comp = f4.comparison
+    path = out / "fig5to7_strategy_series.csv"
+    _write_csv(
+        path,
+        [
+            "hour",
+            "latency_grid", "latency_fuel_cell", "latency_hybrid",
+            "energy_grid", "energy_fuel_cell", "energy_hybrid",
+            "carbon_cost_grid", "carbon_cost_fuel_cell", "carbon_cost_hybrid",
+        ],
+        [
+            [
+                t,
+                comp.grid.avg_latency_ms[t],
+                comp.fuel_cell.avg_latency_ms[t],
+                comp.hybrid.avg_latency_ms[t],
+                comp.grid.energy_cost[t],
+                comp.fuel_cell.energy_cost[t],
+                comp.hybrid.energy_cost[t],
+                comp.grid.carbon_cost[t],
+                comp.fuel_cell.carbon_cost[t],
+                comp.hybrid.carbon_cost[t],
+            ]
+            for t in range(comp.grid.hours)
+        ],
+    )
+    written.append(path)
+
+    f8 = run_fig8(hours=hours, seed=seed)
+    path = out / "fig8_utilization.csv"
+    _write_csv(
+        path,
+        ["hour", "utilization"],
+        [[t, f8.utilization[t]] for t in range(len(f8.utilization))],
+    )
+    written.append(path)
+
+    f9 = run_fig9(hours=hours, seed=seed)
+    path = out / "fig9_price_sweep.csv"
+    _write_csv(
+        path,
+        ["fuel_cell_price", "improvement", "utilization"],
+        list(zip(f9.prices, f9.improvement, f9.utilization)),
+    )
+    written.append(path)
+
+    f10 = run_fig10(hours=hours, seed=seed)
+    path = out / "fig10_tax_sweep.csv"
+    _write_csv(
+        path,
+        ["tax_rate", "improvement", "utilization"],
+        list(zip(f10.rates, f10.improvement, f10.utilization)),
+    )
+    written.append(path)
+
+    f11 = run_fig11(hours=hours, seed=seed)
+    path = out / "fig11_convergence_cdf.csv"
+    _write_csv(
+        path,
+        ["iterations", "fraction_within"],
+        list(zip(f11.cdf_counts, f11.cdf_fractions)),
+    )
+    written.append(path)
+
+    return written

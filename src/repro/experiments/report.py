@@ -1,0 +1,100 @@
+"""One-shot regeneration of every table and figure.
+
+Run as a module to print the full evaluation, in paper order::
+
+    python -m repro.experiments.report            # everything (minutes)
+    python -m repro.experiments.report --fast     # skip sweeps + Fig. 11
+    python -m repro.experiments.report --hours 48 # shorter horizon
+
+The output of the full run is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.fig4_utility import render_fig4, run_fig4
+from repro.experiments.fig5_latency import render_fig5, run_fig5
+from repro.experiments.fig6_energy import render_fig6, run_fig6
+from repro.experiments.fig7_carbon import render_fig7, run_fig7
+from repro.experiments.fig8_utilization import render_fig8, run_fig8
+from repro.experiments.fig9_price_sweep import render_fig9, run_fig9
+from repro.experiments.fig10_tax_sweep import render_fig10, run_fig10
+from repro.experiments.fig11_convergence import render_fig11, run_fig11
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.traces_fig3 import render_fig3, run_fig3
+
+__all__ = ["generate_report"]
+
+
+def _chart_section(hours: int, seed: int) -> str:
+    """ASCII sparklines of the headline series (no plotting libs)."""
+    from repro.experiments.common import cached_comparison
+    from repro.experiments.fig4_utility import run_fig4
+    from repro.traces.datasets import default_bundle
+    from repro.viz.ascii import sparkline
+
+    bundle = default_bundle(hours=hours, seed=seed)
+    comp = cached_comparison(hours=hours, seed=seed)
+    fig4 = run_fig4(hours=hours, seed=seed)
+    width = 72
+    rows = [
+        ("total workload", bundle.arrivals.sum(axis=1)),
+        ("san jose price", bundle.prices[:, list(bundle.regions).index("san_jose")]),
+        ("dallas price", bundle.prices[:, list(bundle.regions).index("dallas")]),
+        ("I_hg (hybrid/grid)", fig4.i_hg),
+        ("hybrid energy cost", comp.hybrid.energy_cost),
+        ("hybrid latency", comp.hybrid.avg_latency_ms),
+        ("FC utilization", comp.hybrid.utilization),
+    ]
+    label_width = max(len(name) for name, _ in rows)
+    return "\n".join(
+        f"{name:>{label_width}} {sparkline(series, width=width)}"
+        for name, series in rows
+    )
+
+
+def generate_report(
+    hours: int = 168, seed: int = 2014, fast: bool = False, charts: bool = True
+) -> str:
+    """Render every artifact into one text report."""
+    sections: list[tuple[str, str]] = []
+
+    def add(title, fn, render):
+        start = time.perf_counter()
+        text = render(fn())
+        sections.append((title, f"{text}\n[{time.perf_counter() - start:.1f}s]"))
+
+    add("Table I", lambda: run_table1(), render_table1)
+    add("Fig. 3", lambda: run_fig3(hours=hours, seed=seed), render_fig3)
+    add("Fig. 4", lambda: run_fig4(hours=hours, seed=seed), render_fig4)
+    add("Fig. 5", lambda: run_fig5(hours=hours, seed=seed), render_fig5)
+    add("Fig. 6", lambda: run_fig6(hours=hours, seed=seed), render_fig6)
+    add("Fig. 7", lambda: run_fig7(hours=hours, seed=seed), render_fig7)
+    add("Fig. 8", lambda: run_fig8(hours=hours, seed=seed), render_fig8)
+    if not fast:
+        add("Fig. 9", lambda: run_fig9(hours=hours, seed=seed), render_fig9)
+        add("Fig. 10", lambda: run_fig10(hours=hours, seed=seed), render_fig10)
+        add("Fig. 11", lambda: run_fig11(hours=hours, seed=seed), render_fig11)
+    if charts:
+        sections.append(("Series charts", _chart_section(hours, seed)))
+
+    bar = "=" * 72
+    return "\n\n".join(f"{bar}\n{title}\n{bar}\n{text}" for title, text in sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=168)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the sweeps and Fig. 11")
+    args = parser.parse_args(argv)
+    print(generate_report(hours=args.hours, seed=args.seed, fast=args.fast))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""The reproduction scorecard: every paper claim as a named check.
+
+Each qualitative claim of the paper's evaluation is encoded as one
+:class:`Check` with the published value/target, the measured value,
+and a pass predicate.  ``python -m repro validate`` prints the
+scorecard; the benchmark suite asserts the same predicates one
+artifact at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Check", "run_validation", "render_scorecard"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper claim, checked against this run.
+
+    Attributes:
+        artifact: table/figure the claim comes from.
+        claim: human-readable statement of the claim.
+        paper: the published value/statement.
+        measured: what this run produced.
+        passed: whether the shape target holds.
+    """
+
+    artifact: str
+    claim: str
+    paper: str
+    measured: str
+    passed: bool
+
+
+def _check(
+    artifact: str, claim: str, paper: str, measured: float,
+    fmt: Callable[[float], str], predicate: bool,
+) -> Check:
+    return Check(
+        artifact=artifact, claim=claim, paper=paper,
+        measured=fmt(measured), passed=bool(predicate),
+    )
+
+
+def run_validation(hours: int = 168, seed: int = 2014) -> list[Check]:
+    """Run every experiment and evaluate every shape target."""
+    from repro.experiments.fig4_utility import run_fig4
+    from repro.experiments.fig5_latency import run_fig5
+    from repro.experiments.fig8_utilization import run_fig8
+    from repro.experiments.fig9_price_sweep import run_fig9
+    from repro.experiments.fig10_tax_sweep import run_fig10
+    from repro.experiments.fig11_convergence import run_fig11
+    from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+    checks: list[Check] = []
+    pct = lambda x: f"{100 * x:.1f}%"
+
+    t1 = run_table1()
+    worst = max(
+        abs(t1.costs[site][key] - published) / published
+        for site, row in PAPER_TABLE1.items()
+        for key, published in row.items()
+    )
+    checks.append(
+        _check("Table I", "all six cells within 20% of published",
+               "9644/27957/9387; 28470/27957/18250",
+               worst, lambda x: f"max dev {pct(x)}", worst < 0.20)
+    )
+    sj = t1.costs["san_jose"]
+    checks.append(
+        _check("Table I", "hybrid arbitrage wins decisively at San Jose",
+               "18250 vs 28470 (64%)", sj["hybrid"] / sj["grid"],
+               lambda x: f"ratio {pct(x)}", sj["hybrid"] < 0.85 * sj["grid"])
+    )
+
+    f4 = run_fig4(hours=hours, seed=seed)
+    checks.append(
+        _check("Fig. 4", "hybrid never reduces UFC vs grid", "I_hg >= 0",
+               float(f4.i_hg.min()), lambda x: f"min I_hg {pct(x)}",
+               bool((f4.i_hg > -1e-4).all()))
+    )
+    checks.append(
+        _check("Fig. 4", "hybrid peaks ~50% over grid at price peaks",
+               "up to ~50%", float(f4.i_hg.max()),
+               lambda x: f"max I_hg {pct(x)}", 0.2 < f4.i_hg.max() < 0.9)
+    )
+    checks.append(
+        _check("Fig. 4", "fuel-cell-only hurts during off-peak hours",
+               "down to -150%", float(f4.i_fg.min()),
+               lambda x: f"min I_fg {pct(x)}",
+               f4.i_fg.min() < -0.1 and (f4.i_fg < 0).mean() > 0.5)
+    )
+
+    f5 = run_fig5(hours=hours, seed=seed)
+    checks.append(
+        _check("Fig. 5", "load following: fuel cell <= hybrid <= grid latency",
+               "14-16 / 14-17 / up to 23 ms",
+               float(f5.grid.mean() - f5.fuel_cell.mean()),
+               lambda x: f"grid premium {x:.2f} ms",
+               f5.fuel_cell.mean() <= f5.hybrid.mean() + 0.05
+               and f5.hybrid.mean() <= f5.grid.mean())
+    )
+
+    f8 = run_fig8(hours=hours, seed=seed)
+    checks.append(
+        _check("Fig. 8", "fuel cells poorly utilized at market prices",
+               "mean 16.2%, never >= 70%", f8.mean,
+               lambda x: f"mean {pct(x)}, peak {pct(f8.peak)}",
+               0.08 < f8.mean < 0.30 and f8.peak < 0.85)
+    )
+
+    f9 = run_fig9(hours=hours, seed=seed)
+    at27 = float(f9.utilization[list(f9.prices).index(27.0)])
+    checks.append(
+        _check("Fig. 9", "utilization saturates when p0 reaches ~$27/MWh",
+               "100% at $27", at27, lambda x: f"util {pct(x)} at $27",
+               at27 > 0.97)
+    )
+    checks.append(
+        _check("Fig. 9", "both curves fall monotonically with p0",
+               "monotone", float(np.diff(f9.utilization).max()),
+               lambda x: f"max upstep {pct(x)}",
+               bool((np.diff(f9.improvement) <= 1e-6).all()
+                    and (np.diff(f9.utilization) <= 1e-6).all()))
+    )
+
+    f10 = run_fig10(hours=hours, seed=seed)
+    at140 = float(f10.utilization[list(f10.rates).index(140.0)])
+    at25 = float(f10.utilization[list(f10.rates).index(25.0)])
+    checks.append(
+        _check("Fig. 10", "utilization approaches 100% near $140/tonne",
+               "~100% at $140", at140, lambda x: f"util {pct(x)} at $140",
+               at140 > 0.85)
+    )
+    checks.append(
+        _check("Fig. 10", "2014 policy band fails to promote fuel cells",
+               "<20% at $5-39/tonne", at25, lambda x: f"util {pct(x)} at $25",
+               at25 < 0.30)
+    )
+
+    f11 = run_fig11(hours=hours, seed=seed)
+    within = f11.fraction_within(100)
+    checks.append(
+        _check("Fig. 11", "most ADM-G runs converge within 100 iterations",
+               "80% within 100; range 37-130", within,
+               lambda x: f"{pct(x)} within 100; range "
+               f"{int(f11.iterations.min())}-{int(f11.iterations.max())}",
+               within > 0.6 and f11.converged.all())
+    )
+    return checks
+
+
+def render_scorecard(checks: list[Check]) -> str:
+    """Text scorecard, one line per claim."""
+    passed = sum(c.passed for c in checks)
+    lines = [
+        f"Reproduction scorecard: {passed}/{len(checks)} shape targets hold",
+        "-" * 72,
+    ]
+    for c in checks:
+        mark = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{mark}] {c.artifact:<9} {c.claim}")
+        lines.append(f"       paper: {c.paper}   measured: {c.measured}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Optional extensions the paper sketches but does not evaluate.
+
+- :mod:`repro.extensions.rightsizing` — the Remark of Sec. II-C:
+  let the number of active servers ``S_j`` be a decision bounded by
+  ``S_j^max`` (shut idle servers down), implemented as an exact model
+  transformation.
+- :mod:`repro.extensions.ramping` — fuel cells are load-following but
+  not instantaneous (the paper's Sec. II-B3 cites distributed-generation
+  work on this); bound the hour-over-hour ramp-up of ``mu_j``.
+- :mod:`repro.extensions.forecast_robustness` — the paper assumes
+  near-term arrivals are predicted accurately (Sec. II-A); quantify the
+  UFC lost when decisions are made on imperfect forecasts.
+- :mod:`repro.extensions.multislot` — solve ramp-coupled horizons
+  *jointly* (a stacked QP), measuring the greedy scheme's optimality
+  gap.
+- :mod:`repro.extensions.storage` — batteries add the temporal
+  arbitrage dimension the paper leaves on the table; co-optimized in
+  the stacked QP.
+"""
+
+from repro.extensions.forecast_robustness import (
+    ForecastRobustnessResult,
+    evaluate_forecast_robustness,
+)
+from repro.extensions.multislot import MultiSlotResult, solve_multislot
+from repro.extensions.ramping import RampingSimulator
+from repro.extensions.rightsizing import right_sized_model
+from repro.extensions.storage import (
+    BatterySpec,
+    StorageResult,
+    solve_multislot_with_storage,
+)
+
+__all__ = [
+    "BatterySpec",
+    "ForecastRobustnessResult",
+    "MultiSlotResult",
+    "RampingSimulator",
+    "StorageResult",
+    "evaluate_forecast_robustness",
+    "right_sized_model",
+    "solve_multislot",
+    "solve_multislot_with_storage",
+]

@@ -1,0 +1,69 @@
+"""The server right-sizing extension (paper Sec. II-C, Remark).
+
+The main formulation pins every server on (``S_j`` fixed), citing
+reliability practice at commercial clouds.  The Remark notes the model
+extends to choosing the active count ``S_j <= S_j^max``.  With the
+linear power model this extension collapses to an *exact model
+transformation*:
+
+For a fixed routing, demand is ``PUE (S_j P_idle + (P_peak - P_idle)
+load_j)``, increasing in ``S_j``; serving constraints only need
+``S_j >= load_j``; and nothing else in the objective touches ``S_j``.
+The optimal active count is therefore ``S_j = load_j`` exactly, giving
+demand ``PUE * P_peak * load_j`` — i.e. the *same* UFC problem with
+
+    alpha_j' = 0,     beta_j' = P_peak * PUE,    capacity' = S_j^max.
+
+:func:`right_sized_model` builds that transformed model, so every
+solver, strategy and experiment in the library works unchanged on the
+right-sized cloud.  (The transformation ignores switching costs and
+the reliability concerns the paper raises — it bounds the *best case*
+of shutting idle servers.)
+"""
+
+from __future__ import annotations
+
+from repro.core.model import CloudModel, Datacenter
+from repro.costs.energy import ServerPowerModel
+
+__all__ = ["right_sized_model"]
+
+
+def right_sized_model(model: CloudModel) -> CloudModel:
+    """The exact right-sized equivalent of ``model``.
+
+    Each datacenter's power model becomes idle-free with marginal power
+    ``P_peak * PUE`` (idle servers are off), capacity becomes
+    ``S_j^max`` (defaulting to the current active count), and fuel-cell
+    capacity is preserved.
+
+    Raises:
+        ValueError: if a datacenter has a non-trivial ``max_servers``
+            below its active count (already impossible by validation).
+    """
+    datacenters = []
+    for dc in model.datacenters:
+        total = dc.max_servers if dc.max_servers is not None else dc.servers
+        datacenters.append(
+            Datacenter(
+                name=dc.name,
+                servers=total,
+                power=ServerPowerModel(
+                    idle_watts=0.0,
+                    peak_watts=dc.power.peak_watts,
+                    pue=dc.power.pue,
+                ),
+                # Preserve the original fuel-cell sizing (it was sized
+                # for the *fixed-fleet* peak, not the right-sized one).
+                fuel_cell_capacity_mw=dc.mu_max_mw,
+            )
+        )
+    return CloudModel(
+        datacenters=datacenters,
+        frontends=model.frontends,
+        latency_ms=model.latency_ms,
+        fuel_cell_price=model.fuel_cell_price,
+        latency_weight=model.latency_weight,
+        utility=model.utility,
+        emission_costs=model.emission_costs,
+    )

@@ -1,0 +1,210 @@
+"""Battery storage co-optimization (a future-work "what if").
+
+The paper arbitrages prices *spatially* (route requests) and across
+*sources* (grid vs fuel cell).  Batteries would add the *temporal*
+dimension: charge at off-peak prices, discharge at peaks.  This module
+extends the stacked multi-slot QP with per-site battery power
+variables ``w_j(t)`` (positive = charging):
+
+    power balance:  alpha_j + beta_j sum_i lambda_ij - mu_j - nu_j
+                    + w_j(t) = 0
+    power limits:   -discharge_mw <= w <= charge_mw
+    state of charge:  0 <= E_init + sum_{s<=t} w_j(s) <= energy_mwh
+    sustainability:   sum_t w_j(t) >= 0   (end at least as charged)
+    wear cost:        kappa * w^2 added to the objective
+
+Unit round-trip efficiency keeps the problem a QP (losses would need
+separate charge/discharge variables; the no-loss bound is what the
+ablation reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import CloudModel
+from repro.core.problem import SlotInputs, UFCProblem
+from repro.core.strategies import HYBRID, Strategy
+from repro.extensions.multislot import MultiSlotResult
+from repro.optim.ipqp import solve_qp
+from repro.traces.datasets import TraceBundle
+
+__all__ = ["BatterySpec", "StorageResult", "solve_multislot_with_storage"]
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """Per-site battery parameters (broadcast to all sites).
+
+    Attributes:
+        energy_mwh: usable energy capacity.
+        charge_mw: maximum charging power.
+        discharge_mw: maximum discharging power.
+        initial_soc: initial state of charge as a fraction of capacity.
+        wear_cost: quadratic cycling cost in $/(MW)^2 per slot.
+    """
+
+    energy_mwh: float
+    charge_mw: float
+    discharge_mw: float
+    initial_soc: float = 0.5
+    wear_cost: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.energy_mwh < 0 or self.charge_mw < 0 or self.discharge_mw < 0:
+            raise ValueError("battery ratings must be non-negative")
+        if not 0.0 <= self.initial_soc <= 1.0:
+            raise ValueError(f"initial_soc must be in [0, 1], got {self.initial_soc}")
+        if self.wear_cost < 0:
+            raise ValueError("wear cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class StorageResult:
+    """Joint plan with batteries.
+
+    Attributes:
+        base: per-slot allocations and UFC (battery wear excluded from
+            the per-slot UFC, reported separately).
+        battery_power: (T, N) battery power, positive = charging.
+        state_of_charge: (T+1, N) energy trajectory including t=0.
+        wear_cost_total: total quadratic wear cost, $.
+    """
+
+    base: MultiSlotResult
+    battery_power: np.ndarray
+    state_of_charge: np.ndarray
+    wear_cost_total: float
+
+
+def solve_multislot_with_storage(
+    model: CloudModel,
+    bundle: TraceBundle,
+    battery: BatterySpec,
+    hours: int,
+    strategy: Strategy = HYBRID,
+    tol: float = 1e-8,
+) -> StorageResult:
+    """Jointly optimize routing, sourcing and battery schedules.
+
+    Raises:
+        ValueError: on horizon mismatch (via the slot problems).
+    """
+    if hours <= 0 or hours > bundle.hours:
+        raise ValueError(f"hours must be in [1, {bundle.hours}], got {hours}")
+    n = model.num_datacenters
+
+    problems = []
+    qps = []
+    for t in range(hours):
+        slot = bundle.slot(t)
+        problem = UFCProblem(
+            model,
+            SlotInputs(
+                arrivals=slot["arrivals"],
+                prices=slot["prices"],
+                carbon_rates=slot["carbon_rates"],
+            ),
+            strategy=strategy,
+        )
+        problems.append(problem)
+        qps.append(problem.to_qp())
+
+    dims = [qp.P.shape[0] for qp in qps]
+    offsets = np.concatenate([[0], np.cumsum(dims)])
+    base_dim = int(offsets[-1])
+    w_dim = hours * n
+    total_dim = base_dim + w_dim
+
+    def w_index(t: int, j: int) -> int:
+        return base_dim + t * n + j
+
+    p_mat = np.zeros((total_dim, total_dim))
+    q_vec = np.zeros(total_dim)
+    a_rows = []
+    b_rhs = []
+    g_rows = []
+    h_rhs = []
+    for t, qp in enumerate(qps):
+        sl = slice(offsets[t], offsets[t + 1])
+        p_mat[sl, sl] = qp.P
+        q_vec[sl] = qp.q
+        m = qp.num_frontends
+        for r, (row, rhs) in enumerate(zip(qp.A, qp.b)):
+            stacked = np.zeros(total_dim)
+            stacked[sl] = row
+            # Rows m..m+n-1 are the power balances; batteries join them.
+            if r >= m:
+                stacked[w_index(t, r - m)] = 1.0
+            a_rows.append(stacked)
+            b_rhs.append(rhs)
+        for row, rhs in zip(qp.G, qp.h):
+            stacked = np.zeros(total_dim)
+            stacked[sl] = row
+            g_rows.append(stacked)
+            h_rhs.append(rhs)
+
+    e_init = battery.initial_soc * battery.energy_mwh
+    for t in range(hours):
+        for j in range(n):
+            idx = w_index(t, j)
+            p_mat[idx, idx] += 2.0 * battery.wear_cost
+            # Power limits.
+            row = np.zeros(total_dim)
+            row[idx] = 1.0
+            g_rows.append(row)
+            h_rhs.append(battery.charge_mw)
+            row = np.zeros(total_dim)
+            row[idx] = -1.0
+            g_rows.append(row)
+            h_rhs.append(battery.discharge_mw)
+            # State of charge after slot t: 0 <= E_init + cumsum <= cap.
+            row = np.zeros(total_dim)
+            for s in range(t + 1):
+                row[w_index(s, j)] = 1.0
+            g_rows.append(row.copy())
+            h_rhs.append(battery.energy_mwh - e_init)
+            g_rows.append(-row)
+            h_rhs.append(e_init)
+    # Sustainability: finish at least as charged as started.
+    for j in range(n):
+        row = np.zeros(total_dim)
+        for t in range(hours):
+            row[w_index(t, j)] = -1.0
+        g_rows.append(row)
+        h_rhs.append(0.0)
+
+    res = solve_qp(
+        p_mat,
+        q_vec,
+        A=np.array(a_rows),
+        b=np.array(b_rhs),
+        G=np.array(g_rows),
+        h=np.array(h_rhs),
+        tol=tol,
+        max_iter=200,
+    )
+
+    allocations = []
+    ufc = np.empty(hours)
+    for t, (problem, qp) in enumerate(zip(problems, qps)):
+        alloc = qp.extract(res.x[offsets[t] : offsets[t + 1]])
+        allocations.append(alloc)
+        ufc[t] = problem.ufc(alloc)
+    w = res.x[base_dim:].reshape(hours, n)
+    soc = np.vstack([np.full(n, e_init), e_init + np.cumsum(w, axis=0)])
+    base = MultiSlotResult(
+        allocations=allocations,
+        ufc=ufc,
+        total_ufc=float(ufc.sum()),
+        converged=res.converged,
+        iterations=res.iterations,
+    )
+    return StorageResult(
+        base=base,
+        battery_power=w,
+        state_of_charge=soc,
+        wear_cost_total=float(battery.wear_cost * (w**2).sum()),
+    )

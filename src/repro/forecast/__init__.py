@@ -1,0 +1,32 @@
+"""Workload-forecasting substrate.
+
+The paper assumes near-term arrivals "can be predicted quite
+accurately, by employing techniques such as statistical machine
+learning and time series analysis" (Sec. II-A).  This package builds
+that substrate: classic one-step-ahead predictors for the hourly
+arrival series, plus the accuracy metrics used to compare them.  The
+forecast-robustness extension consumes these to quantify how UFC
+degrades with prediction error.
+"""
+
+from repro.forecast.metrics import mae, mape, rmse
+from repro.forecast.predictors import (
+    ARPredictor,
+    HoltWintersPredictor,
+    NoisyOracle,
+    Predictor,
+    SeasonalNaive,
+    forecast_matrix,
+)
+
+__all__ = [
+    "ARPredictor",
+    "HoltWintersPredictor",
+    "NoisyOracle",
+    "Predictor",
+    "SeasonalNaive",
+    "forecast_matrix",
+    "mae",
+    "mape",
+    "rmse",
+]

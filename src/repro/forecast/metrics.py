@@ -1,0 +1,42 @@
+"""Forecast-accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mape", "rmse", "mae"]
+
+
+def _validate(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if actual.shape != predicted.shape:
+        raise ValueError(f"shape mismatch: {actual.shape} vs {predicted.shape}")
+    if actual.size == 0:
+        raise ValueError("empty series")
+    return actual, predicted
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error (fraction, not %).
+
+    Zero-valued actuals are excluded from the mean (standard practice
+    for strictly positive demand series).
+    """
+    actual, predicted = _validate(actual, predicted)
+    mask = actual != 0
+    if not mask.any():
+        raise ValueError("all actual values are zero; MAPE undefined")
+    return float(np.mean(np.abs((predicted[mask] - actual[mask]) / actual[mask])))
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error."""
+    actual, predicted = _validate(actual, predicted)
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+def mae(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    actual, predicted = _validate(actual, predicted)
+    return float(np.mean(np.abs(predicted - actual)))

@@ -1,0 +1,185 @@
+"""One-step-ahead predictors for hourly arrival series.
+
+Every predictor implements the same protocol: ``predict(history)``
+returns the forecast for the next hour given the observed prefix.
+They are deliberately classic (the paper's reference [18] uses
+time-series methods of this family):
+
+- :class:`SeasonalNaive` — tomorrow-same-hour equals today-same-hour;
+- :class:`HoltWintersPredictor` — additive triple exponential
+  smoothing (level + trend + daily seasonality);
+- :class:`ARPredictor` — autoregression fit by least squares;
+- :class:`NoisyOracle` — the truth corrupted by controlled relative
+  noise, for calibrated robustness sweeps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Predictor",
+    "SeasonalNaive",
+    "HoltWintersPredictor",
+    "ARPredictor",
+    "NoisyOracle",
+    "forecast_matrix",
+]
+
+
+class Predictor(ABC):
+    """One-step-ahead forecaster for a non-negative hourly series."""
+
+    @abstractmethod
+    def predict(self, history: np.ndarray) -> float:
+        """Forecast the next value given the observed ``history``.
+
+        Implementations must cope with short histories (falling back to
+        persistence) and must return a non-negative value.
+        """
+
+    def _persistence(self, history: np.ndarray) -> float:
+        return float(history[-1]) if len(history) else 0.0
+
+
+class SeasonalNaive(Predictor):
+    """Repeat the value one season (default: one day) ago."""
+
+    def __init__(self, period: int = 24) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = int(period)
+
+    def predict(self, history: np.ndarray) -> float:
+        if len(history) >= self.period:
+            return max(0.0, float(history[-self.period]))
+        return max(0.0, self._persistence(history))
+
+
+class HoltWintersPredictor(Predictor):
+    """Additive Holt-Winters (level + trend + seasonal) smoothing.
+
+    Classic triple exponential smoothing with additive seasonality;
+    smoothing constants follow common defaults and are exposed for
+    tuning.  Needs two full seasons before the seasonal component
+    engages; until then it behaves like double exponential smoothing.
+    """
+
+    def __init__(
+        self,
+        period: int = 24,
+        alpha: float = 0.35,
+        beta: float = 0.05,
+        gamma: float = 0.25,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0 < value < 1:
+                raise ValueError(f"{name} must lie in (0, 1), got {value}")
+        self.period = int(period)
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+
+    def predict(self, history: np.ndarray) -> float:
+        history = np.asarray(history, dtype=float)
+        p = self.period
+        if len(history) < 2 * p:
+            return max(0.0, self._persistence(history))
+        # Initialize from the first two seasons, detrending the seasonal
+        # component so pure-trend series start with zero seasonality.
+        season0 = history[:p]
+        season1 = history[p : 2 * p]
+        level = season0.mean()
+        trend = (season1.mean() - season0.mean()) / p
+        center = (p - 1) / 2.0
+        seasonal = np.empty(p)
+        for idx in range(p):
+            expected0 = level + trend * (idx - center)
+            expected1 = level + trend * (p + idx - center)
+            seasonal[idx] = 0.5 * (
+                (season0[idx] - expected0) + (season1[idx] - expected1)
+            )
+        for t in range(p, len(history)):
+            value = history[t]
+            idx = t % p
+            prev_level = level
+            level = self.alpha * (value - seasonal[idx]) + (1 - self.alpha) * (
+                level + trend
+            )
+            trend = self.beta * (level - prev_level) + (1 - self.beta) * trend
+            seasonal[idx] = self.gamma * (value - level) + (1 - self.gamma) * seasonal[idx]
+        return max(0.0, float(level + trend + seasonal[len(history) % p]))
+
+
+class ARPredictor(Predictor):
+    """AR(p) forecaster fit by ordinary least squares on the history."""
+
+    def __init__(self, order: int = 24, min_history: int | None = None) -> None:
+        if order <= 0:
+            raise ValueError(f"order must be positive, got {order}")
+        self.order = int(order)
+        self.min_history = min_history if min_history is not None else 3 * order
+
+    def predict(self, history: np.ndarray) -> float:
+        history = np.asarray(history, dtype=float)
+        p = self.order
+        if len(history) < max(self.min_history, p + 2):
+            return max(0.0, self._persistence(history))
+        rows = len(history) - p
+        design = np.empty((rows, p + 1))
+        design[:, 0] = 1.0
+        for k in range(p):
+            design[:, k + 1] = history[k : k + rows]
+        target = history[p:]
+        coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+        features = np.concatenate([[1.0], history[-p:]])
+        return max(0.0, float(features @ coef))
+
+
+class NoisyOracle(Predictor):
+    """The truth plus multiplicative noise — a calibrated error dial.
+
+    ``predict`` needs the future, so this class is constructed with the
+    full series and an index cursor driven by the history length; it is
+    only meaningful inside backtests like :func:`forecast_matrix`.
+    """
+
+    def __init__(self, truth: np.ndarray, relative_sigma: float, seed: int = 0) -> None:
+        if relative_sigma < 0:
+            raise ValueError(f"noise level must be non-negative, got {relative_sigma}")
+        self.truth = np.asarray(truth, dtype=float)
+        self.relative_sigma = float(relative_sigma)
+        self._rng = np.random.default_rng(seed)
+
+    def predict(self, history: np.ndarray) -> float:
+        t = len(history)
+        if t >= len(self.truth):
+            raise IndexError(f"oracle asked beyond its horizon ({t})")
+        noise = self._rng.normal(0.0, self.relative_sigma)
+        return max(0.0, float(self.truth[t] * (1.0 + noise)))
+
+
+def forecast_matrix(
+    series: np.ndarray, predictor: Predictor, start: int = 0
+) -> np.ndarray:
+    """Backtest: one-step-ahead forecasts for ``series[start:]``.
+
+    Column-wise application to a (T, M) matrix forecasts each
+    front-end's series independently.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim == 1:
+        return np.array(
+            [predictor.predict(series[:t]) for t in range(start, len(series))]
+        )
+    if series.ndim != 2:
+        raise ValueError(f"expected 1-d or 2-d series, got shape {series.shape}")
+    columns = [
+        forecast_matrix(series[:, j], predictor, start=start)
+        for j in range(series.shape[1])
+    ]
+    return np.column_stack(columns)

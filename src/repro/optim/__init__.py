@@ -1,0 +1,54 @@
+"""Convex-optimization substrate built from scratch on numpy.
+
+This package provides every numerical building block the paper's
+distributed 4-block ADM-G algorithm needs, plus a centralized
+interior-point reference solver:
+
+- :mod:`repro.optim.simplex` — exact Euclidean projection onto the
+  (scaled) simplex, and quadratic programs over a simplex solved with
+  accelerated projected gradient (FISTA) plus an active-set polish.
+- :mod:`repro.optim.rank_one` — exact solver for quadratic programs
+  whose Hessian is ``rho * (I + beta^2 * 1 1^T)`` (diagonal plus
+  rank-one) under a total-capacity constraint; this is the paper's
+  per-datacenter ``a``-minimization (20).
+- :mod:`repro.optim.scalar` — one-dimensional convex minimization:
+  closed forms for quadratics, exact breakpoint prox for
+  piecewise-linear convex functions (stepped carbon taxes), and a
+  golden-section fallback; this is the paper's ``nu``-minimization (19).
+- :mod:`repro.optim.ipqp` — a dense Mehrotra predictor-corrector
+  primal-dual interior-point solver for convex QPs, used as the
+  centralized reference the distributed algorithm is checked against.
+- :mod:`repro.optim.admm` — a generic m-block ADMM engine.
+- :mod:`repro.optim.admg` — the generic ADM-G engine (ADMM with
+  Gaussian back substitution, He-Tao-Yuan 2012).
+"""
+
+from repro.optim.admg import ADMGEngine, ADMGResult
+from repro.optim.admm import ADMMBlock, ADMMEngine, ADMMResult
+from repro.optim.ipqp import IPQPResult, solve_qp
+from repro.optim.rank_one import solve_capped_rank_one_qp
+from repro.optim.scalar import (
+    PiecewiseLinearConvex,
+    QuadraticScalar,
+    minimize_convex_on_interval,
+    prox_nonneg,
+)
+from repro.optim.simplex import minimize_qp_simplex, project_box, project_simplex
+
+__all__ = [
+    "ADMGEngine",
+    "ADMGResult",
+    "ADMMBlock",
+    "ADMMEngine",
+    "ADMMResult",
+    "IPQPResult",
+    "PiecewiseLinearConvex",
+    "QuadraticScalar",
+    "minimize_convex_on_interval",
+    "minimize_qp_simplex",
+    "project_box",
+    "project_simplex",
+    "prox_nonneg",
+    "solve_capped_rank_one_qp",
+    "solve_qp",
+]

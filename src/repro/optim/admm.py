@@ -1,0 +1,166 @@
+"""A generic m-block ADMM engine for linearly constrained problems.
+
+Solves
+
+    min  sum_i f_i(x_i)   s.t.  sum_i K_i x_i = b
+
+where each block supplies a *prox oracle*: the map
+
+    prox_i(v, rho) = argmin_x  f_i(x) + (rho/2) ||K_i x - v||^2.
+
+Local constraints (boxes, simplices, non-negativity) live inside the
+oracle as indicator functions.  The engine performs the classic
+forward (Gauss-Seidel) sweep (paper Eq. (9)).  For m >= 3 blocks plain
+ADMM may diverge without strong convexity — that is exactly why the
+paper adopts ADM-G (:mod:`repro.optim.admg`); this engine exists for
+the 1- and 2-block cases and as the divergence baseline in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ADMMBlock", "ADMMEngine", "ADMMResult"]
+
+ProxOracle = Callable[[np.ndarray, float], np.ndarray]
+
+
+@dataclass
+class ADMMBlock:
+    """One variable block of a separable problem.
+
+    Attributes:
+        K: (l, n_i) relation matrix for this block.
+        prox: oracle returning ``argmin_x f_i(x) + rho/2 ||K x - v||^2``.
+        objective: optional ``f_i`` evaluator for objective tracking.
+        name: label used in diagnostics.
+        x0: optional initial iterate (defaults to zeros).
+    """
+
+    K: np.ndarray
+    prox: ProxOracle
+    objective: Callable[[np.ndarray], float] | None = None
+    name: str = ""
+    x0: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.K = np.atleast_2d(np.asarray(self.K, dtype=float))
+
+    @property
+    def dim(self) -> int:
+        return self.K.shape[1]
+
+
+@dataclass
+class ADMMResult:
+    """Trajectory and final state of an ADMM / ADM-G run.
+
+    Attributes:
+        x: final block iterates.
+        y: final multiplier for the coupling constraint.
+        iterations: iterations performed.
+        converged: whether the stopping criterion was met.
+        primal_residuals: per-iteration ``||sum K_i x_i - b||_inf``.
+        dual_residuals: per-iteration max change across blocks.
+        objectives: per-iteration objective values (empty when any block
+            lacks an ``objective`` callable).
+    """
+
+    x: list[np.ndarray]
+    y: np.ndarray
+    iterations: int
+    converged: bool
+    primal_residuals: list[float] = field(default_factory=list)
+    dual_residuals: list[float] = field(default_factory=list)
+    objectives: list[float] = field(default_factory=list)
+
+
+class ADMMEngine:
+    """Generic Gauss-Seidel ADMM over ``m`` blocks."""
+
+    def __init__(self, blocks: Sequence[ADMMBlock], b: np.ndarray, rho: float) -> None:
+        if not blocks:
+            raise ValueError("need at least one block")
+        if rho <= 0:
+            raise ValueError(f"rho must be positive, got {rho}")
+        self.blocks = list(blocks)
+        self.b = np.asarray(b, dtype=float)
+        self.rho = float(rho)
+        l = len(self.b)
+        for blk in self.blocks:
+            if blk.K.shape[0] != l:
+                raise ValueError(
+                    f"block {blk.name!r} has {blk.K.shape[0]} rows, expected {l}"
+                )
+
+    def _initial_state(self) -> tuple[list[np.ndarray], np.ndarray]:
+        x = [
+            (blk.x0.copy() if blk.x0 is not None else np.zeros(blk.dim))
+            for blk in self.blocks
+        ]
+        return x, np.zeros(len(self.b))
+
+    def _sweep(
+        self, x: list[np.ndarray], y: np.ndarray
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """One forward Gauss-Seidel pass returning predicted iterates."""
+        new_x = [xi.copy() for xi in x]
+        kx = [blk.K @ xi for blk, xi in zip(self.blocks, new_x)]
+        for i, blk in enumerate(self.blocks):
+            others = sum(kx[j] for j in range(len(self.blocks)) if j != i)
+            v = self.b - others - y / self.rho
+            new_x[i] = blk.prox(v, self.rho)
+            kx[i] = blk.K @ new_x[i]
+        residual = sum(kx) - self.b
+        new_y = y + self.rho * residual
+        return new_x, new_y
+
+    def _objective(self, x: list[np.ndarray]) -> float | None:
+        if any(blk.objective is None for blk in self.blocks):
+            return None
+        return float(sum(blk.objective(xi) for blk, xi in zip(self.blocks, x)))
+
+    def run(self, max_iter: int = 500, tol: float = 1e-8) -> ADMMResult:
+        """Iterate until the primal residual and iterate change both fall
+        below ``tol`` (relative to the scale of ``b``), or ``max_iter``.
+        """
+        x, y = self._initial_state()
+        scale = max(1.0, float(np.abs(self.b).max(initial=0.0)))
+        primal_hist: list[float] = []
+        dual_hist: list[float] = []
+        obj_hist: list[float] = []
+        converged = False
+        it = 0
+        for it in range(1, max_iter + 1):
+            new_x, new_y = self._sweep(x, y)
+            primal = float(
+                np.abs(
+                    sum(blk.K @ xi for blk, xi in zip(self.blocks, new_x)) - self.b
+                ).max()
+            )
+            change = max(
+                (float(np.abs(nx - ox).max(initial=0.0)) for nx, ox in zip(new_x, x)),
+                default=0.0,
+            )
+            x, y = new_x, new_y
+            primal_hist.append(primal)
+            dual_hist.append(change)
+            obj = self._objective(x)
+            if obj is not None:
+                obj_hist.append(obj)
+            if primal < tol * scale and change < tol * scale:
+                converged = True
+                break
+        return ADMMResult(
+            x=x,
+            y=y,
+            iterations=it,
+            converged=converged,
+            primal_residuals=primal_hist,
+            dual_residuals=dual_hist,
+            objectives=obj_hist,
+        )

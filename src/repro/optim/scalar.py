@@ -1,0 +1,224 @@
+"""One-dimensional convex minimization and prox operators.
+
+The paper's per-datacenter ``nu``-minimization (19) is
+
+    min_{nu >= 0}  V(C * nu) + g * nu + (rho/2) (d - nu)^2
+
+for a convex, non-decreasing emission-cost function ``V``.  This module
+solves it in closed form when ``V`` is quadratic, exactly (breakpoint
+search) when ``V`` is piecewise linear (stepped carbon taxes and
+cap-and-trade schemes), and by golden-section search otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "QuadraticScalar",
+    "PiecewiseLinearConvex",
+    "minimize_convex_on_interval",
+    "prox_nonneg",
+]
+
+_GOLDEN = (np.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class QuadraticScalar:
+    """The scalar quadratic ``f(x) = a x^2 + b x + c`` with ``a >= 0``."""
+
+    a: float
+    b: float
+    c: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a < 0:
+            raise ValueError(f"quadratic coefficient must be non-negative, got {self.a}")
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the quadratic at ``x``."""
+        return self.a * x * x + self.b * x + self.c
+
+    def derivative(self, x: float) -> float:
+        """The derivative ``2ax + b`` at ``x``."""
+        return 2.0 * self.a * x + self.b
+
+
+class PiecewiseLinearConvex:
+    """A convex piecewise-linear function on ``[0, inf)``.
+
+    Defined by breakpoints ``0 = t_0 < t_1 < ... < t_{k-1}`` and
+    non-decreasing slopes ``s_0 <= s_1 <= ...`` where slope ``s_j``
+    applies on ``[t_j, t_{j+1}]``.  ``f(0) = offset``.
+
+    This models stepped carbon-tax schedules (higher marginal tax above
+    emission thresholds) and cap-and-trade (zero marginal cost below the
+    cap, permit price above it).
+    """
+
+    def __init__(
+        self,
+        breakpoints: Sequence[float],
+        slopes: Sequence[float],
+        offset: float = 0.0,
+    ) -> None:
+        bp = np.asarray(breakpoints, dtype=float)
+        sl = np.asarray(slopes, dtype=float)
+        if len(bp) != len(sl):
+            raise ValueError(
+                f"need one slope per breakpoint, got {len(bp)} breakpoints / {len(sl)} slopes"
+            )
+        if len(bp) == 0:
+            raise ValueError("need at least one segment")
+        if bp[0] != 0.0:
+            raise ValueError(f"first breakpoint must be 0, got {bp[0]}")
+        if (np.diff(bp) <= 0).any():
+            raise ValueError("breakpoints must be strictly increasing")
+        if (np.diff(sl) < 0).any():
+            raise ValueError("slopes must be non-decreasing (convexity)")
+        self.breakpoints = bp
+        self.slopes = sl
+        self.offset = float(offset)
+        # Value of f at each breakpoint, accumulated segment by segment.
+        vals = np.empty(len(bp))
+        vals[0] = self.offset
+        for j in range(1, len(bp)):
+            vals[j] = vals[j - 1] + sl[j - 1] * (bp[j] - bp[j - 1])
+        self._values_at_bp = vals
+
+    def __call__(self, x: float) -> float:
+        if x < 0:
+            raise ValueError(f"domain is [0, inf), got {x}")
+        j = int(np.searchsorted(self.breakpoints, x, side="right") - 1)
+        return float(self._values_at_bp[j] + self.slopes[j] * (x - self.breakpoints[j]))
+
+    def subgradient_interval(self, x: float) -> tuple[float, float]:
+        """Return ``[min, max]`` of the subdifferential at ``x >= 0``."""
+        if x < 0:
+            raise ValueError(f"domain is [0, inf), got {x}")
+        j = int(np.searchsorted(self.breakpoints, x, side="right") - 1)
+        lo = self.slopes[j - 1] if (j > 0 and x == self.breakpoints[j]) else self.slopes[j]
+        return float(lo), float(self.slopes[j])
+
+    def scaled(self, c: float) -> "PiecewiseLinearConvex":
+        """Return ``g(x) = f(c * x)`` for ``c > 0`` (still convex PL).
+
+        Breakpoints that collapse under the scaling (underflow to the
+        same value) are merged, keeping the later segment's slope — the
+        zero-width segment contributes nothing to the function.
+        """
+        if c <= 0:
+            raise ValueError(f"scale must be positive, got {c}")
+        bp = self.breakpoints / c
+        sl = self.slopes * c
+        keep_bp = [bp[0]]
+        keep_sl = [sl[0]]
+        for j in range(1, len(bp)):
+            if bp[j] > keep_bp[-1]:
+                keep_bp.append(bp[j])
+                keep_sl.append(sl[j])
+            else:
+                keep_sl[-1] = sl[j]
+        return PiecewiseLinearConvex(
+            breakpoints=keep_bp, slopes=keep_sl, offset=self.offset
+        )
+
+    def prox(self, d: float, rho: float, linear: float = 0.0) -> float:
+        """Solve ``min_{x >= 0} f(x) + linear * x + (rho/2)(x - d)^2`` exactly.
+
+        The objective's subdifferential ``s(x) + linear + rho (x - d)``
+        is non-decreasing; we search segments and breakpoints for the
+        zero crossing.
+        """
+        if rho <= 0:
+            raise ValueError(f"rho must be positive, got {rho}")
+        # Candidate inside segment j: x = d - (slope_j + linear)/rho.
+        bp = self.breakpoints
+        n = len(bp)
+        for j in range(n):
+            x = d - (self.slopes[j] + linear) / rho
+            seg_lo = bp[j]
+            seg_hi = bp[j + 1] if j + 1 < n else np.inf
+            if seg_lo <= x <= seg_hi:
+                return float(max(x, 0.0))
+        # Otherwise the minimizer sits at a breakpoint where the
+        # subdifferential interval brackets zero.
+        for j in range(n):
+            x = bp[j]
+            glo, ghi = self.subgradient_interval(x)
+            lo = glo + linear + rho * (x - d)
+            hi = ghi + linear + rho * (x - d)
+            if (lo <= 0.0 <= hi) or (x == 0.0 and lo >= 0.0):
+                return float(x)
+        # Unreachable for a well-formed convex PL function, but keep a
+        # defensive return of the boundary.
+        return 0.0
+
+
+def minimize_convex_on_interval(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-10,
+    max_iter: int = 300,
+) -> float:
+    """Golden-section search for the minimizer of a convex (unimodal)
+    function on ``[lo, hi]``.
+
+    Works for nonsmooth convex functions; accuracy is ``tol`` in the
+    argument, relative to the interval width.
+    """
+    if hi < lo:
+        raise ValueError(f"empty interval [{lo}, {hi}]")
+    if hi == lo:
+        return lo
+    a, b = float(lo), float(hi)
+    width = b - a
+    c = b - _GOLDEN * (b - a)
+    d = a + _GOLDEN * (b - a)
+    fc, fd = f(c), f(d)
+    for _ in range(max_iter):
+        if b - a <= tol * max(1.0, width):
+            break
+        if fc <= fd:
+            b, d, fd = d, c, fc
+            c = b - _GOLDEN * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _GOLDEN * (b - a)
+            fd = f(d)
+    return 0.5 * (a + b)
+
+
+def prox_nonneg(
+    f: Callable[[float], float],
+    d: float,
+    rho: float,
+    hi_hint: float | None = None,
+    tol: float = 1e-11,
+) -> float:
+    """Solve ``min_{x >= 0} f(x) + (rho/2)(x - d)^2`` for a generic convex
+    ``f`` by golden-section search on an automatically expanded bracket.
+
+    ``hi_hint`` bounds the search from above when the caller knows the
+    solution scale (e.g. the power-balance value ``d`` itself).
+    """
+    if rho <= 0:
+        raise ValueError(f"rho must be positive, got {rho}")
+
+    def objective(x: float) -> float:
+        return f(x) + 0.5 * rho * (x - d) * (x - d)
+
+    hi = max(hi_hint if hi_hint is not None else 0.0, abs(d) * 2.0 + 1.0)
+    # Expand until the objective is increasing at the right edge, so the
+    # minimizer is bracketed (it always is, since the quadratic dominates).
+    for _ in range(60):
+        if objective(hi) > objective(hi * 0.999):
+            break
+        hi *= 2.0
+    return max(0.0, minimize_convex_on_interval(objective, 0.0, hi, tol=tol))

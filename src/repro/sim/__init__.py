@@ -1,0 +1,26 @@
+"""Time-slotted simulation harness over trace bundles.
+
+:class:`~repro.sim.simulator.Simulator` replays a
+:class:`~repro.traces.datasets.TraceBundle` slot by slot, solving each
+slot's UFC problem under a chosen strategy with either the centralized
+interior-point reference or the distributed ADM-G solver, and collects
+the per-slot metrics every figure of the paper is built from.
+"""
+
+from repro.sim.metrics import (
+    average_improvement,
+    improvement_series,
+    iteration_cdf,
+)
+from repro.sim.results import SimulationResult, StrategyComparison
+from repro.sim.simulator import Simulator, build_model
+
+__all__ = [
+    "SimulationResult",
+    "Simulator",
+    "StrategyComparison",
+    "average_improvement",
+    "build_model",
+    "improvement_series",
+    "iteration_cdf",
+]

@@ -1,0 +1,54 @@
+"""Derived metrics: improvement indices and convergence statistics.
+
+The paper reports utility improvements ``I_hg`` (Hybrid over Grid),
+``I_hf`` (Hybrid over Fuel cell) and ``I_fg`` (Fuel cell over Grid),
+each defined as the relative UFC gain of strategy ``a`` over strategy
+``b``.  Since UFC values are negative (disutility plus costs), the
+improvement is normalized by ``|UFC_b|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["improvement_series", "average_improvement", "iteration_cdf"]
+
+
+def improvement_series(ufc_a: np.ndarray, ufc_b: np.ndarray) -> np.ndarray:
+    """Per-slot relative improvement ``(UFC_a - UFC_b) / |UFC_b|``.
+
+    Slots where ``UFC_b`` is exactly zero yield 0 improvement (both
+    strategies cost nothing there).
+    """
+    ufc_a = np.asarray(ufc_a, dtype=float)
+    ufc_b = np.asarray(ufc_b, dtype=float)
+    if ufc_a.shape != ufc_b.shape:
+        raise ValueError(f"shape mismatch: {ufc_a.shape} vs {ufc_b.shape}")
+    denom = np.abs(ufc_b)
+    out = np.zeros_like(ufc_a)
+    mask = denom > 0
+    out[mask] = (ufc_a[mask] - ufc_b[mask]) / denom[mask]
+    return out
+
+
+def average_improvement(ufc_a: np.ndarray, ufc_b: np.ndarray) -> float:
+    """Mean of :func:`improvement_series` over the horizon."""
+    return float(improvement_series(ufc_a, ufc_b).mean())
+
+
+def iteration_cdf(iterations: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of per-slot iteration counts (Fig. 11).
+
+    Returns:
+        ``(counts, fractions)`` — sorted unique iteration counts and the
+        fraction of runs converging within each count.
+    """
+    iterations = np.asarray(iterations)
+    if iterations.size == 0:
+        raise ValueError("no iteration counts supplied")
+    sorted_counts = np.sort(iterations)
+    unique = np.unique(sorted_counts)
+    fractions = np.searchsorted(sorted_counts, unique, side="right") / len(
+        sorted_counts
+    )
+    return unique, fractions

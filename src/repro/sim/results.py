@@ -1,0 +1,102 @@
+"""Containers for simulation outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimulationResult", "StrategyComparison"]
+
+
+@dataclass
+class SimulationResult:
+    """Per-slot metric series from one strategy's simulated week.
+
+    Attributes:
+        strategy: strategy display name.
+        ufc: (T,) UFC values (dollars; typically negative since the
+            utility term is non-positive by construction).
+        energy_cost: (T,) energy cost, $.
+        carbon_cost: (T,) emission cost ``sum_j V_j``, $.
+        carbon_kg: (T,) grid carbon mass, kg.
+        utility: (T,) weighted workload utility ``w sum_i U``, $.
+        avg_latency_ms: (T,) request-weighted mean latency, ms.
+        utilization: (T,) fuel-cell generation / total power demand.
+        iterations: (T,) solver iterations per slot.
+        converged: (T,) solver convergence flags.
+    """
+
+    strategy: str
+    ufc: np.ndarray
+    energy_cost: np.ndarray
+    carbon_cost: np.ndarray
+    carbon_kg: np.ndarray
+    utility: np.ndarray
+    avg_latency_ms: np.ndarray
+    utilization: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+    @property
+    def hours(self) -> int:
+        return len(self.ufc)
+
+    def total_energy_cost(self) -> float:
+        """Week total energy cost in dollars."""
+        return float(self.energy_cost.sum())
+
+    def total_carbon_tonnes(self) -> float:
+        """Week total grid emissions in tonnes."""
+        return float(self.carbon_kg.sum()) / 1000.0
+
+    def mean_utilization(self) -> float:
+        """Average fuel-cell utilization (the paper's Fig. 8 headline)."""
+        return float(self.utilization.mean())
+
+    def summary(self) -> str:
+        """Human-readable one-strategy summary block."""
+        lines = [
+            f"strategy            : {self.strategy}",
+            f"slots               : {self.hours}",
+            f"total energy cost   : ${self.total_energy_cost():,.0f}",
+            f"total carbon        : {self.total_carbon_tonnes():,.1f} t",
+            f"total emission cost : ${self.carbon_cost.sum():,.0f}",
+            f"mean UFC            : {self.ufc.mean():,.1f} $/slot",
+            f"mean latency        : {self.avg_latency_ms.mean():.2f} ms",
+            f"mean FC utilization : {100 * self.mean_utilization():.1f}%",
+        ]
+        if self.iterations.max(initial=0) > 0:
+            lines.append(
+                "iterations          : "
+                f"min {int(self.iterations.min())} / "
+                f"mean {self.iterations.mean():.1f} / "
+                f"max {int(self.iterations.max())}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class StrategyComparison:
+    """The paper's three-strategy comparison on one bundle.
+
+    Attributes:
+        grid: Grid-strategy result.
+        fuel_cell: Fuel-cell-strategy result.
+        hybrid: Hybrid-strategy result.
+    """
+
+    grid: SimulationResult
+    fuel_cell: SimulationResult
+    hybrid: SimulationResult
+    extras: dict[str, SimulationResult] = field(default_factory=dict)
+
+    def by_name(self) -> dict[str, SimulationResult]:
+        """All results keyed by strategy display name."""
+        out = {
+            self.grid.strategy: self.grid,
+            self.fuel_cell.strategy: self.fuel_cell,
+            self.hybrid.strategy: self.hybrid,
+        }
+        out.update(self.extras)
+        return out

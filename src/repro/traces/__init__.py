@@ -1,0 +1,52 @@
+"""Trace substrate: synthetic, calibrated stand-ins for the paper's data.
+
+The paper evaluates on proprietary/point-in-time data sets (a Facebook
+power-demand profile, an HP interactive-workload trace, and hourly
+RTO/ISO price and fuel-mix feeds for September 10-16, 2012).  None of
+those are redistributable, so this package generates *synthetic but
+calibrated* equivalents: seeded, reproducible series whose levels,
+diurnal shapes and cross-region diversity match the published
+statistics the results depend on.  DESIGN.md Sec. 2 records each
+substitution and why it preserves behaviour.
+"""
+
+from repro.traces.datasets import TraceBundle, default_bundle, paper_setup
+from repro.traces.fuelmix import REGION_FUEL_MIXES, carbon_rate_series, fuel_mix_series
+from repro.traces.io import bundle_from_arrays, load_bundle, save_bundle
+from repro.traces.geography import (
+    CITY_COORDINATES,
+    DATACENTER_CITIES,
+    FRONTEND_CITIES,
+    distance_matrix,
+    haversine_km,
+)
+from repro.traces.power_demand import facebook_power_profile
+from repro.traces.prices import REGION_PRICE_PRESETS, RegionPricePreset, lmp_series
+from repro.traces.scenarios import europe_bundle, renewable_heavy_bundle
+from repro.traces.workload import hp_workload_shape, split_workload, workload_matrix
+
+__all__ = [
+    "CITY_COORDINATES",
+    "DATACENTER_CITIES",
+    "FRONTEND_CITIES",
+    "REGION_FUEL_MIXES",
+    "REGION_PRICE_PRESETS",
+    "RegionPricePreset",
+    "TraceBundle",
+    "bundle_from_arrays",
+    "carbon_rate_series",
+    "default_bundle",
+    "distance_matrix",
+    "europe_bundle",
+    "facebook_power_profile",
+    "fuel_mix_series",
+    "haversine_km",
+    "hp_workload_shape",
+    "lmp_series",
+    "load_bundle",
+    "save_bundle",
+    "paper_setup",
+    "renewable_heavy_bundle",
+    "split_workload",
+    "workload_matrix",
+]

@@ -1,0 +1,147 @@
+"""Bundled trace datasets reproducing the paper's simulation setup.
+
+``paper_setup()``/``default_bundle()`` assemble everything Sec. IV-A
+describes: N = 4 datacenters (Calgary, San Jose, Dallas, Pittsburgh)
+with capacities uniform in [1.7, 2.3] x 10^4 servers, M = 10 front-end
+proxies across the continental US, one week (168 hours) of workload,
+price and carbon-rate series, and the distance-derived latency matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.costs.latency import latency_matrix_from_distances
+from repro.traces.fuelmix import carbon_rate_series
+from repro.traces.geography import (
+    CITY_COORDINATES,
+    DATACENTER_CITIES,
+    FRONTEND_CITIES,
+    distance_matrix,
+)
+from repro.traces.prices import lmp_series
+from repro.traces.workload import workload_matrix
+
+__all__ = ["TraceBundle", "default_bundle", "paper_setup"]
+
+
+@dataclass(frozen=True)
+class TraceBundle:
+    """One week of aligned traces for a geo-distributed cloud.
+
+    Attributes:
+        regions: datacenter region keys, length N.
+        frontends: front-end city keys, length M.
+        arrivals: (T, M) request arrivals ``A_i(t)``, in servers.
+        prices: (T, N) grid electricity prices ``p_j(t)``, $/MWh.
+        carbon_rates: (T, N) carbon intensities ``C_j(t)``, kg/MWh.
+        latency_ms: (M, N) propagation latencies ``L_ij``, ms.
+        capacities: (N,) server counts ``S_j``.
+        seed: generator seed the bundle was built from.
+    """
+
+    regions: tuple[str, ...]
+    frontends: tuple[str, ...]
+    arrivals: np.ndarray
+    prices: np.ndarray
+    carbon_rates: np.ndarray
+    latency_ms: np.ndarray
+    capacities: np.ndarray
+    seed: int = field(default=2014)
+
+    def __post_init__(self) -> None:
+        t, m = self.arrivals.shape
+        n = len(self.regions)
+        if len(self.frontends) != m:
+            raise ValueError("arrivals columns must match front-end count")
+        if self.prices.shape != (t, n):
+            raise ValueError(f"prices shape {self.prices.shape} != ({t}, {n})")
+        if self.carbon_rates.shape != (t, n):
+            raise ValueError(
+                f"carbon_rates shape {self.carbon_rates.shape} != ({t}, {n})"
+            )
+        if self.latency_ms.shape != (m, n):
+            raise ValueError(
+                f"latency shape {self.latency_ms.shape} != ({m}, {n})"
+            )
+        if self.capacities.shape != (n,):
+            raise ValueError(
+                f"capacities shape {self.capacities.shape} != ({n},)"
+            )
+
+    @property
+    def hours(self) -> int:
+        """Number of time slots T."""
+        return self.arrivals.shape[0]
+
+    @property
+    def num_datacenters(self) -> int:
+        return len(self.regions)
+
+    @property
+    def num_frontends(self) -> int:
+        return len(self.frontends)
+
+    def slot(self, t: int) -> dict[str, np.ndarray]:
+        """All slot-``t`` inputs as a dict (arrivals, prices, carbon)."""
+        if not 0 <= t < self.hours:
+            raise IndexError(f"slot {t} outside [0, {self.hours})")
+        return {
+            "arrivals": self.arrivals[t],
+            "prices": self.prices[t],
+            "carbon_rates": self.carbon_rates[t],
+        }
+
+
+def paper_setup(seed: int = 2014) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's datacenter sizing: capacities ~ U[1.7, 2.3] x 10^4
+    servers for the four sites, plus the (M, N) distance matrix in km.
+
+    Returns:
+        ``(capacities, distances_km)``.
+    """
+    rng = np.random.default_rng(seed)
+    capacities = rng.uniform(1.7e4, 2.3e4, size=len(DATACENTER_CITIES))
+    distances = distance_matrix(FRONTEND_CITIES, DATACENTER_CITIES)
+    return capacities, distances
+
+
+def default_bundle(
+    hours: int = 168,
+    seed: int = 2014,
+    utilization_target: float = 0.85,
+) -> TraceBundle:
+    """Build the full Sec. IV-A evaluation bundle.
+
+    Deterministic in ``(hours, seed, utilization_target)``.
+    """
+    capacities, distances = paper_setup(seed)
+    offsets = np.array(
+        [CITY_COORDINATES[c].utc_offset for c in FRONTEND_CITIES]
+    )
+    arrivals = workload_matrix(
+        total_servers=float(capacities.sum()),
+        num_frontends=len(FRONTEND_CITIES),
+        hours=hours,
+        seed=seed,
+        utilization_target=utilization_target,
+        frontend_utc_offsets=offsets,
+    )
+    prices = np.column_stack(
+        [lmp_series(r, hours=hours, seed=seed) for r in DATACENTER_CITIES]
+    )
+    carbon = np.column_stack(
+        [carbon_rate_series(r, hours=hours, seed=seed) for r in DATACENTER_CITIES]
+    )
+    return TraceBundle(
+        regions=DATACENTER_CITIES,
+        frontends=FRONTEND_CITIES,
+        arrivals=arrivals,
+        prices=prices,
+        carbon_rates=carbon,
+        latency_ms=latency_matrix_from_distances(distances),
+        capacities=capacities,
+        seed=seed,
+    )

@@ -1,0 +1,102 @@
+"""Trace-bundle persistence and real-data import.
+
+The synthetic generators stand in for the paper's non-redistributable
+data; a user who *does* hold real traces (their own workload logs, RTO
+price exports) plugs them in through this module:
+
+- :func:`save_bundle` / :func:`load_bundle` — lossless .npz round trip
+  of a :class:`~repro.traces.datasets.TraceBundle`;
+- :func:`bundle_from_arrays` — validate and assemble raw arrays (e.g.
+  parsed from CSV exports) into a bundle, deriving the latency matrix
+  from the built-in geography when none is supplied.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.latency import latency_matrix_from_distances
+from repro.traces.datasets import TraceBundle
+from repro.traces.geography import distance_matrix
+
+__all__ = ["save_bundle", "load_bundle", "bundle_from_arrays"]
+
+
+def save_bundle(bundle: TraceBundle, path: str | Path) -> Path:
+    """Write ``bundle`` to ``path`` as a compressed .npz archive.
+
+    Returns the resolved path (with ``.npz`` appended if missing —
+    numpy does the same, so the return value is what's on disk).
+    """
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        regions=np.array(bundle.regions),
+        frontends=np.array(bundle.frontends),
+        arrivals=bundle.arrivals,
+        prices=bundle.prices,
+        carbon_rates=bundle.carbon_rates,
+        latency_ms=bundle.latency_ms,
+        capacities=bundle.capacities,
+        seed=np.array([bundle.seed]),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_bundle(path: str | Path) -> TraceBundle:
+    """Load a bundle previously written by :func:`save_bundle`.
+
+    Raises:
+        FileNotFoundError: if the archive is missing.
+        KeyError: if the archive lacks a required field.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        return TraceBundle(
+            regions=tuple(str(r) for r in data["regions"]),
+            frontends=tuple(str(f) for f in data["frontends"]),
+            arrivals=data["arrivals"],
+            prices=data["prices"],
+            carbon_rates=data["carbon_rates"],
+            latency_ms=data["latency_ms"],
+            capacities=data["capacities"],
+            seed=int(data["seed"][0]),
+        )
+
+
+def bundle_from_arrays(
+    regions: Sequence[str],
+    frontends: Sequence[str],
+    arrivals: np.ndarray,
+    prices: np.ndarray,
+    carbon_rates: np.ndarray,
+    capacities: np.ndarray,
+    latency_ms: np.ndarray | None = None,
+    seed: int = 0,
+) -> TraceBundle:
+    """Assemble raw arrays into a validated bundle.
+
+    When ``latency_ms`` is omitted, every region/front-end name must
+    exist in the built-in city table so the matrix can be derived from
+    great-circle distances.
+
+    Raises:
+        ValueError: on shape mismatches (via TraceBundle validation).
+        KeyError: if latency derivation meets an unknown city.
+    """
+    if latency_ms is None:
+        latency_ms = latency_matrix_from_distances(
+            distance_matrix(tuple(frontends), tuple(regions))
+        )
+    return TraceBundle(
+        regions=tuple(regions),
+        frontends=tuple(frontends),
+        arrivals=np.asarray(arrivals, dtype=float),
+        prices=np.asarray(prices, dtype=float),
+        carbon_rates=np.asarray(carbon_rates, dtype=float),
+        latency_ms=np.asarray(latency_ms, dtype=float),
+        capacities=np.asarray(capacities, dtype=float),
+        seed=seed,
+    )

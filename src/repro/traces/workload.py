@@ -1,0 +1,119 @@
+"""Synthetic interactive-workload traces (HP-trace stand-in).
+
+The paper drives its evaluation with a one-week hourly HP request
+trace (Liu et al., GreenMetrics 2011), "scaled up proportionally and
+normalized to the number of servers required", then split across the
+M = 10 front-end proxies following a normal distribution.  The trace
+is not redistributable; this module generates a seeded stand-in with
+the properties the evaluation depends on: strong diurnal swing, a
+weekday/weekend pattern, and bursty noise, normalized to [0, 1] as a
+fraction of deployed capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hp_workload_shape", "split_workload", "workload_matrix"]
+
+
+def hp_workload_shape(
+    hours: int = 168,
+    seed: int = 2014,
+    mean_level: float = 0.55,
+    diurnal_amplitude: float = 0.28,
+    weekend_factor: float = 0.82,
+    noise_sigma: float = 0.025,
+    peak_hour: float = 14.0,
+) -> np.ndarray:
+    """Normalized total-workload series in (0, 1).
+
+    The shape is a diurnal sinusoid peaking at ``peak_hour`` local time,
+    damped on weekend days (hours 120-167 of a Monday-start week), with
+    AR(1) burst noise.  Values are clipped to [0.05, 0.98] so the cloud
+    is never empty nor above capacity.
+
+    Args:
+        hours: series length (the paper uses one week = 168).
+        seed: RNG seed for reproducibility.
+        mean_level: average utilization as a fraction of capacity.
+        diurnal_amplitude: half the peak-to-trough diurnal swing.
+        weekend_factor: multiplicative damping on the final two days.
+        noise_sigma: standard deviation of the AR(1) noise innovations.
+        peak_hour: hour-of-day of the diurnal peak.
+    """
+    if hours <= 0:
+        raise ValueError(f"hours must be positive, got {hours}")
+    rng = np.random.default_rng(seed)
+    t = np.arange(hours)
+    hour_of_day = t % 24
+    day = t // 24
+    diurnal = mean_level + diurnal_amplitude * np.cos(
+        2.0 * np.pi * (hour_of_day - peak_hour) / 24.0
+    )
+    weekly = np.where(day % 7 >= 5, weekend_factor, 1.0)
+    noise = np.empty(hours)
+    state = 0.0
+    for k in range(hours):
+        state = 0.7 * state + rng.normal(0.0, noise_sigma)
+        noise[k] = state
+    return np.clip(diurnal * weekly + noise, 0.05, 0.98)
+
+
+def split_workload(num_frontends: int = 10, seed: int = 2014) -> np.ndarray:
+    """Normalized front-end weights drawn from a normal distribution.
+
+    Follows the paper's methodology (after Xu & Li, INFOCOM 2013): the
+    total workload is split among front-ends with weights sampled from
+    N(1, 0.25), truncated positive and normalized to sum to one.
+    """
+    if num_frontends <= 0:
+        raise ValueError(f"need at least one front-end, got {num_frontends}")
+    rng = np.random.default_rng(seed + 7)
+    w = np.abs(rng.normal(1.0, 0.25, size=num_frontends))
+    w = np.maximum(w, 0.1)
+    return w / w.sum()
+
+
+def workload_matrix(
+    total_servers: float,
+    num_frontends: int = 10,
+    hours: int = 168,
+    seed: int = 2014,
+    utilization_target: float = 0.85,
+    frontend_utc_offsets: np.ndarray | None = None,
+) -> np.ndarray:
+    """(hours, num_frontends) matrix of request arrivals ``A_i(t)`` in
+    servers' worth of requests.
+
+    The total trace is scaled so its peak equals ``utilization_target``
+    times ``total_servers`` and split per :func:`split_workload`.  When
+    ``frontend_utc_offsets`` is given, each front-end's diurnal phase is
+    shifted by its timezone so East-coast demand peaks earlier in the
+    common (UTC) timeline — the geographic pattern real services see.
+    """
+    if total_servers <= 0:
+        raise ValueError(f"total_servers must be positive, got {total_servers}")
+    if not 0 < utilization_target <= 1:
+        raise ValueError(
+            f"utilization_target must lie in (0, 1], got {utilization_target}"
+        )
+    weights = split_workload(num_frontends, seed)
+    if frontend_utc_offsets is None:
+        frontend_utc_offsets = np.zeros(num_frontends)
+    if len(frontend_utc_offsets) != num_frontends:
+        raise ValueError("one UTC offset per front-end required")
+
+    columns = []
+    for i in range(num_frontends):
+        # Peak at 14:00 local == 14 - offset in the common clock.
+        shape = hp_workload_shape(
+            hours=hours,
+            seed=seed + 101 * i,
+            peak_hour=14.0 - float(frontend_utc_offsets[i]),
+        )
+        columns.append(weights[i] * shape)
+    matrix = np.column_stack(columns)
+    peak_total = matrix.sum(axis=1).max()
+    scale = utilization_target * total_servers / peak_total
+    return matrix * scale

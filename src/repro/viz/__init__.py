@@ -1,0 +1,10 @@
+"""Plot-free visualization: ASCII charts for terminals and logs.
+
+No plotting library exists in the target environment, so the report
+and CLI render series as unicode sparklines, bar charts and axis-
+labelled line charts.  Everything returns plain strings.
+"""
+
+from repro.viz.ascii import bar_chart, line_chart, sparkline
+
+__all__ = ["bar_chart", "line_chart", "sparkline"]

@@ -1,0 +1,126 @@
+"""ASCII/unicode chart primitives.
+
+Three renderers, each returning a string:
+
+- :func:`sparkline` — one-line series overview (block characters);
+- :func:`bar_chart` — labelled horizontal bars for categorical values;
+- :func:`line_chart` — a small multi-row chart with a y-axis, for
+  series where the sparkline is too coarse.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "line_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """One-line block-character rendering of a series.
+
+    Args:
+        values: the series (at least one value; NaNs rejected).
+        width: optional output width; the series is resampled by
+            averaging into that many buckets.
+
+    Raises:
+        ValueError: on empty input or NaNs.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    if np.isnan(arr).any():
+        raise ValueError("series contains NaN")
+    if width is not None and width > 0 and arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _BLOCKS[0] * len(arr)
+    idx = ((arr - lo) / (hi - lo) * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:,.1f}",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    Bars scale to the largest |value|; negative values are marked with
+    a left-facing fill so orderings stay readable.
+
+    Raises:
+        ValueError: on empty input or non-positive width.
+    """
+    if not values:
+        raise ValueError("no values")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    label_width = max(len(k) for k in values)
+    peak = max(abs(v) for v in values.values())
+    lines = []
+    for label, value in values.items():
+        if peak == 0:
+            filled = 0
+        else:
+            filled = int(round(abs(value) / peak * width))
+        bar = ("█" * filled) if value >= 0 else ("░" * filled)
+        lines.append(
+            f"{label:<{label_width}} | {bar:<{width}} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    values: Sequence[float],
+    height: int = 8,
+    width: int = 64,
+    y_fmt: str = "{:,.0f}",
+) -> str:
+    """A small line chart with a labelled y-axis.
+
+    The series is resampled to ``width`` columns; each column's value
+    is drawn as a dot at the proportional row.
+
+    Raises:
+        ValueError: on empty input, NaNs, or non-positive dimensions.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    if np.isnan(arr).any():
+        raise ValueError("series contains NaN")
+    if height <= 1 or width <= 0:
+        raise ValueError("height must be > 1 and width positive")
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = [[" "] * len(arr) for _ in range(height)]
+    for col, value in enumerate(arr):
+        row = int(round((value - lo) / span * (height - 1)))
+        rows[height - 1 - row][col] = "•"
+    top_label = y_fmt.format(hi)
+    bottom_label = y_fmt.format(lo)
+    label_width = max(len(top_label), len(bottom_label))
+    lines = []
+    for r, row in enumerate(rows):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} ┤{''.join(row)}")
+    return "\n".join(lines)

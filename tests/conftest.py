@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import CloudModel, Datacenter, FrontEnd
+from repro.core.problem import SlotInputs, UFCProblem
+from repro.costs.carbon import LinearCarbonTax
+from repro.costs.energy import ServerPowerModel
+from repro.sim.simulator import build_model
+from repro.traces.datasets import default_bundle
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    """A 24-hour default bundle (session-cached: generation is pure)."""
+    return default_bundle(hours=24, seed=2014)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_bundle):
+    """The paper-default model over the small bundle."""
+    return build_model(small_bundle)
+
+
+@pytest.fixture()
+def tiny_model():
+    """A hand-sized cloud: 2 datacenters, 3 front-ends, exact numbers.
+
+    alpha = [0.12, 0.24] MW, beta = 1.2e-4 MW/server,
+    mu_max = [0.24, 0.48] MW, capacities = [1000, 2000].
+    """
+    power = ServerPowerModel(idle_watts=100, peak_watts=200, pue=1.2)
+    dcs = [
+        Datacenter(name="near", servers=1000, power=power),
+        Datacenter(name="far", servers=2000, power=power),
+    ]
+    fes = [FrontEnd(name=f"fe{i}") for i in range(3)]
+    latency = np.array([[5.0, 20.0], [10.0, 10.0], [25.0, 5.0]])
+    return CloudModel(
+        datacenters=dcs,
+        frontends=fes,
+        latency_ms=latency,
+        fuel_cell_price=80.0,
+        latency_weight=10.0,
+        emission_costs=LinearCarbonTax(25.0),
+    )
+
+
+@pytest.fixture()
+def tiny_inputs():
+    """Matching inputs for ``tiny_model``: total load 1500 of 3000."""
+    return SlotInputs(
+        arrivals=np.array([400.0, 600.0, 500.0]),
+        prices=np.array([60.0, 30.0]),
+        carbon_rates=np.array([300.0, 600.0]),
+    )
+
+
+@pytest.fixture()
+def tiny_problem(tiny_model, tiny_inputs):
+    return UFCProblem(tiny_model, tiny_inputs)

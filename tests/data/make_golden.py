@@ -1,0 +1,77 @@
+"""Regenerate tests/data/golden_values.json after an *intentional*
+behavior change.
+
+Run from the repository root::
+
+    python tests/data/make_golden.py
+
+and commit the refreshed file together with the change that motivated
+it.  The regression test (tests/test_golden.py) compares against these
+anchors with tight tolerances, so unintentional drift in the trace
+generators, solvers or metrics fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+HOURS = 48
+SEED = 2014
+
+
+def build_golden() -> dict:
+    """Compute the anchor values on the fixed 48-hour window."""
+    from repro.experiments.common import cached_comparison
+    from repro.experiments.table1 import run_table1
+    from repro.traces.datasets import default_bundle
+
+    t1 = run_table1()
+    comp = cached_comparison(hours=HOURS, seed=SEED)
+    bundle = default_bundle(hours=HOURS, seed=SEED)
+    return {
+        "meta": {
+            "hours": HOURS,
+            "seed": SEED,
+            "description": "Deterministic regression anchors; regenerate "
+            "with tests/data/make_golden.py",
+        },
+        "table1": {
+            site: {k: round(v, 4) for k, v in row.items()}
+            for site, row in t1.costs.items()
+        },
+        "price_means": {
+            r: round(float(bundle.prices[:, k].mean()), 6)
+            for k, r in enumerate(bundle.regions)
+        },
+        "carbon_means": {
+            r: round(float(bundle.carbon_rates[:, k].mean()), 6)
+            for k, r in enumerate(bundle.regions)
+        },
+        "workload_total_mean": round(
+            float(bundle.arrivals.sum(axis=1).mean()), 4
+        ),
+        "hybrid": {
+            "mean_ufc": round(float(comp.hybrid.ufc.mean()), 4),
+            "total_energy_cost": round(comp.hybrid.total_energy_cost(), 4),
+            "total_carbon_tonnes": round(comp.hybrid.total_carbon_tonnes(), 6),
+            "mean_latency_ms": round(
+                float(comp.hybrid.avg_latency_ms.mean()), 6
+            ),
+            "mean_utilization": round(comp.hybrid.mean_utilization(), 8),
+        },
+        "grid": {
+            "mean_ufc": round(float(comp.grid.ufc.mean()), 4),
+            "total_energy_cost": round(comp.grid.total_energy_cost(), 4),
+        },
+        "fuel_cell": {
+            "mean_ufc": round(float(comp.fuel_cell.ufc.mean()), 4),
+            "total_energy_cost": round(comp.fuel_cell.total_energy_cost(), 4),
+        },
+    }
+
+
+if __name__ == "__main__":
+    path = Path(__file__).parent / "golden_values.json"
+    path.write_text(json.dumps(build_golden(), indent=2) + "\n")
+    print(f"wrote {path}")

@@ -1,0 +1,161 @@
+"""Tests for the distributed ADM-G driver (repro.admg.solver)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.admg.solver import ADMGState, DistributedUFCSolver
+from repro.core.centralized import CentralizedSolver
+from repro.core.problem import SlotInputs, UFCProblem
+from repro.core.strategies import ALL_STRATEGIES, FUEL_CELL, GRID, HYBRID
+from repro.costs.carbon import CapAndTrade, SteppedCarbonTax
+from repro.sim.simulator import Simulator
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DistributedUFCSolver(rho=0.0)
+        with pytest.raises(ValueError):
+            DistributedUFCSolver(eps=0.5)
+        with pytest.raises(ValueError):
+            DistributedUFCSolver(eps=1.5)
+        with pytest.raises(ValueError):
+            DistributedUFCSolver(tol=0.0)
+
+    def test_paper_defaults(self):
+        s = DistributedUFCSolver()
+        assert s.rho == 0.3
+        assert s.eps == 1.0
+
+
+class TestConvergenceToOptimum:
+    def test_tiny_problem_all_strategies(self, tiny_model, tiny_inputs):
+        reference = CentralizedSolver()
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-5, max_iter=3000)
+        for strategy in ALL_STRATEGIES:
+            problem = UFCProblem(tiny_model, tiny_inputs, strategy=strategy)
+            cent = reference.solve(problem)
+            dist = solver.solve(problem)
+            assert dist.converged, strategy.name
+            gap = abs(dist.ufc - cent.ufc) / abs(cent.ufc)
+            assert gap < 5e-3, (strategy.name, gap)
+
+    def test_paper_scale_slots(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle)
+        reference = CentralizedSolver()
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-3)
+        for t in (0, 9, 18):
+            for strategy in ALL_STRATEGIES:
+                problem = sim.problem_for_slot(t, strategy)
+                cent = reference.solve(problem)
+                dist = solver.solve(problem)
+                assert dist.converged
+                gap = abs(dist.ufc - cent.ufc) / abs(cent.ufc)
+                assert gap < 1e-2, (t, strategy.name, gap)
+
+    def test_allocation_strictly_feasible(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle)
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-3)
+        problem = sim.problem_for_slot(5, HYBRID)
+        res = solver.solve(problem)
+        assert problem.check_feasibility(res.allocation, tol=1e-7).ok
+
+    def test_iterations_in_paper_band(self, small_model, small_bundle):
+        """Cold-started runs land in tens-to-~200 iterations."""
+        sim = Simulator(small_model, small_bundle)
+        solver = DistributedUFCSolver(rho=0.3, tol=6e-3, max_iter=1000)
+        its = []
+        for t in range(0, 24, 6):
+            res = solver.solve(sim.problem_for_slot(t, HYBRID))
+            assert res.converged
+            its.append(res.iterations)
+        assert 20 <= min(its)
+        assert max(its) <= 300
+
+    def test_warm_start_from_own_solution_is_instant(self, small_model, small_bundle):
+        """Restarting from a converged state terminates almost at once
+        (the fixed point is preserved by the iteration)."""
+        sim = Simulator(small_model, small_bundle)
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-3)
+        problem = sim.problem_for_slot(11, HYBRID)
+        cold = solver.solve(problem)
+        warm = solver.solve(problem, initial=cold.state)
+        assert warm.iterations <= max(5, cold.iterations // 4)
+
+    def test_residual_histories_recorded(self, tiny_problem):
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-4, max_iter=4000)
+        res = solver.solve(tiny_problem)
+        assert res.converged
+        assert len(res.coupling_residuals) == res.iterations
+        assert len(res.power_residuals) == res.iterations
+        assert res.coupling_residuals[-1] < 1e-4
+        assert res.power_residuals[-1] < 1e-4
+
+    def test_raw_allocation_exposed(self, tiny_problem):
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-4)
+        res = solver.solve(tiny_problem)
+        assert res.raw_allocation is not None
+        # Raw routing satisfies load balance (the lambda block is always
+        # simplex-feasible) even before polishing.
+        np.testing.assert_allclose(
+            res.raw_allocation.lam.sum(axis=1),
+            tiny_problem.inputs.arrivals,
+            rtol=1e-6,
+        )
+
+    def test_unpolished_mode(self, tiny_problem):
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-4, polish=False)
+        res = solver.solve(tiny_problem)
+        assert res.allocation is res.raw_allocation
+
+
+class TestNonSmoothEmissionCosts:
+    """The regimes that motivate ADM-G: V_j convex but not strongly so."""
+
+    def test_stepped_tax(self, tiny_model, tiny_inputs):
+        model = tiny_model.with_emission_costs(
+            SteppedCarbonTax([0.0, 30.0], [10.0, 120.0])
+        )
+        problem = UFCProblem(model, tiny_inputs)
+        cent = CentralizedSolver().solve(problem)
+        dist = DistributedUFCSolver(rho=0.3, tol=1e-5, max_iter=4000).solve(problem)
+        assert dist.converged
+        assert abs(dist.ufc - cent.ufc) / abs(cent.ufc) < 5e-3
+
+    def test_cap_and_trade(self, tiny_model, tiny_inputs):
+        """Near the permit kink the residual decay is sublinear, so the
+        tolerance is kept moderate; the objective still matches the
+        centralized epigraph solve tightly."""
+        model = tiny_model.with_emission_costs(
+            CapAndTrade(cap_kg=50.0, buy_price_per_tonne=40.0,
+                        sell_price_per_tonne=20.0)
+        )
+        problem = UFCProblem(model, tiny_inputs)
+        cent = CentralizedSolver().solve(problem)
+        dist = DistributedUFCSolver(rho=0.3, tol=1e-3, max_iter=6000).solve(problem)
+        assert dist.converged
+        assert abs(dist.ufc - cent.ufc) / abs(cent.ufc) < 1e-3
+
+
+class TestState:
+    def test_zeros_shapes(self):
+        s = ADMGState.zeros(3, 2)
+        assert s.lam.shape == (3, 2)
+        assert s.mu.shape == (2,)
+        assert s.varphi.shape == (3, 2)
+
+    def test_copy_is_deep(self):
+        s = ADMGState.zeros(2, 2)
+        c = s.copy()
+        c.lam[0, 0] = 5.0
+        assert s.lam[0, 0] == 0.0
+
+
+class TestEpsSensitivity:
+    @pytest.mark.parametrize("eps", [0.8, 0.9, 1.0])
+    def test_converges_for_valid_eps(self, tiny_problem, eps):
+        solver = DistributedUFCSolver(rho=0.3, eps=eps, tol=1e-4, max_iter=3000)
+        res = solver.solve(tiny_problem)
+        assert res.converged

@@ -1,0 +1,321 @@
+"""Tests for repro.admg.subproblems: each procedure against references.
+
+The key structural test verifies the closed-form Gaussian back
+substitution against the generic upper-triangular ``G`` of the paper's
+Eq. (10), built from the explicit relation matrices ``K_i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.admg import subproblems as sp
+from repro.admg.solver import ADMGState, DistributedUFCSolver, ScaledView
+from repro.core.problem import SlotInputs, UFCProblem
+from repro.core.strategies import FUEL_CELL, GRID, HYBRID
+from repro.optim.scalar import minimize_convex_on_interval
+
+
+@pytest.fixture()
+def scaled(tiny_model, tiny_inputs):
+    solver = DistributedUFCSolver(rho=0.3)
+    problem = UFCProblem(tiny_model, tiny_inputs)
+    view, inputs = solver.scaled_context(problem)
+    return view, inputs
+
+
+def random_state(view, inputs, seed=0):
+    rng = np.random.default_rng(seed)
+    m, n = view.num_frontends, view.num_datacenters
+    return ADMGState(
+        lam=rng.uniform(0, 1, size=(m, n)),
+        mu=rng.uniform(0, 0.3, size=n),
+        nu=rng.uniform(0, 0.3, size=n),
+        a=rng.uniform(0, 1, size=(m, n)),
+        phi=rng.normal(0, 5, size=n),
+        varphi=rng.normal(0, 1, size=(m, n)),
+    )
+
+
+class TestLambdaMinimization:
+    def test_feasibility(self, scaled):
+        view, inputs = scaled
+        state = random_state(view, inputs, 1)
+        lam = sp.lambda_minimization(view, inputs, state.a, state.varphi, 0.3)
+        np.testing.assert_allclose(lam.sum(axis=1), inputs.arrivals, rtol=1e-7)
+        assert (lam >= -1e-10).all()
+
+    def test_optimality_against_grid(self, scaled):
+        """Each row beats a dense sweep of feasible alternatives."""
+        view, inputs = scaled
+        state = random_state(view, inputs, 2)
+        rho = 0.3
+        lam = sp.lambda_minimization(view, inputs, state.a, state.varphi, rho)
+
+        def row_obj(i, row):
+            h, g = view.utility.neg_quad_form(
+                view.latency_ms[i], inputs.arrivals[i], view.latency_weight
+            )
+            quad = 0.5 * row @ (rho * np.eye(2) + h) @ row
+            lin = (state.varphi[i] - rho * state.a[i] + g) @ row
+            return quad + lin
+
+        for i in range(view.num_frontends):
+            val = row_obj(i, lam[i])
+            for t in np.linspace(0, inputs.arrivals[i], 400):
+                alt = np.array([t, inputs.arrivals[i] - t])
+                assert val <= row_obj(i, alt) + 1e-8
+
+    def test_zero_arrival_gives_zero_row(self, scaled):
+        view, _ = scaled
+        inputs = SlotInputs(
+            arrivals=np.array([0.0, 1.0, 2.0]),
+            prices=np.array([60.0, 30.0]),
+            carbon_rates=np.array([300.0, 600.0]),
+        )
+        state = random_state(view, inputs, 3)
+        lam = sp.lambda_minimization(view, inputs, state.a, state.varphi, 0.3)
+        np.testing.assert_allclose(lam[0], 0.0)
+
+
+class TestMuMinimization:
+    def test_closed_form_formula(self, scaled):
+        view, inputs = scaled
+        state = random_state(view, inputs, 4)
+        rho = 0.3
+        mu = sp.mu_minimization(view, HYBRID, state.a, state.nu, state.phi, rho)
+        load = state.a.sum(axis=0)
+        expected = np.clip(
+            view.alphas + view.betas * load - state.nu
+            - (state.phi + view.fuel_cell_price) / rho,
+            0.0,
+            view.mu_max,
+        )
+        np.testing.assert_allclose(mu, expected)
+
+    def test_grid_strategy_pins_zero(self, scaled):
+        view, inputs = scaled
+        state = random_state(view, inputs, 5)
+        mu = sp.mu_minimization(view, GRID, state.a, state.nu, state.phi, 0.3)
+        np.testing.assert_allclose(mu, 0.0)
+
+    def test_minimizes_subproblem_objective(self, scaled):
+        """Brute-force check of (18)."""
+        view, inputs = scaled
+        state = random_state(view, inputs, 6)
+        rho = 0.3
+        mu = sp.mu_minimization(view, HYBRID, state.a, state.nu, state.phi, rho)
+        load = state.a.sum(axis=0)
+        for j in range(view.num_datacenters):
+            def obj(m, j=j):
+                return (state.phi[j] + view.fuel_cell_price) * m + 0.5 * rho * (
+                    view.alphas[j] + view.betas[j] * load[j] - m - state.nu[j]
+                ) ** 2
+
+            grid_vals = [obj(m) for m in np.linspace(0, view.mu_max[j], 2000)]
+            assert obj(mu[j]) <= min(grid_vals) + 1e-9
+
+
+class TestNuMinimization:
+    def test_minimizes_subproblem_objective(self, scaled):
+        view, inputs = scaled
+        state = random_state(view, inputs, 7)
+        rho = 0.3
+        mu_pred = sp.mu_minimization(view, HYBRID, state.a, state.nu, state.phi, rho)
+        nu = sp.nu_minimization(view, inputs, HYBRID, state.a, mu_pred, state.phi, rho)
+        load = state.a.sum(axis=0)
+        for j in range(view.num_datacenters):
+            d = view.alphas[j] + view.betas[j] * load[j] - mu_pred[j]
+
+            def obj(x, j=j, d=d):
+                v = view.emission_costs[j]
+                return (
+                    v.cost(inputs.carbon_rates[j] * x)
+                    + (inputs.prices[j] + state.phi[j]) * x
+                    + 0.5 * rho * (d - x) ** 2
+                )
+
+            ref = minimize_convex_on_interval(obj, 0.0, abs(d) * 3 + 500, tol=1e-12)
+            assert obj(nu[j]) <= obj(ref) + 1e-9
+
+    def test_fuel_cell_strategy_pins_zero(self, scaled):
+        view, inputs = scaled
+        state = random_state(view, inputs, 8)
+        mu_pred = np.zeros(view.num_datacenters)
+        nu = sp.nu_minimization(
+            view, inputs, FUEL_CELL, state.a, mu_pred, state.phi, 0.3
+        )
+        np.testing.assert_allclose(nu, 0.0)
+
+
+class TestAMinimization:
+    def test_feasibility(self, scaled):
+        view, inputs = scaled
+        state = random_state(view, inputs, 9)
+        rho = 0.3
+        a = sp.a_minimization(
+            view, state.lam, state.mu, state.nu, state.phi, state.varphi, rho
+        )
+        assert (a >= -1e-12).all()
+        assert (a.sum(axis=0) <= view.capacities * (1 + 1e-9)).all()
+
+    def test_matches_paper_objective_by_sampling(self, scaled):
+        """The exact solver beats random feasible columns on (20)."""
+        view, inputs = scaled
+        state = random_state(view, inputs, 10)
+        rho = 0.3
+        a = sp.a_minimization(
+            view, state.lam, state.mu, state.nu, state.phi, state.varphi, rho
+        )
+        rng = np.random.default_rng(0)
+        m = view.num_frontends
+        for j in range(view.num_datacenters):
+            beta = view.betas[j]
+
+            def obj(col, j=j, beta=beta):
+                lin = -(beta * state.phi[j] + state.varphi[:, j]) @ col
+                quad = 0.5 * rho * (beta * col.sum()) ** 2
+                rest = rho * col @ (
+                    0.5 * col
+                    - state.lam[:, j]
+                    + beta * (view.alphas[j] - state.mu[j] - state.nu[j])
+                )
+                return lin + quad + rest
+
+            best = obj(a[:, j])
+            for _ in range(60):
+                col = rng.uniform(0, 1, size=m)
+                col *= min(1.0, view.capacities[j] / col.sum())
+                assert best <= obj(col) + 1e-8
+
+
+class TestDualUpdates:
+    def test_formulas(self, scaled):
+        view, inputs = scaled
+        state = random_state(view, inputs, 11)
+        rho = 0.3
+        phi_pred, varphi_pred = sp.dual_updates(
+            view, state.lam, state.mu, state.nu, state.a, state.phi, state.varphi, rho
+        )
+        balance = (
+            view.alphas + view.betas * state.a.sum(axis=0) - state.mu - state.nu
+        )
+        np.testing.assert_allclose(phi_pred, state.phi - rho * balance)
+        np.testing.assert_allclose(
+            varphi_pred, state.varphi - rho * (state.a - state.lam)
+        )
+
+
+class TestCorrectionStep:
+    def test_matches_generic_gaussian_back_substitution(self, scaled):
+        """Build the K matrices of Sec. III-C explicitly and apply the
+        generic G correction of Eq. (10); the closed form must agree."""
+        view, inputs = scaled
+        m, n = view.num_frontends, view.num_datacenters
+        rho, eps = 0.3, 0.9
+        state = random_state(view, inputs, 12)
+        pred = random_state(view, inputs, 13)
+
+        # Constraint rows: MN coupling rows (a - lambda = 0) then N
+        # power-balance rows (beta_j sum_i a_ij - mu_j - nu_j = -alpha_j).
+        mn = m * n
+        k2 = np.zeros((mn + n, n))  # mu
+        k3 = np.zeros((mn + n, n))  # nu
+        k4 = np.zeros((mn + n, mn))  # a (row-major (i, j) flattening)
+        for j in range(n):
+            k2[mn + j, j] = -1.0
+            k3[mn + j, j] = -1.0
+        for i in range(m):
+            for j in range(n):
+                k4[i * n + j, i * n + j] = 1.0
+                k4[mn + j, i * n + j] = view.betas[j]
+
+        def correct_generic():
+            mats = {2: k2, 3: k3, 4: k4}
+            xs = {
+                2: state.mu.copy(),
+                3: state.nu.copy(),
+                4: state.a.ravel().copy(),
+            }
+            preds = {2: pred.mu, 3: pred.nu, 4: pred.a.ravel()}
+            deltas = {}
+            for i in (4, 3, 2):
+                downstream = np.zeros(mn + n)
+                for jj in range(i + 1, 5):
+                    downstream += mats[jj] @ deltas[jj]
+                gram = mats[i].T @ mats[i]
+                deltas[i] = eps * (preds[i] - xs[i]) - np.linalg.solve(
+                    gram, mats[i].T @ downstream
+                )
+            return (
+                xs[2] + deltas[2],
+                xs[3] + deltas[3],
+                (xs[4] + deltas[4]).reshape(m, n),
+            )
+
+        mu_ref, nu_ref, a_ref = correct_generic()
+        lam_new, mu_new, nu_new, a_new, phi_new, varphi_new = sp.correction_step(
+            view, eps, pred.lam,
+            state.mu, pred.mu, state.nu, pred.nu, state.a, pred.a,
+            state.phi, pred.phi, state.varphi, pred.varphi,
+        )
+        np.testing.assert_allclose(a_new, a_ref, atol=1e-10)
+        np.testing.assert_allclose(nu_new, nu_ref, atol=1e-10)
+        np.testing.assert_allclose(mu_new, mu_ref, atol=1e-10)
+        np.testing.assert_allclose(lam_new, pred.lam)
+        np.testing.assert_allclose(
+            phi_new, state.phi + eps * (pred.phi - state.phi)
+        )
+        np.testing.assert_allclose(
+            varphi_new, state.varphi + eps * (pred.varphi - state.varphi)
+        )
+
+    def test_eps_one_moves_duals_fully(self, scaled):
+        view, inputs = scaled
+        state = random_state(view, inputs, 14)
+        pred = random_state(view, inputs, 15)
+        _, _, _, _, phi_new, varphi_new = sp.correction_step(
+            view, 1.0, pred.lam,
+            state.mu, pred.mu, state.nu, pred.nu, state.a, pred.a,
+            state.phi, pred.phi, state.varphi, pred.varphi,
+        )
+        np.testing.assert_allclose(phi_new, pred.phi)
+        np.testing.assert_allclose(varphi_new, pred.varphi)
+
+
+class TestScaledView:
+    def test_problem_invariance(self, tiny_model, tiny_inputs):
+        """Scaled and unscaled views describe the same physical problem:
+        power at matching points is identical."""
+        view = ScaledView(tiny_model, 100.0)
+        load_servers = np.array([300.0, 900.0])
+        raw_power = tiny_model.alphas + tiny_model.betas * load_servers
+        scaled_power = view.alphas + view.betas * (load_servers / 100.0)
+        np.testing.assert_allclose(raw_power, scaled_power)
+
+    def test_capacity_scaling(self, tiny_model):
+        view = ScaledView(tiny_model, 100.0)
+        np.testing.assert_allclose(view.capacities, [10.0, 20.0])
+
+    def test_invalid_scale(self, tiny_model):
+        with pytest.raises(ValueError):
+            ScaledView(tiny_model, 0.0)
+
+    def test_natural_scale_positive_and_finite(self, tiny_model, small_model):
+        for m in (tiny_model, small_model):
+            s = ScaledView.natural_scale(m, rho=0.3)
+            assert np.isfinite(s) and s >= 1.0
+
+    def test_natural_scale_linear_utility_fallback(self, tiny_model):
+        from repro.costs.latency import LinearLatencyUtility
+        from repro.core.model import CloudModel
+
+        model = CloudModel(
+            tiny_model.datacenters,
+            tiny_model.frontends,
+            tiny_model.latency_ms,
+            utility=LinearLatencyUtility(),
+        )
+        s = ScaledView.natural_scale(model, rho=0.3)
+        assert s == pytest.approx(model.capacities.sum() / model.num_frontends)

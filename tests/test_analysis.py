@@ -1,0 +1,108 @@
+"""Tests for the analysis tools (repro.analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.decomposition import decompose_hybrid_gain
+from repro.analysis.sensitivity import latency_cost_frontier, ufc_sensitivity
+from repro.core.strategies import HYBRID
+from repro.costs.carbon import CapAndTrade
+from repro.sim.simulator import Simulator
+
+
+class TestDecomposition:
+    def test_terms_sum_to_total(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle)
+        d = decompose_hybrid_gain(sim.problem_for_slot(2, HYBRID))
+        assert d.sourcing_gain + d.routing_gain == pytest.approx(d.total_gain)
+
+    def test_both_terms_nonnegative(self, small_model, small_bundle):
+        """Sourcing re-optimizes within a superset; routing re-optimizes
+        jointly — each step can only help (up to solver tolerance)."""
+        sim = Simulator(small_model, small_bundle)
+        for t in (0, 6, 12, 18):
+            d = decompose_hybrid_gain(sim.problem_for_slot(t, HYBRID))
+            scale = max(1.0, abs(d.ufc_grid))
+            assert d.sourcing_gain >= -1e-4 * scale, t
+            assert d.routing_gain >= -1e-4 * scale, t
+
+    def test_tiny_problem_values(self, tiny_problem):
+        d = decompose_hybrid_gain(tiny_problem)
+        # Grid at 60/30 with light carbon: fuel cells never pay here, so
+        # both effects vanish.
+        assert d.total_gain == pytest.approx(0.0, abs=1e-3)
+
+    def test_sourcing_dominates_when_routing_fixed_is_enough(
+        self, small_model, small_bundle
+    ):
+        """Across a day, sourcing explains the majority of the total
+        gain (routing refinements are second-order at these traces)."""
+        sim = Simulator(small_model, small_bundle)
+        sourcing = routing = 0.0
+        for t in range(0, 24, 3):
+            d = decompose_hybrid_gain(sim.problem_for_slot(t, HYBRID))
+            sourcing += d.sourcing_gain
+            routing += d.routing_gain
+        assert sourcing >= routing
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def sensitivities(self):
+        from repro.sim.simulator import build_model
+        from repro.traces.datasets import default_bundle
+
+        bundle = default_bundle(hours=12)
+        model = build_model(bundle)
+        return ufc_sensitivity(model, bundle, hours=8)
+
+    def test_all_parameters_reported(self, sensitivities):
+        assert set(sensitivities) == {
+            "fuel_cell_price", "carbon_tax", "latency_weight",
+        }
+
+    def test_signs(self, sensitivities):
+        """Raising any price/weight can only lower the optimal UFC
+        (envelope theorem: costs enter negatively)."""
+        assert sensitivities["fuel_cell_price"] <= 1e-6
+        assert sensitivities["carbon_tax"] <= 1e-6
+        assert sensitivities["latency_weight"] <= 1e-6
+
+    def test_non_flat_tax_rejected(self, small_model, small_bundle):
+        model = small_model.with_emission_costs(CapAndTrade(cap_kg=100.0))
+        with pytest.raises(ValueError):
+            ufc_sensitivity(model, small_bundle, hours=2)
+
+
+class TestParetoFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        from repro.sim.simulator import build_model
+        from repro.traces.datasets import default_bundle
+
+        bundle = default_bundle(hours=12)
+        model = build_model(bundle)
+        return latency_cost_frontier(
+            model, bundle, weights=(0.0, 3.0, 30.0), hours=8
+        )
+
+    def test_latency_decreases_with_weight(self, frontier):
+        lat = [p.mean_latency_ms for p in frontier]
+        assert all(a >= b - 1e-6 for a, b in zip(lat, lat[1:]))
+
+    def test_cost_increases_with_weight(self, frontier):
+        cost = [p.total_cost for p in frontier]
+        assert all(a <= b + 1e-3 for a, b in zip(cost, cost[1:]))
+
+    def test_weight_zero_ignores_latency(self, frontier):
+        # With w = 0 the router chases cost only; latency is far above
+        # the latency-optimal level.
+        assert frontier[0].mean_latency_ms > frontier[-1].mean_latency_ms + 5.0
+
+    def test_negative_weight_rejected(self, small_model, small_bundle):
+        with pytest.raises(ValueError):
+            latency_cost_frontier(
+                small_model, small_bundle, weights=(-1.0,), hours=2
+            )

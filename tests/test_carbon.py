@@ -1,0 +1,261 @@
+"""Tests for repro.costs.carbon: intensity and emission-cost functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.carbon import (
+    FUEL_CARBON_RATES_G_PER_KWH,
+    CapAndTrade,
+    LinearCarbonTax,
+    NoEmissionCost,
+    QuadraticEmissionCost,
+    SteppedCarbonTax,
+    carbon_intensity,
+)
+from repro.optim.scalar import minimize_convex_on_interval
+
+
+class TestCarbonIntensity:
+    def test_pure_coal(self):
+        assert carbon_intensity({"coal": 10.0}) == pytest.approx(968.0)
+
+    def test_equal_coal_gas_mix(self):
+        # Paper Eq. (1): weighted average of Table III rates.
+        assert carbon_intensity({"coal": 1.0, "gas": 1.0}) == pytest.approx(
+            (968.0 + 440.0) / 2
+        )
+
+    def test_weights_matter(self):
+        mix = {"coal": 3.0, "wind": 1.0}
+        assert carbon_intensity(mix) == pytest.approx((3 * 968.0 + 22.5) / 4)
+
+    def test_unknown_fuel_rejected(self):
+        with pytest.raises(KeyError):
+            carbon_intensity({"fusion": 1.0})
+
+    def test_negative_generation_rejected(self):
+        with pytest.raises(ValueError):
+            carbon_intensity({"coal": -1.0})
+
+    def test_zero_mix_rejected(self):
+        with pytest.raises(ValueError):
+            carbon_intensity({"coal": 0.0})
+
+    def test_table_iii_values_present(self):
+        for fuel in ("nuclear", "coal", "gas", "oil", "hydro", "wind"):
+            assert fuel in FUEL_CARBON_RATES_G_PER_KWH
+
+    @given(
+        coal=st.floats(min_value=0.01, max_value=10),
+        gas=st.floats(min_value=0.01, max_value=10),
+        wind=st.floats(min_value=0.01, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_intensity_bounded_by_extremes(self, coal, gas, wind):
+        c = carbon_intensity({"coal": coal, "gas": gas, "wind": wind})
+        assert 22.5 <= c <= 968.0
+
+
+def prox_reference(v, c_rate, linear, d, rho):
+    """Golden-section reference for the nu prox.
+
+    The bracket must contain the minimizer: the quadratic term pins it
+    below ``d + (|linear| + max slope impact)/rho``.
+    """
+    hi = abs(d) * 3 + (abs(linear) + 300.0) / rho + 50.0
+    return minimize_convex_on_interval(
+        lambda x: v.cost(c_rate * x) + linear * x + 0.5 * rho * (x - d) ** 2,
+        0.0,
+        hi,
+        tol=1e-13,
+    )
+
+
+class TestLinearCarbonTax:
+    def test_cost_units(self):
+        # $25/tonne == $0.025/kg.
+        tax = LinearCarbonTax(25.0)
+        assert tax.cost(1000.0) == pytest.approx(25.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCarbonTax(-1.0)
+
+    def test_prox_closed_form(self):
+        tax = LinearCarbonTax(25.0)
+        # nu = d - (linear + rate_kg * c)/rho.
+        nu = tax.prox_nu(c_rate=400.0, linear=2.0, d=15.0, rho=1.0)
+        assert nu == pytest.approx(15.0 - (2.0 + 0.025 * 400.0))
+
+    def test_prox_clamps_at_zero(self):
+        tax = LinearCarbonTax(25.0)
+        assert tax.prox_nu(c_rate=400.0, linear=100.0, d=1.0, rho=1.0) == 0.0
+
+    def test_quadratic_coefficients(self):
+        tax = LinearCarbonTax(40.0)
+        a, b = tax.nu_quadratic(500.0)
+        assert a == 0.0
+        assert b == pytest.approx(0.04 * 500.0)
+
+    def test_epigraph_single_segment(self):
+        tax = LinearCarbonTax(40.0)
+        segments = tax.nu_epigraph(500.0)
+        assert len(segments) == 1
+        slope, intercept = segments[0]
+        assert slope == pytest.approx(0.04 * 500.0)
+        assert intercept == 0.0
+
+    @given(
+        rate=st.floats(min_value=0, max_value=200),
+        c=st.floats(min_value=0, max_value=1000),
+        linear=st.floats(min_value=-50, max_value=100),
+        d=st.floats(min_value=-5, max_value=20),
+        rho=st.floats(min_value=0.05, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prox_matches_reference(self, rate, c, linear, d, rho):
+        tax = LinearCarbonTax(rate)
+        exact = tax.prox_nu(c_rate=c, linear=linear, d=d, rho=rho)
+        ref = prox_reference(tax, c, linear, d, rho)
+        assert exact == pytest.approx(ref, abs=1e-5)
+
+
+class TestSteppedCarbonTax:
+    def make(self):
+        return SteppedCarbonTax(
+            thresholds_kg=[0.0, 1000.0, 3000.0],
+            rates_per_tonne=[10.0, 30.0, 80.0],
+        )
+
+    def test_bracketed_cost(self):
+        tax = self.make()
+        # 2000 kg: 1000 @ $10/t + 1000 @ $30/t = 10 + 30.
+        assert tax.cost(2000.0) == pytest.approx(40.0)
+
+    def test_cost_is_convex_increasing(self):
+        tax = self.make()
+        xs = np.linspace(0, 6000, 100)
+        vals = np.array([tax.cost(x) for x in xs])
+        assert (np.diff(vals) >= -1e-12).all()
+        assert (np.diff(vals, 2) >= -1e-9).all()
+
+    def test_decreasing_rates_rejected(self):
+        with pytest.raises(ValueError):
+            SteppedCarbonTax([0.0, 100.0], [30.0, 10.0])
+
+    def test_prox_zero_carbon_rate(self):
+        tax = self.make()
+        assert tax.prox_nu(c_rate=0.0, linear=1.0, d=3.0, rho=1.0) == pytest.approx(2.0)
+
+    def test_epigraph_is_tight_envelope(self):
+        tax = self.make()
+        segments = tax.nu_epigraph(500.0)
+        assert len(segments) == 3
+        for nu in np.linspace(0, 20, 40):
+            envelope = max(s * nu + i for s, i in segments)
+            assert envelope == pytest.approx(tax.cost(500.0 * nu), abs=1e-9)
+
+    @given(
+        c=st.floats(min_value=10, max_value=1000),
+        linear=st.floats(min_value=-50, max_value=100),
+        d=st.floats(min_value=-5, max_value=30),
+        rho=st.floats(min_value=0.05, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prox_matches_reference(self, c, linear, d, rho):
+        tax = self.make()
+        exact = tax.prox_nu(c_rate=c, linear=linear, d=d, rho=rho)
+        ref = prox_reference(tax, c, linear, d, rho)
+        obj = lambda x: tax.cost(c * x) + linear * x + 0.5 * rho * (x - d) ** 2
+        assert obj(exact) <= obj(ref) + 1e-7
+
+
+class TestCapAndTrade:
+    def test_buying_above_cap(self):
+        ct = CapAndTrade(cap_kg=1000.0, buy_price_per_tonne=20.0)
+        # 500 kg above cap at $20/tonne = $10, minus unsold... with equal
+        # sell price: V(E) = 20/1000 * (E - cap).
+        assert ct.cost(1500.0) == pytest.approx(10.0)
+
+    def test_selling_below_cap(self):
+        ct = CapAndTrade(
+            cap_kg=1000.0, buy_price_per_tonne=20.0, sell_price_per_tonne=10.0
+        )
+        # 400 kg unused permits sold at $10/tonne -> -$4.
+        assert ct.cost(600.0) == pytest.approx(-4.0)
+
+    def test_exact_cap_costs_nothing(self):
+        ct = CapAndTrade(cap_kg=1000.0, buy_price_per_tonne=20.0)
+        assert ct.cost(1000.0) == pytest.approx(0.0)
+
+    def test_zero_cap_is_linear_pricing(self):
+        ct = CapAndTrade(cap_kg=0.0, buy_price_per_tonne=20.0)
+        assert ct.cost(500.0) == pytest.approx(10.0)
+
+    def test_sell_above_buy_rejected(self):
+        with pytest.raises(ValueError):
+            CapAndTrade(cap_kg=10.0, buy_price_per_tonne=10.0, sell_price_per_tonne=20.0)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            CapAndTrade(cap_kg=-1.0)
+
+    def test_epigraph_is_tight_envelope(self):
+        ct = CapAndTrade(
+            cap_kg=800.0, buy_price_per_tonne=25.0, sell_price_per_tonne=12.0
+        )
+        segments = ct.nu_epigraph(400.0)
+        for nu in np.linspace(0, 10, 30):
+            envelope = max(s * nu + i for s, i in segments)
+            assert envelope == pytest.approx(ct.cost(400.0 * nu), abs=1e-9)
+
+    @given(
+        cap=st.one_of(st.just(0.0), st.floats(min_value=0.5, max_value=3000)),
+        c=st.floats(min_value=10, max_value=1000),
+        d=st.floats(min_value=-5, max_value=30),
+        rho=st.floats(min_value=0.05, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prox_matches_reference(self, cap, c, d, rho):
+        ct = CapAndTrade(cap_kg=cap, buy_price_per_tonne=30.0,
+                         sell_price_per_tonne=15.0)
+        exact = ct.prox_nu(c_rate=c, linear=5.0, d=d, rho=rho)
+        obj = lambda x: ct.cost(c * x) + 5.0 * x + 0.5 * rho * (x - d) ** 2
+        ref = prox_reference(ct, c, 5.0, d, rho)
+        assert obj(exact) <= obj(ref) + 1e-7
+
+
+class TestQuadraticEmissionCost:
+    def test_cost(self):
+        v = QuadraticEmissionCost(rate_per_tonne=20.0, quad_per_kg2=0.001)
+        assert v.cost(100.0) == pytest.approx(0.001 * 10000 + 0.02 * 100)
+
+    def test_prox_closed_form_against_reference(self):
+        v = QuadraticEmissionCost(rate_per_tonne=20.0, quad_per_kg2=1e-5)
+        exact = v.prox_nu(c_rate=500.0, linear=3.0, d=8.0, rho=0.5)
+        ref = prox_reference(v, 500.0, 3.0, 8.0, 0.5)
+        assert exact == pytest.approx(ref, abs=1e-5)
+
+    def test_strong_convexity_coefficient_exposed(self):
+        v = QuadraticEmissionCost(rate_per_tonne=10.0, quad_per_kg2=2e-5)
+        a, b = v.nu_quadratic(300.0)
+        assert a == pytest.approx(2e-5 * 300.0**2)
+        assert b == pytest.approx(0.01 * 300.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticEmissionCost(rate_per_tonne=-1.0, quad_per_kg2=0.0)
+
+
+class TestNoEmissionCost:
+    def test_always_zero(self):
+        v = NoEmissionCost()
+        assert v.cost(1e9) == 0.0
+
+    def test_prox_is_plain_shrink(self):
+        v = NoEmissionCost()
+        assert v.prox_nu(c_rate=500.0, linear=2.0, d=5.0, rho=1.0) == pytest.approx(3.0)

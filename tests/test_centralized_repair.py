@@ -1,0 +1,219 @@
+"""Tests for the centralized solver, power split and feasibility repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.centralized import CentralizedSolver, optimal_power_split
+from repro.core.problem import SlotInputs, UFCProblem
+from repro.core.repair import polish_allocation, repair_routing
+from repro.core.strategies import FUEL_CELL, GRID, HYBRID
+from repro.costs.carbon import QuadraticEmissionCost, SteppedCarbonTax
+
+
+class TestOptimalPowerSplit:
+    def test_bang_bang_cheap_grid(self, tiny_model, tiny_inputs):
+        """Grid at 60/30 + carbon < p0=80 everywhere: no fuel cells."""
+        loads = np.array([500.0, 1000.0])
+        mu, nu = optimal_power_split(tiny_model, tiny_inputs, loads)
+        np.testing.assert_allclose(mu, 0.0)
+        demand = tiny_model.alphas + tiny_model.betas * loads
+        np.testing.assert_allclose(nu, demand)
+
+    def test_bang_bang_dear_grid(self, tiny_model):
+        inputs = SlotInputs(
+            arrivals=np.array([400.0, 600.0, 500.0]),
+            prices=np.array([300.0, 300.0]),
+            carbon_rates=np.array([0.0, 0.0]),
+        )
+        loads = np.array([500.0, 1000.0])
+        mu, nu = optimal_power_split(tiny_model, inputs, loads)
+        demand = tiny_model.alphas + tiny_model.betas * loads
+        np.testing.assert_allclose(mu, demand)
+        np.testing.assert_allclose(nu, 0.0)
+
+    def test_carbon_tax_tips_the_balance(self, tiny_model):
+        """Grid at 75 < p0=80, but 300 kg/MWh taxed at $25/t adds 7.5."""
+        inputs = SlotInputs(
+            arrivals=np.array([400.0, 600.0, 500.0]),
+            prices=np.array([75.0, 75.0]),
+            carbon_rates=np.array([300.0, 0.0]),
+        )
+        loads = np.array([500.0, 1000.0])
+        mu, nu = optimal_power_split(tiny_model, inputs, loads)
+        demand = tiny_model.alphas + tiny_model.betas * loads
+        np.testing.assert_allclose(mu[0], demand[0])  # 75+7.5 > 80: burn
+        np.testing.assert_allclose(mu[1], 0.0)        # 75 < 80: buy
+
+    def test_grid_strategy_forces_nu(self, tiny_model, tiny_inputs):
+        loads = np.array([500.0, 1000.0])
+        mu, nu = optimal_power_split(tiny_model, tiny_inputs, loads, strategy=GRID)
+        np.testing.assert_allclose(mu, 0.0)
+
+    def test_fuel_cell_strategy_forces_mu(self, tiny_model, tiny_inputs):
+        loads = np.array([500.0, 1000.0])
+        mu, nu = optimal_power_split(
+            tiny_model, tiny_inputs, loads, strategy=FUEL_CELL
+        )
+        np.testing.assert_allclose(nu, 0.0)
+        demand = tiny_model.alphas + tiny_model.betas * loads
+        np.testing.assert_allclose(mu, demand)
+
+    def test_fuel_cell_strategy_infeasible_demand(self, tiny_model, tiny_inputs):
+        small_fc = tiny_model.with_fuel_cell_price(80.0)
+        # Shrink fuel-cell capacity below idle demand.
+        from repro.core.model import CloudModel, Datacenter
+
+        dcs = [
+            Datacenter(name=d.name, servers=d.servers, power=d.power,
+                       fuel_cell_capacity_mw=0.01)
+            for d in small_fc.datacenters
+        ]
+        model = CloudModel(
+            dcs, small_fc.frontends, small_fc.latency_ms,
+            emission_costs=small_fc.emission_costs,
+        )
+        with pytest.raises(ValueError):
+            optimal_power_split(
+                model, tiny_inputs, np.array([500.0, 500.0]), strategy=FUEL_CELL
+            )
+
+    def test_quadratic_emission_cost_interior_split(self, tiny_model, tiny_inputs):
+        """Strongly convex V makes the optimal split interior, matching
+        a grid search."""
+        model = tiny_model.with_emission_costs(
+            QuadraticEmissionCost(rate_per_tonne=0.0, quad_per_kg2=5e-3)
+        )
+        inputs = SlotInputs(
+            arrivals=tiny_inputs.arrivals,
+            prices=np.array([60.0, 30.0]),
+            carbon_rates=np.array([300.0, 600.0]),
+        )
+        loads = np.array([500.0, 800.0])
+        mu, nu = optimal_power_split(model, inputs, loads)
+        demand = model.alphas + model.betas * loads
+        np.testing.assert_allclose(mu + nu, demand, atol=1e-9)
+        for j in range(2):
+            v = model.emission_costs[j]
+            c, p = inputs.carbon_rates[j], inputs.prices[j]
+
+            def cost(m, j=j, d=demand[j], v=v, c=c, p=p):
+                return 80.0 * m + p * (d - m) + v.cost(c * (d - m))
+
+            grid_best = min(cost(m) for m in np.linspace(0, demand[j], 2000))
+            assert cost(mu[j]) <= grid_best + 1e-6
+
+    def test_loads_shape_validated(self, tiny_model, tiny_inputs):
+        with pytest.raises(ValueError):
+            optimal_power_split(tiny_model, tiny_inputs, np.array([1.0]))
+
+
+class TestRepairRouting:
+    def test_noop_on_feasible_routing(self):
+        lam = np.array([[1.0, 2.0], [0.5, 0.5]])
+        out = repair_routing(lam, np.array([3.0, 1.0]), np.array([5.0, 5.0]))
+        np.testing.assert_allclose(out, lam)
+
+    def test_restores_row_sums(self):
+        lam = np.array([[1.0, 1.0]])  # row sum 2, arrival 4
+        out = repair_routing(lam, np.array([4.0]), np.array([10.0, 10.0]))
+        assert out.sum() == pytest.approx(4.0)
+
+    def test_moves_overflow_to_slack(self):
+        lam = np.array([[6.0, 0.0], [6.0, 0.0]])
+        out = repair_routing(lam, np.array([6.0, 6.0]), np.array([8.0, 10.0]))
+        load = out.sum(axis=0)
+        assert load[0] <= 8.0 + 1e-9
+        np.testing.assert_allclose(out.sum(axis=1), [6.0, 6.0])
+
+    def test_infeasible_total_rejected(self):
+        with pytest.raises(ValueError):
+            repair_routing(np.ones((1, 1)), np.array([10.0]), np.array([5.0]))
+
+    @given(
+        seed=st.integers(0, 500),
+        m=st.integers(1, 6),
+        n=st.integers(1, 4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_repair_always_feasible(self, seed, m, n):
+        rng = np.random.default_rng(seed)
+        capacities = rng.uniform(5, 20, size=n)
+        arrivals = rng.uniform(0, capacities.sum() / m, size=m)
+        lam = rng.uniform(0, 5, size=(m, n))
+        out = repair_routing(lam, arrivals, capacities)
+        assert (out >= -1e-12).all()
+        np.testing.assert_allclose(out.sum(axis=1), arrivals, rtol=1e-8, atol=1e-8)
+        assert (out.sum(axis=0) <= capacities * (1 + 1e-6) + 1e-9).all()
+
+
+class TestPolishAllocation:
+    def test_polish_produces_feasible_optimal_split(self, tiny_problem):
+        lam = np.array([[500.0, -20.0], [580.0, 30.0], [100.0, 390.0]])
+        alloc = polish_allocation(
+            tiny_problem.model, tiny_problem.inputs, lam, strategy=HYBRID
+        )
+        report = tiny_problem.check_feasibility(alloc, tol=1e-7)
+        assert report.ok
+
+    def test_polish_never_hurts_relative_to_split(self, tiny_problem):
+        """Polished (mu, nu) is the optimal split for the fixed routing:
+        any other feasible split costs at least as much."""
+        lam = np.tile(tiny_problem.inputs.arrivals[:, None] / 2.0, (1, 2))
+        alloc = polish_allocation(tiny_problem.model, tiny_problem.inputs, lam)
+        demand = tiny_problem.demand_mw(alloc)
+        rng = np.random.default_rng(0)
+        base_cost = tiny_problem.energy_cost(alloc) + tiny_problem.carbon_cost(alloc)
+        for _ in range(25):
+            frac = rng.random(2)
+            mu = np.minimum(frac * demand, tiny_problem.model.mu_max)
+            from repro.core.solution import Allocation
+
+            other = Allocation(lam=alloc.lam, mu=mu, nu=demand - mu)
+            other_cost = tiny_problem.energy_cost(other) + tiny_problem.carbon_cost(
+                other
+            )
+            assert base_cost <= other_cost + 1e-8
+
+
+class TestCentralizedSolver:
+    def test_tiny_problem_optimum_beats_heuristics(self, tiny_problem):
+        res = CentralizedSolver().solve(tiny_problem)
+        assert res.converged
+        # Compare against proportional routing + optimal split.
+        weights = tiny_problem.model.capacities / tiny_problem.model.capacities.sum()
+        lam = np.outer(tiny_problem.inputs.arrivals, weights)
+        heuristic = polish_allocation(tiny_problem.model, tiny_problem.inputs, lam)
+        assert res.ufc >= tiny_problem.ufc(heuristic) - 1e-6
+
+    def test_stepped_tax_solved_via_epigraph(self, tiny_model, tiny_inputs):
+        model = tiny_model.with_emission_costs(
+            SteppedCarbonTax([0.0, 50.0], [10.0, 200.0])
+        )
+        problem = UFCProblem(model, tiny_inputs)
+        res = CentralizedSolver().solve(problem)
+        assert res.converged
+        assert problem.check_feasibility(res.allocation, tol=1e-5).ok
+
+    def test_non_qp_cost_raises(self, tiny_model, tiny_inputs):
+        from repro.costs.carbon import EmissionCostFunction
+
+        class WeirdCost(EmissionCostFunction):
+            def cost(self, e):
+                return float(np.expm1(max(e, 0.0) * 1e-4))
+
+            def prox_nu(self, c_rate, linear, d, rho):
+                from repro.optim.scalar import prox_nonneg
+
+                return prox_nonneg(
+                    lambda x: self.cost(c_rate * x) + linear * x, d, rho
+                )
+
+        model = tiny_model.with_emission_costs(WeirdCost())
+        problem = UFCProblem(model, tiny_inputs)
+        with pytest.raises(NotImplementedError):
+            CentralizedSolver().solve(problem)

@@ -1,0 +1,166 @@
+"""Tests for repro.core.model, solution and strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import CloudModel, Datacenter, FrontEnd
+from repro.core.solution import Allocation
+from repro.core.strategies import ALL_STRATEGIES, FUEL_CELL, GRID, HYBRID, Strategy
+from repro.costs.carbon import LinearCarbonTax, NoEmissionCost
+from repro.costs.energy import ServerPowerModel
+
+
+class TestDatacenter:
+    def test_paper_sizing_rule(self):
+        dc = Datacenter(name="x", servers=20_000)
+        # mu_max defaults to peak demand: 20000 * 200W * 1.2.
+        assert dc.mu_max_mw == pytest.approx(4.8)
+        assert dc.alpha_mw == pytest.approx(2.4)
+        assert dc.beta_mw == pytest.approx(1.2e-4)
+
+    def test_explicit_fuel_cell_capacity(self):
+        dc = Datacenter(name="x", servers=1000, fuel_cell_capacity_mw=0.1)
+        assert dc.mu_max_mw == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Datacenter(name="x", servers=0)
+        with pytest.raises(ValueError):
+            Datacenter(name="x", servers=10, fuel_cell_capacity_mw=-1)
+        with pytest.raises(ValueError):
+            Datacenter(name="x", servers=10, max_servers=5)
+
+
+class TestCloudModel:
+    def _make(self, **kw):
+        dcs = [Datacenter(name="a", servers=100), Datacenter(name="b", servers=200)]
+        fes = [FrontEnd("f1"), FrontEnd("f2"), FrontEnd("f3")]
+        latency = np.ones((3, 2))
+        return CloudModel(dcs, fes, latency, **kw)
+
+    def test_vector_properties(self):
+        m = self._make()
+        np.testing.assert_allclose(m.capacities, [100, 200])
+        assert m.alphas.shape == (2,)
+        assert m.mu_max.shape == (2,)
+        assert m.num_datacenters == 2
+        assert m.num_frontends == 3
+
+    def test_default_emission_cost_broadcast(self):
+        m = self._make()
+        assert len(m.emission_costs) == 2
+        assert all(isinstance(v, LinearCarbonTax) for v in m.emission_costs)
+
+    def test_per_datacenter_emission_costs(self):
+        m = self._make(emission_costs=[LinearCarbonTax(10.0), NoEmissionCost()])
+        assert isinstance(m.emission_costs[1], NoEmissionCost)
+
+    def test_emission_cost_count_mismatch(self):
+        with pytest.raises(ValueError):
+            self._make(emission_costs=[LinearCarbonTax(10.0)])
+
+    def test_latency_shape_mismatch(self):
+        dcs = [Datacenter(name="a", servers=100)]
+        fes = [FrontEnd("f1")]
+        with pytest.raises(ValueError):
+            CloudModel(dcs, fes, np.ones((2, 2)))
+
+    def test_negative_latency_rejected(self):
+        dcs = [Datacenter(name="a", servers=100)]
+        fes = [FrontEnd("f1")]
+        with pytest.raises(ValueError):
+            CloudModel(dcs, fes, np.array([[-1.0]]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CloudModel([], [FrontEnd("f")], np.ones((1, 0)))
+        with pytest.raises(ValueError):
+            CloudModel([Datacenter(name="a", servers=1)], [], np.ones((0, 1)))
+
+    def test_invalid_prices_rejected(self):
+        with pytest.raises(ValueError):
+            self._make(fuel_cell_price=-1.0)
+        with pytest.raises(ValueError):
+            self._make(latency_weight=-1.0)
+
+    def test_with_fuel_cell_price_copy(self):
+        m = self._make()
+        m2 = m.with_fuel_cell_price(55.0)
+        assert m2.fuel_cell_price == 55.0
+        assert m.fuel_cell_price == 80.0
+        assert m2.datacenters is not None
+
+    def test_with_emission_costs_copy(self):
+        m = self._make()
+        m2 = m.with_emission_costs(NoEmissionCost())
+        assert isinstance(m2.emission_costs[0], NoEmissionCost)
+        assert isinstance(m.emission_costs[0], LinearCarbonTax)
+
+
+class TestStrategy:
+    def test_canonical_strategies(self):
+        assert GRID.effective_mu_max(np.array([5.0])).tolist() == [0.0]
+        assert HYBRID.effective_mu_max(np.array([5.0])).tolist() == [5.0]
+        assert FUEL_CELL.effective_mu_max(np.array([5.0])).tolist() == [5.0]
+        assert not FUEL_CELL.nu_allowed
+        assert GRID.nu_allowed and HYBRID.nu_allowed
+        assert len(ALL_STRATEGIES) == 3
+
+    def test_strategy_must_enable_a_source(self):
+        with pytest.raises(ValueError):
+            Strategy("nothing", fuel_cell_enabled=False, grid_enabled=False)
+
+
+class TestAllocation:
+    def test_datacenter_load(self):
+        alloc = Allocation(
+            lam=np.array([[1.0, 2.0], [3.0, 4.0]]),
+            mu=np.zeros(2),
+            nu=np.zeros(2),
+        )
+        np.testing.assert_allclose(alloc.datacenter_load(), [4.0, 6.0])
+        assert alloc.num_frontends == 2
+        assert alloc.num_datacenters == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Allocation(lam=np.zeros(3), mu=np.zeros(1), nu=np.zeros(1))
+        with pytest.raises(ValueError):
+            Allocation(lam=np.zeros((2, 3)), mu=np.zeros(2), nu=np.zeros(3))
+
+    def test_feasibility_clean_point(self):
+        alloc = Allocation(
+            lam=np.array([[2.0, 0.0]]),
+            mu=np.array([0.0, 0.0]),
+            nu=np.array([0.5, 0.2]),
+        )
+        report = alloc.check_feasibility(
+            arrivals=np.array([2.0]),
+            capacities=np.array([10.0, 10.0]),
+            alphas=np.array([0.5, 0.2]),
+            betas=np.array([0.0, 0.0]),
+            mu_max=np.array([1.0, 1.0]),
+        )
+        assert report.ok
+        assert report.max_violation() == pytest.approx(0.0)
+
+    def test_feasibility_flags_violations(self):
+        alloc = Allocation(
+            lam=np.array([[5.0, 0.0]]),   # row sum 5 != arrival 2
+            mu=np.array([2.0, 0.0]),      # exceeds mu_max 1
+            nu=np.array([0.0, 0.0]),
+        )
+        report = alloc.check_feasibility(
+            arrivals=np.array([2.0]),
+            capacities=np.array([4.0, 10.0]),  # capacity violated too
+            alphas=np.array([0.0, 0.0]),
+            betas=np.array([0.0, 0.0]),
+            mu_max=np.array([1.0, 1.0]),
+        )
+        assert not report.ok
+        assert report.load_balance == pytest.approx(3.0)
+        assert report.capacity == pytest.approx(1.0)
+        assert report.bounds == pytest.approx(1.0)
+        assert report.power_balance == pytest.approx(2.0)

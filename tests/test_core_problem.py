@@ -1,0 +1,230 @@
+"""Tests for repro.core.problem: metrics, QP compilation, strategies.
+
+The tiny fixture has exact hand-computable numbers:
+alpha = [0.12, 0.24] MW, beta = 1.2e-4 MW/server,
+arrivals = [400, 600, 500], prices = [60, 30] $/MWh,
+carbon rates = [300, 600] kg/MWh, $25/tonne tax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.centralized import CentralizedSolver
+from repro.core.problem import SlotInputs, UFCProblem
+from repro.core.solution import Allocation
+from repro.core.strategies import FUEL_CELL, GRID, HYBRID
+
+
+@pytest.fixture()
+def hand_allocation():
+    """Loads [1000, 500] -> demand [0.24, 0.30] MW, split by hand."""
+    lam = np.array([[400.0, 0.0], [600.0, 0.0], [0.0, 500.0]])
+    mu = np.array([0.1, 0.0])
+    nu = np.array([0.14, 0.30])
+    return Allocation(lam=lam, mu=mu, nu=nu)
+
+
+class TestMetrics:
+    def test_demand(self, tiny_problem, hand_allocation):
+        np.testing.assert_allclose(
+            tiny_problem.demand_mw(hand_allocation),
+            [0.12 + 1.2e-4 * 1000, 0.24 + 1.2e-4 * 500],
+        )
+
+    def test_energy_cost(self, tiny_problem, hand_allocation):
+        # 60*0.14 + 30*0.30 + 80*0.1 = 8.4 + 9 + 8 = 25.4.
+        assert tiny_problem.energy_cost(hand_allocation) == pytest.approx(25.4)
+
+    def test_carbon_kg(self, tiny_problem, hand_allocation):
+        # 300*0.14 + 600*0.30 = 42 + 180 = 222 kg.
+        assert tiny_problem.carbon_kg(hand_allocation) == pytest.approx(222.0)
+
+    def test_carbon_cost(self, tiny_problem, hand_allocation):
+        # $25/tonne -> 0.025 $/kg * 222 kg = 5.55.
+        assert tiny_problem.carbon_cost(hand_allocation) == pytest.approx(5.55)
+
+    def test_average_latency(self, tiny_problem, hand_allocation):
+        # Latencies (5, 10, 5) weighted by (400, 600, 500).
+        expected = (400 * 5 + 600 * 10 + 500 * 5) / 1500
+        assert tiny_problem.average_latency_ms(hand_allocation) == pytest.approx(
+            expected
+        )
+
+    def test_utility_quadratic(self, tiny_problem, hand_allocation):
+        # U_i = -A_i * (L in s)^2 with each FE on a single DC.
+        expected = -(400 * 0.005**2 + 600 * 0.010**2 + 500 * 0.005**2)
+        assert tiny_problem.utility(hand_allocation) == pytest.approx(expected)
+
+    def test_ufc_composition(self, tiny_problem, hand_allocation):
+        p = tiny_problem
+        a = hand_allocation
+        assert p.ufc(a) == pytest.approx(
+            10.0 * p.utility(a) - p.carbon_cost(a) - p.energy_cost(a)
+        )
+        assert p.objective_min(a) == pytest.approx(-p.ufc(a))
+
+    def test_fuel_cell_utilization(self, tiny_problem, hand_allocation):
+        demand = tiny_problem.demand_mw(hand_allocation).sum()
+        assert tiny_problem.fuel_cell_utilization(hand_allocation) == pytest.approx(
+            0.1 / demand
+        )
+
+    def test_feasibility_of_hand_point(self, tiny_problem, hand_allocation):
+        report = tiny_problem.check_feasibility(hand_allocation, tol=1e-9)
+        assert report.ok
+
+
+class TestProblemValidation:
+    def test_dimension_mismatches(self, tiny_model):
+        with pytest.raises(ValueError):
+            UFCProblem(
+                tiny_model,
+                SlotInputs(np.ones(2), np.ones(2), np.ones(2)),
+            )
+        with pytest.raises(ValueError):
+            UFCProblem(
+                tiny_model,
+                SlotInputs(np.ones(3), np.ones(3), np.ones(2)),
+            )
+
+    def test_overload_rejected(self, tiny_model):
+        """Arrivals above total capacity make (4)+(5) infeasible."""
+        with pytest.raises(ValueError):
+            UFCProblem(
+                tiny_model,
+                SlotInputs(
+                    arrivals=np.array([2000.0, 2000.0, 2000.0]),
+                    prices=np.ones(2),
+                    carbon_rates=np.ones(2),
+                ),
+            )
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            SlotInputs(np.array([-1.0]), np.ones(1), np.ones(1))
+        with pytest.raises(ValueError):
+            SlotInputs(np.ones(1), np.array([-2.0]), np.ones(1))
+        with pytest.raises(ValueError):
+            SlotInputs(np.ones(1), np.ones(1), np.array([-3.0]))
+
+
+class TestQPCompilation:
+    def test_qp_objective_matches_problem(self, tiny_problem):
+        """The compiled QP value tracks objective_min up to a constant,
+        checked at two feasible points."""
+        qp = tiny_problem.to_qp()
+
+        def qp_value_at(alloc):
+            x = np.concatenate(
+                [alloc.lam.ravel() / qp.lam_scale, alloc.mu, alloc.nu]
+            )
+            return 0.5 * x @ qp.P @ x + qp.q @ x
+
+        a1 = Allocation(
+            lam=np.array([[400.0, 0.0], [600.0, 0.0], [500.0, 0.0]]),
+            mu=np.array([0.1, 0.0]),
+            nu=np.array([0.2, 0.24]),
+        )
+        a2 = Allocation(
+            lam=np.array([[0.0, 400.0], [0.0, 600.0], [0.0, 500.0]]),
+            mu=np.array([0.0, 0.1]),
+            nu=np.array([0.12, 0.32]),
+        )
+        gap1 = tiny_problem.objective_min(a1) - qp_value_at(a1)
+        gap2 = tiny_problem.objective_min(a2) - qp_value_at(a2)
+        assert gap1 == pytest.approx(gap2, abs=1e-8)
+
+    def test_equality_rows(self, tiny_problem):
+        qp = tiny_problem.to_qp()
+        m, n = 3, 2
+        assert qp.A.shape[0] == m + n
+        assert qp.b[:m] == pytest.approx(
+            tiny_problem.inputs.arrivals / qp.lam_scale
+        )
+        assert qp.b[m:] == pytest.approx(-tiny_problem.model.alphas)
+
+    def test_grid_strategy_drops_mu(self, tiny_model, tiny_inputs):
+        problem = UFCProblem(tiny_model, tiny_inputs, strategy=GRID)
+        qp = problem.to_qp()
+        assert qp.mu_offset is None
+        assert qp.nu_offset is not None
+        alloc = qp.extract(np.ones(qp.P.shape[0]))
+        np.testing.assert_allclose(alloc.mu, 0.0)
+
+    def test_fuel_cell_strategy_drops_nu(self, tiny_model, tiny_inputs):
+        problem = UFCProblem(tiny_model, tiny_inputs, strategy=FUEL_CELL)
+        qp = problem.to_qp()
+        assert qp.nu_offset is None
+        assert qp.mu_offset is not None
+        alloc = qp.extract(np.ones(qp.P.shape[0]))
+        np.testing.assert_allclose(alloc.nu, 0.0)
+
+    def test_workload_scaling_roundtrip(self, tiny_problem):
+        qp = tiny_problem.to_qp(workload_scale=250.0)
+        assert qp.lam_scale == 250.0
+        x = np.zeros(qp.P.shape[0])
+        x[:6] = 2.0
+        alloc = qp.extract(x)
+        np.testing.assert_allclose(alloc.lam, 500.0)
+
+    def test_invalid_scale_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            tiny_problem.to_qp(workload_scale=0.0)
+
+    def test_scaling_does_not_change_optimum(self, tiny_problem):
+        sol_a = CentralizedSolver().solve(tiny_problem)
+        qp = tiny_problem.to_qp(workload_scale=100.0)
+        from repro.optim.ipqp import solve_qp
+
+        res = solve_qp(qp.P, qp.q, A=qp.A, b=qp.b, G=qp.G, h=qp.h)
+        alloc = qp.extract(res.x)
+        assert tiny_problem.ufc(alloc) == pytest.approx(sol_a.ufc, rel=1e-5)
+
+
+class TestStrategySemantics:
+    def test_grid_solution_has_zero_mu(self, tiny_model, tiny_inputs):
+        res = CentralizedSolver().solve(
+            UFCProblem(tiny_model, tiny_inputs, strategy=GRID)
+        )
+        np.testing.assert_allclose(res.allocation.mu, 0.0)
+        assert res.converged
+
+    def test_fuel_cell_solution_has_zero_nu(self, tiny_model, tiny_inputs):
+        res = CentralizedSolver().solve(
+            UFCProblem(tiny_model, tiny_inputs, strategy=FUEL_CELL)
+        )
+        np.testing.assert_allclose(res.allocation.nu, 0.0)
+        assert res.converged
+
+    def test_hybrid_dominates_both(self, tiny_model, tiny_inputs):
+        """Hybrid's feasible set contains both others' — its UFC wins."""
+        solver = CentralizedSolver()
+        hybrid = solver.solve(UFCProblem(tiny_model, tiny_inputs, strategy=HYBRID))
+        grid = solver.solve(UFCProblem(tiny_model, tiny_inputs, strategy=GRID))
+        fc = solver.solve(UFCProblem(tiny_model, tiny_inputs, strategy=FUEL_CELL))
+        assert hybrid.ufc >= grid.ufc - 1e-6 * abs(grid.ufc)
+        assert hybrid.ufc >= fc.ufc - 1e-6 * abs(fc.ufc)
+
+    def test_cheap_grid_price_shuts_fuel_cells(self, tiny_model):
+        """With grid far below p0 everywhere, hybrid burns no fuel."""
+        inputs = SlotInputs(
+            arrivals=np.array([400.0, 600.0, 500.0]),
+            prices=np.array([10.0, 10.0]),
+            carbon_rates=np.array([100.0, 100.0]),
+        )
+        res = CentralizedSolver().solve(UFCProblem(tiny_model, inputs))
+        np.testing.assert_allclose(res.allocation.mu, 0.0, atol=1e-6)
+
+    def test_dear_grid_price_maxes_fuel_cells(self, tiny_model):
+        """With grid far above p0 everywhere, hybrid covers all demand
+        with fuel cells (capacity allows full coverage)."""
+        inputs = SlotInputs(
+            arrivals=np.array([400.0, 600.0, 500.0]),
+            prices=np.array([300.0, 300.0]),
+            carbon_rates=np.array([100.0, 100.0]),
+        )
+        problem = UFCProblem(tiny_model, inputs)
+        res = CentralizedSolver().solve(problem)
+        np.testing.assert_allclose(res.allocation.nu, 0.0, atol=1e-5)

@@ -1,0 +1,140 @@
+"""Tests for the message-passing deployment (repro.distributed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.admg.solver import DistributedUFCSolver
+from repro.core.strategies import ALL_STRATEGIES, HYBRID
+from repro.distributed.agents import DatacenterAgent, FrontEndAgent
+from repro.distributed.coordinator import DistributedRuntime
+from repro.distributed.messages import (
+    RoutingAssignment,
+    RoutingProposal,
+    SimulatedNetwork,
+)
+from repro.sim.simulator import Simulator
+
+
+class TestMessages:
+    def test_payload_float_counting(self):
+        p = RoutingProposal(sender="fe0", receiver="dc1", lam=1.0, varphi=2.0)
+        assert p.payload_floats() == 2
+        a = RoutingAssignment(sender="dc1", receiver="fe0", a=3.0)
+        assert a.payload_floats() == 1
+
+    def test_network_accounting(self):
+        net = SimulatedNetwork()
+        net.send(RoutingProposal(sender="fe0", receiver="dc0", lam=1.0, varphi=0.0))
+        net.send(RoutingAssignment(sender="dc0", receiver="fe0", a=1.0))
+        assert net.messages_sent == 2
+        assert net.floats_sent == 3
+        assert net.bytes_sent == 24
+
+    def test_delivery_drains_queue(self):
+        net = SimulatedNetwork()
+        net.send(RoutingProposal(sender="fe0", receiver="dc0", lam=1.0, varphi=0.0))
+        inbox = net.deliver("dc0")
+        assert len(inbox) == 1
+        assert net.deliver("dc0") == []
+        assert net.deliver("nobody") == []
+
+    def test_in_order_delivery(self):
+        net = SimulatedNetwork()
+        for k in range(5):
+            net.send(
+                RoutingAssignment(sender=f"dc{k}", receiver="fe0", a=float(k))
+            )
+        inbox = net.deliver("fe0")
+        assert [m.a for m in inbox] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestRuntimeEquivalence:
+    """The message-passing deployment must replicate the matrix solver."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_identical_iterates_and_counts(self, small_model, small_bundle, strategy):
+        sim = Simulator(small_model, small_bundle)
+        problem = sim.problem_for_slot(2, strategy)
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-3, max_iter=600)
+        matrix = solver.solve(problem)
+        runtime = DistributedRuntime(problem, solver)
+        run = runtime.run()
+        assert run.iterations == matrix.iterations
+        assert run.converged == matrix.converged
+        np.testing.assert_allclose(
+            run.allocation.lam, matrix.allocation.lam, atol=1e-8
+        )
+        np.testing.assert_allclose(run.allocation.mu, matrix.allocation.mu, atol=1e-9)
+        np.testing.assert_allclose(run.allocation.nu, matrix.allocation.nu, atol=1e-9)
+        assert run.ufc == pytest.approx(matrix.ufc, rel=1e-9)
+
+    def test_message_complexity_is_2mn_per_round(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle)
+        problem = sim.problem_for_slot(0, HYBRID)
+        runtime = DistributedRuntime(problem, DistributedUFCSolver(tol=1e-3))
+        run = runtime.run()
+        m = small_model.num_frontends
+        n = small_model.num_datacenters
+        assert run.messages_sent == 2 * m * n * run.iterations
+        # Proposal carries 2 floats, assignment 1: 3 MN per round.
+        assert run.floats_sent == 3 * m * n * run.iterations
+
+    def test_residuals_match_matrix_solver(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle)
+        problem = sim.problem_for_slot(4, HYBRID)
+        solver = DistributedUFCSolver(rho=0.3, tol=1e-3)
+        matrix = solver.solve(problem)
+        run = DistributedRuntime(problem, solver).run()
+        np.testing.assert_allclose(
+            run.coupling_residuals, matrix.coupling_residuals, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            run.power_residuals, matrix.power_residuals, atol=1e-10
+        )
+
+
+class TestAgents:
+    def test_frontend_proposal_is_simplex_feasible(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle)
+        problem = sim.problem_for_slot(0, HYBRID)
+        runtime = DistributedRuntime(problem, DistributedUFCSolver())
+        fe = runtime.frontends[0]
+        lam, varphi = fe.propose()
+        assert lam.sum() == pytest.approx(fe.arrival, rel=1e-8)
+        assert (lam >= -1e-12).all()
+        assert varphi.shape == lam.shape
+
+    def test_datacenter_respects_capacity(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle)
+        problem = sim.problem_for_slot(0, HYBRID)
+        runtime = DistributedRuntime(problem, DistributedUFCSolver())
+        proposals = [fe.propose() for fe in runtime.frontends]
+        lam_cols = np.vstack([p[0] for p in proposals])
+        varphi_cols = np.vstack([p[1] for p in proposals])
+        dc = runtime.datacenters[0]
+        a_pred = dc.process(lam_cols[:, 0], varphi_cols[:, 0])
+        assert a_pred.sum() <= dc.capacity * (1 + 1e-9)
+        assert (a_pred >= -1e-12).all()
+
+    def test_frontend_integrate_updates_state(self):
+        fe = FrontEndAgent(
+            index=0,
+            arrival=1.0,
+            latency_row=np.array([10.0, 20.0]),
+            utility=__import__(
+                "repro.costs.latency", fromlist=["QuadraticLatencyUtility"]
+            ).QuadraticLatencyUtility(),
+            weight=10.0,
+            rho=0.5,
+            eps=1.0,
+            num_datacenters=2,
+        )
+        lam, _ = fe.propose()
+        residual = fe.integrate(lam + 0.1)
+        assert residual == pytest.approx(0.1, abs=1e-9)
+        np.testing.assert_allclose(fe.a, lam + 0.1)  # eps = 1 full step
+        np.testing.assert_allclose(fe.lam, lam)
+        # Dual moved against the coupling residual.
+        np.testing.assert_allclose(fe.varphi, -0.5 * 0.1 * np.ones(2))

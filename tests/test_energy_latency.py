@@ -1,0 +1,145 @@
+"""Tests for repro.costs.energy and repro.costs.latency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.energy import ServerPowerModel
+from repro.costs.latency import (
+    LinearLatencyUtility,
+    QuadraticLatencyUtility,
+    latency_matrix_from_distances,
+)
+
+
+class TestServerPowerModel:
+    def test_paper_defaults(self):
+        m = ServerPowerModel()
+        assert m.idle_watts == 100.0
+        assert m.peak_watts == 200.0
+        assert m.pue == 1.2
+
+    def test_alpha_formula(self):
+        # alpha = S * P_idle * PUE: 20000 * 100 * 1.2 W = 2.4 MW.
+        m = ServerPowerModel()
+        assert m.alpha_mw(20_000) == pytest.approx(2.4)
+
+    def test_beta_formula(self):
+        # beta = (P_peak - P_idle) * PUE = 120 W/server = 1.2e-4 MW.
+        m = ServerPowerModel()
+        assert m.beta_mw_per_server == pytest.approx(1.2e-4)
+
+    def test_demand_linear_in_workload(self):
+        m = ServerPowerModel()
+        base = m.demand_mw(1000, 0)
+        full = m.demand_mw(1000, 1000)
+        assert base == pytest.approx(m.alpha_mw(1000))
+        assert full == pytest.approx(m.peak_demand_mw(1000))
+
+    def test_peak_demand_is_paper_mu_max(self):
+        m = ServerPowerModel()
+        # mu_max = P_peak * S * PUE.
+        assert m.peak_demand_mw(20_000) == pytest.approx(4.8)
+
+    def test_workload_beyond_capacity_rejected(self):
+        m = ServerPowerModel()
+        with pytest.raises(ValueError):
+            m.demand_mw(100, 101)
+
+    def test_negative_inputs_rejected(self):
+        m = ServerPowerModel()
+        with pytest.raises(ValueError):
+            m.alpha_mw(-1)
+        with pytest.raises(ValueError):
+            m.demand_mw(10, -1)
+        with pytest.raises(ValueError):
+            m.peak_demand_mw(-5)
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel(idle_watts=-1)
+        with pytest.raises(ValueError):
+            ServerPowerModel(idle_watts=300, peak_watts=200)
+        with pytest.raises(ValueError):
+            ServerPowerModel(pue=0.9)
+
+    @given(
+        servers=st.floats(min_value=1, max_value=1e5),
+        frac=st.floats(min_value=0, max_value=1),
+        pue=st.floats(min_value=1.0, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_demand_monotone_and_bounded(self, servers, frac, pue):
+        m = ServerPowerModel(pue=pue)
+        d = m.demand_mw(servers, frac * servers)
+        assert m.alpha_mw(servers) <= d <= m.peak_demand_mw(servers) + 1e-12
+
+
+class TestLatencyMatrix:
+    def test_paper_constant(self):
+        # 0.02 ms/km: 1000 km -> 20 ms.
+        out = latency_matrix_from_distances(np.array([[1000.0]]))
+        assert out[0, 0] == pytest.approx(20.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            latency_matrix_from_distances(np.array([-1.0]))
+
+
+class TestQuadraticLatencyUtility:
+    def test_paper_equation_2(self):
+        """U = -A * (sum lambda L / A)^2 with latency in seconds."""
+        u = QuadraticLatencyUtility()
+        lam = np.array([100.0, 300.0])
+        lat = np.array([10.0, 20.0])  # ms
+        avg_s = (100 * 10 + 300 * 20) * 1e-3 / 400.0
+        assert u.value(lam, lat, 400.0) == pytest.approx(-400.0 * avg_s**2)
+
+    def test_zero_arrival(self):
+        u = QuadraticLatencyUtility()
+        assert u.value(np.zeros(2), np.ones(2), 0.0) == 0.0
+
+    def test_quad_form_consistency(self):
+        """0.5 x'Hx + g'x must equal -w*U(x) for any x."""
+        u = QuadraticLatencyUtility()
+        lat = np.array([5.0, 15.0, 30.0])
+        arrival, w = 250.0, 10.0
+        h, g = u.neg_quad_form(lat, arrival, w)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.uniform(0, arrival, size=3)
+            direct = -w * u.value(x, lat, arrival)
+            quad = 0.5 * x @ h @ x + g @ x
+            assert quad == pytest.approx(direct, rel=1e-10)
+
+    def test_average_latency_helper(self):
+        u = QuadraticLatencyUtility()
+        lam = np.array([1.0, 3.0])
+        lat = np.array([10.0, 20.0])
+        assert u.average_latency_ms(lam, lat, 4.0) == pytest.approx(17.5)
+
+    def test_utility_decreases_with_latency(self):
+        u = QuadraticLatencyUtility()
+        lam = np.array([200.0, 200.0])
+        near = u.value(lam, np.array([5.0, 5.0]), 400.0)
+        far = u.value(lam, np.array([50.0, 50.0]), 400.0)
+        assert near > far
+
+
+class TestLinearLatencyUtility:
+    def test_value_is_negative_weighted_latency(self):
+        u = LinearLatencyUtility()
+        lam = np.array([100.0, 200.0])
+        lat = np.array([10.0, 5.0])
+        assert u.value(lam, lat, 300.0) == pytest.approx(-(1000 + 1000) * 1e-3)
+
+    def test_quad_form_consistency(self):
+        u = LinearLatencyUtility()
+        lat = np.array([8.0, 12.0])
+        h, g = u.neg_quad_form(lat, 100.0, 7.0)
+        assert (h == 0).all()
+        x = np.array([30.0, 70.0])
+        assert g @ x == pytest.approx(-7.0 * u.value(x, lat, 100.0), rel=1e-12)

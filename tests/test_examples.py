@@ -1,0 +1,94 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process with a tiny horizon so the whole
+suite stays fast; the assertion is simply clean completion plus a few
+sanity greps on the printed output.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, argv: list[str]) -> str:
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", ["--hours", "6"])
+    assert "hybrid vs grid" in out
+    assert "Fuel cell" in out
+    assert "energy saving" in out
+
+
+def test_carbon_policy_study(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "carbon_policy_study.py", ["--hours", "6"]
+    )
+    assert "flat tax $25/t" in out
+    assert "cap-and-trade" in out
+    # Every policy row prints a carbon figure.
+    assert out.count("%") >= 4
+
+
+def test_distributed_deployment(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "distributed_deployment.py", ["--slot", "3"]
+    )
+    assert "front-end agents" in out
+    assert "relative gap" in out
+    assert "messages" in out
+
+
+def test_capacity_planning(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "capacity_planning.py", ["--hours", "6"]
+    )
+    assert "price-greedy" in out
+    assert "full deployment" in out
+
+
+def test_ramp_constrained_operations(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "ramp_constrained_operations.py", ["--hours", "6"]
+    )
+    assert "ramp (MW/h)" in out
+    assert "binding slots" in out
+
+
+def test_forecast_study(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "forecast_study.py", ["--hours", "56"]
+    )
+    assert "MAPE" in out
+    assert "UFC loss" in out
+    assert "noise dial" in out
+
+
+def test_gain_attribution(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "gain_attribution.py", ["--hours", "6"])
+    assert "sourcing (arbitrage)" in out
+    assert "Pareto" in out or "frontier" in out
+    assert "d(UFC)/d(fuel_cell_price)" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "carbon_policy_study.py", "distributed_deployment.py",
+     "capacity_planning.py", "ramp_constrained_operations.py",
+     "forecast_study.py", "gain_attribution.py"],
+)
+def test_examples_exist_and_are_documented(script):
+    path = EXAMPLES / script
+    assert path.exists()
+    text = path.read_text()
+    assert text.startswith('"""')
+    assert "Run:" in text

@@ -1,0 +1,238 @@
+"""Tests for the experiment drivers (repro.experiments).
+
+Short horizons keep these fast; the full-length regenerations live in
+``benchmarks/``.  Shape assertions mirror the paper's qualitative
+claims, which must already hold on shorter windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import cached_comparison, evaluation_setup
+from repro.experiments.fig4_utility import render_fig4, run_fig4
+from repro.experiments.fig5_latency import render_fig5, run_fig5
+from repro.experiments.fig6_energy import render_fig6, run_fig6
+from repro.experiments.fig7_carbon import render_fig7, run_fig7
+from repro.experiments.fig8_utilization import render_fig8, run_fig8
+from repro.experiments.fig9_price_sweep import render_fig9, run_fig9
+from repro.experiments.fig10_tax_sweep import render_fig10, run_fig10
+from repro.experiments.fig11_convergence import render_fig11, run_fig11
+from repro.experiments.table1 import PAPER_TABLE1, render_table1, run_table1
+from repro.experiments.traces_fig3 import render_fig3, run_fig3
+
+HOURS = 48
+
+
+class TestTable1:
+    def test_paper_relationships_hold(self):
+        """The qualitative Table I statements (on the full week)."""
+        result = run_table1()
+        dallas = result.costs["dallas"]
+        san_jose = result.costs["san_jose"]
+        # Fuel cell is site-independent and equals demand * p0.
+        assert dallas["fuel_cell"] == pytest.approx(san_jose["fuel_cell"])
+        assert dallas["fuel_cell"] == pytest.approx(27957.0, rel=1e-6)
+        # Dallas grid is far below fuel cell; San Jose is comparable.
+        assert dallas["grid"] < 0.45 * dallas["fuel_cell"]
+        assert 0.8 < san_jose["grid"] / san_jose["fuel_cell"] < 1.2
+        # Hybrid never loses and wins decisively at San Jose.
+        assert dallas["hybrid"] <= dallas["grid"] + 1e-9
+        assert san_jose["hybrid"] < 0.85 * san_jose["grid"]
+
+    def test_measured_close_to_paper(self):
+        """Within 20% of every published cell (calibrated substitution)."""
+        result = run_table1()
+        for site, row in PAPER_TABLE1.items():
+            for key, published in row.items():
+                measured = result.costs[site][key]
+                assert abs(measured - published) / published < 0.20, (site, key)
+
+    def test_hybrid_is_pointwise_min(self):
+        result = run_table1()
+        for site in result.costs:
+            p = result.prices[site]
+            expected = float(result.demand_mwh @ np.minimum(p, 80.0))
+            assert result.costs[site]["hybrid"] == pytest.approx(expected)
+
+    def test_render_contains_all_cells(self):
+        text = render_table1(run_table1())
+        assert "Table I" in text
+        assert "dallas" in text and "san_jose" in text
+        assert "27,957" in text
+
+
+class TestFig3:
+    def test_summary_statistics(self):
+        result = run_fig3(hours=HOURS)
+        assert result.workload_total.shape == (HOURS,)
+        assert set(result.price_stats) == {
+            "calgary", "san_jose", "dallas", "pittsburgh",
+        }
+        # Spatial carbon diversity (the paper's Fig. 3 bottom panel).
+        assert result.carbon_stats["san_jose"][0] < result.carbon_stats["calgary"][0]
+
+    def test_render(self):
+        text = render_fig3(run_fig3(hours=HOURS))
+        assert "workload total" in text
+        assert "calgary" in text
+
+
+class TestFig4:
+    def test_hybrid_dominates(self):
+        result = run_fig4(hours=HOURS)
+        assert (result.i_hg > -1e-4).all()
+        assert (result.i_hf > 0).all()
+
+    def test_fuel_cell_mostly_hurts_at_current_prices(self):
+        result = run_fig4(hours=HOURS)
+        assert (result.i_fg < 0).mean() > 0.5
+
+    def test_series_lengths(self):
+        result = run_fig4(hours=HOURS)
+        assert len(result.i_hg) == HOURS
+        assert len(result.i_hf) == HOURS
+        assert len(result.i_fg) == HOURS
+
+    def test_render(self):
+        text = render_fig4(run_fig4(hours=HOURS))
+        assert "I_hg" in text and "I_hf" in text and "I_fg" in text
+
+
+class TestFig5:
+    def test_load_following_shape(self):
+        """Fuel cell best latency; hybrid close; grid worst on average."""
+        result = run_fig5(hours=HOURS)
+        assert result.fuel_cell.mean() <= result.hybrid.mean() + 0.05
+        assert result.hybrid.mean() <= result.grid.mean() + 0.05
+        # All within the realistic 10-30 ms band of the paper.
+        for series in (result.grid, result.fuel_cell, result.hybrid):
+            assert 10.0 < series.mean() < 30.0
+
+    def test_render(self):
+        assert "latency" in render_fig5(run_fig5(hours=HOURS))
+
+
+class TestFig6:
+    def test_cost_ordering(self):
+        result = run_fig6(hours=HOURS)
+        assert result.fuel_cell.sum() > result.grid.sum()
+        assert result.hybrid.sum() <= result.grid.sum() + 1e-6
+        # Meaningful arbitrage: >25% saving vs fuel-cell-only.
+        assert result.hybrid.sum() < 0.75 * result.fuel_cell.sum()
+
+    def test_render(self):
+        assert "energy cost" in render_fig6(run_fig6(hours=HOURS))
+
+
+class TestFig7:
+    def test_fuel_cell_is_carbon_free(self):
+        result = run_fig7(hours=HOURS)
+        np.testing.assert_allclose(result.fuel_cell_cost, 0.0, atol=1e-8)
+
+    def test_hybrid_emits_close_to_grid(self):
+        """The paper's headline: at $25/t, hybrid still emits most of
+        grid's carbon."""
+        result = run_fig7(hours=HOURS)
+        ratio = result.hybrid_kg.sum() / result.grid_kg.sum()
+        assert 0.6 < ratio <= 1.0 + 1e-9
+
+    def test_render(self):
+        assert "carbon" in render_fig7(run_fig7(hours=HOURS))
+
+
+class TestFig8:
+    def test_poor_utilization_at_current_prices(self):
+        result = run_fig8(hours=HOURS)
+        assert 0.05 < result.mean < 0.35   # paper: 16.2%
+        assert result.peak < 0.85          # paper: never reaches 70%
+        assert (result.utilization >= 0).all()
+        assert (result.utilization <= 1.0 + 1e-9).all()
+
+    def test_render_mentions_paper_number(self):
+        assert "16.2%" in render_fig8(run_fig8(hours=HOURS))
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(prices=(20.0, 45.0, 80.0, 110.0), hours=HOURS)
+
+    def test_improvement_decreases_with_price(self, result):
+        assert (np.diff(result.improvement) <= 1e-6).all()
+
+    def test_utilization_decreases_with_price(self, result):
+        assert (np.diff(result.utilization) <= 1e-6).all()
+
+    def test_cheap_fuel_saturates_utilization(self, result):
+        assert result.utilization[0] > 0.95  # p0 = $20/MWh
+
+    def test_current_price_point_matches_paper_band(self, result):
+        # p0 = 80: utilization ~11-20%.
+        idx = list(result.prices).index(80.0)
+        assert 0.05 < result.utilization[idx] < 0.30
+
+    def test_render(self, result):
+        text = render_fig9(result)
+        assert "p0" in text and "utilization" in text
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(rates=(0.0, 25.0, 80.0, 140.0), hours=HOURS)
+
+    def test_both_curves_increase_with_tax(self, result):
+        assert (np.diff(result.improvement) >= -1e-6).all()
+        assert (np.diff(result.utilization) >= -1e-6).all()
+
+    def test_high_tax_drives_full_utilization(self, result):
+        assert result.utilization[-1] > 0.80  # $140/tonne
+
+    def test_current_band_fails_to_promote(self, result):
+        idx = list(result.rates).index(25.0)
+        assert result.utilization[idx] < 0.30
+        assert result.improvement[idx] < 0.20
+
+    def test_render(self, result):
+        assert "carbon-tax" in render_fig10(result)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig11(hours=24)
+
+    def test_all_runs_converge(self, result):
+        assert result.converged.all()
+
+    def test_iteration_band(self, result):
+        assert result.iterations.min() >= 20
+        assert result.iterations.max() <= 400
+
+    def test_cdf_monotone_to_one(self, result):
+        assert (np.diff(result.cdf_fractions) > 0).all()
+        assert result.cdf_fractions[-1] == pytest.approx(1.0)
+
+    def test_fraction_within_helper(self, result):
+        assert result.fraction_within(int(result.iterations.max())) == 1.0
+        assert result.fraction_within(0) == 0.0
+
+    def test_render(self, result):
+        text = render_fig11(result)
+        assert "CDF" in text and "paper: 37" in text
+
+
+class TestCommon:
+    def test_evaluation_setup_overrides(self):
+        bundle, model = evaluation_setup(hours=12, fuel_cell_price=55.0,
+                                         carbon_tax=90.0)
+        assert bundle.hours == 12
+        assert model.fuel_cell_price == 55.0
+        assert model.emission_costs[0].rate_per_tonne == 90.0
+
+    def test_cached_comparison_identity(self):
+        a = cached_comparison(hours=HOURS)
+        b = cached_comparison(hours=HOURS)
+        assert a is b

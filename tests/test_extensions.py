@@ -1,0 +1,187 @@
+"""Tests for the paper's optional extensions (repro.extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import HYBRID
+from repro.extensions.forecast_robustness import evaluate_forecast_robustness
+from repro.extensions.ramping import RampingSimulator
+from repro.extensions.rightsizing import right_sized_model
+from repro.forecast.predictors import NoisyOracle, SeasonalNaive
+from repro.sim.simulator import Simulator
+
+
+class TestRightSizing:
+    def test_transformation_zeroes_idle_power(self, small_model):
+        sized = right_sized_model(small_model)
+        np.testing.assert_allclose(sized.alphas, 0.0)
+        # Marginal power becomes P_peak * PUE.
+        for dc in sized.datacenters:
+            assert dc.beta_mw == pytest.approx(
+                dc.power.peak_watts * dc.power.pue / 1e6
+            )
+
+    def test_capacity_and_fuel_cells_preserved(self, small_model):
+        sized = right_sized_model(small_model)
+        np.testing.assert_allclose(sized.capacities, small_model.capacities)
+        np.testing.assert_allclose(sized.mu_max, small_model.mu_max)
+
+    def test_max_servers_becomes_capacity(self, tiny_model):
+        from repro.core.model import CloudModel, Datacenter
+
+        dcs = [
+            Datacenter(name="a", servers=100, max_servers=400),
+            Datacenter(name="b", servers=200, max_servers=200),
+        ]
+        model = CloudModel(dcs, tiny_model.frontends, tiny_model.latency_ms)
+        sized = right_sized_model(model)
+        np.testing.assert_allclose(sized.capacities, [400, 200])
+
+    def test_right_sizing_never_hurts(self, small_model, small_bundle):
+        """Shutting idle servers can only reduce cost at equal load."""
+        sized = right_sized_model(small_model)
+        full = Simulator(small_model, small_bundle).run(HYBRID, hours=6)
+        slim = Simulator(sized, small_bundle).run(HYBRID, hours=6)
+        assert (slim.ufc >= full.ufc - 1e-6).all()
+        assert slim.total_energy_cost() < full.total_energy_cost()
+
+    def test_demand_equivalence_at_full_load(self, small_model, small_bundle):
+        """At 100% per-server load the two models draw identical power."""
+        sized = right_sized_model(small_model)
+        for dc_full, dc_sized in zip(small_model.datacenters, sized.datacenters):
+            full_power = dc_full.power.demand_mw(dc_full.servers, dc_full.servers)
+            sized_power = dc_sized.power.demand_mw(dc_sized.servers, dc_sized.servers)
+            assert full_power == pytest.approx(sized_power)
+
+
+class TestRamping:
+    def test_validation(self, small_model, small_bundle):
+        with pytest.raises(ValueError):
+            RampingSimulator(small_model, small_bundle, ramp_mw_per_hour=-1.0)
+
+    def test_infinite_ramp_matches_unconstrained(self, small_model, small_bundle):
+        ramped = RampingSimulator(
+            small_model, small_bundle, ramp_mw_per_hour=np.inf,
+            initial_mu_mw=small_model.mu_max,
+        ).run(HYBRID, hours=8)
+        plain = Simulator(small_model, small_bundle).run(HYBRID, hours=8)
+        np.testing.assert_allclose(ramped.result.ufc, plain.ufc, rtol=1e-6)
+        assert ramped.ramp_binding_slots == 0
+
+    def test_trajectory_respects_ramp(self, small_model, small_bundle):
+        ramp = 0.5
+        res = RampingSimulator(
+            small_model, small_bundle, ramp_mw_per_hour=ramp
+        ).run(HYBRID, hours=12)
+        mu = res.mu_trajectory
+        diffs = np.diff(mu, axis=0)
+        assert (diffs <= ramp + 1e-9).all()
+        # First slot bounded by the cold start.
+        assert (mu[0] <= ramp + 1e-9).all()
+
+    def test_tighter_ramp_cannot_help(self, small_model, small_bundle):
+        loose = RampingSimulator(
+            small_model, small_bundle, ramp_mw_per_hour=2.0
+        ).run(HYBRID, hours=10)
+        tight = RampingSimulator(
+            small_model, small_bundle, ramp_mw_per_hour=0.1
+        ).run(HYBRID, hours=10)
+        assert tight.result.ufc.sum() <= loose.result.ufc.sum() + 1e-6
+        assert (
+            tight.result.mean_utilization() <= loose.result.mean_utilization() + 1e-9
+        )
+
+    def test_per_site_ramp_vector(self, small_model, small_bundle):
+        ramps = np.array([0.1, 0.2, 0.3, 0.4])
+        res = RampingSimulator(
+            small_model, small_bundle, ramp_mw_per_hour=ramps
+        ).run(HYBRID, hours=6)
+        diffs = np.diff(res.mu_trajectory, axis=0)
+        assert (diffs <= ramps + 1e-9).all()
+
+
+class TestForecastRobustness:
+    def test_perfect_forecast_no_degradation(self, small_model, small_bundle):
+        class PerColumnOracle:
+            """Zero-noise oracle valid for any column (uses the truth
+            matrix directly via the history length)."""
+
+            def __init__(self, arrivals):
+                self.arrivals = arrivals
+
+            def predict(self, history):
+                t = len(history)
+                # Identify the column by matching the history prefix.
+                for j in range(self.arrivals.shape[1]):
+                    if np.array_equal(self.arrivals[:t, j], history):
+                        return float(self.arrivals[t, j])
+                raise AssertionError("unknown history")
+
+        result = evaluate_forecast_robustness(
+            small_model,
+            small_bundle,
+            PerColumnOracle(small_bundle.arrivals),
+            start=4,
+            hours=10,
+        )
+        assert result.forecast_mape == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(
+            result.ufc_forecast, result.ufc_perfect, rtol=1e-6
+        )
+        assert abs(result.mean_degradation) < 1e-6
+
+    def test_seasonal_naive_small_degradation(self, small_model, small_bundle):
+        result = evaluate_forecast_robustness(
+            small_model, small_bundle, SeasonalNaive(), start=12, hours=20
+        )
+        assert result.forecast_mape < 0.5
+        # Forecast-driven operation can only lose UFC, and not much.
+        assert -1e-9 <= result.mean_degradation < 0.10
+
+    def test_degradation_grows_with_noise(self, small_model, small_bundle):
+        degradations = []
+        for sigma in (0.0, 0.4):
+            # One oracle per run; noise applied per prediction call.
+            class MatrixNoisyOracle:
+                def __init__(self, arrivals, sigma, seed=1):
+                    self.arrivals = arrivals
+                    self.rng = np.random.default_rng(seed)
+                    self.sigma = sigma
+
+                def predict(self, history):
+                    t = len(history)
+                    for j in range(self.arrivals.shape[1]):
+                        if np.array_equal(self.arrivals[:t, j], history):
+                            truth = float(self.arrivals[t, j])
+                            return max(
+                                0.0,
+                                truth * (1 + self.rng.normal(0, self.sigma)),
+                            )
+                    raise AssertionError("unknown history")
+
+            result = evaluate_forecast_robustness(
+                small_model,
+                small_bundle,
+                MatrixNoisyOracle(small_bundle.arrivals, sigma),
+                start=4,
+                hours=14,
+            )
+            degradations.append(result.mean_degradation)
+        assert degradations[1] > degradations[0]
+
+    def test_start_validation(self, small_model, small_bundle):
+        with pytest.raises(ValueError):
+            evaluate_forecast_robustness(
+                small_model, small_bundle, SeasonalNaive(), start=50, hours=24
+            )
+
+    def test_noisy_oracle_basics(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        oracle = NoisyOracle(truth, relative_sigma=0.0)
+        assert oracle.predict(truth[:1]) == pytest.approx(2.0)
+        with pytest.raises(IndexError):
+            oracle.predict(truth)
+        with pytest.raises(ValueError):
+            NoisyOracle(truth, relative_sigma=-0.1)

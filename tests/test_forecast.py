@@ -1,0 +1,155 @@
+"""Tests for the forecasting substrate (repro.forecast)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forecast.metrics import mae, mape, rmse
+from repro.forecast.predictors import (
+    ARPredictor,
+    HoltWintersPredictor,
+    SeasonalNaive,
+    forecast_matrix,
+)
+from repro.traces.workload import hp_workload_shape
+
+
+@pytest.fixture(scope="module")
+def diurnal_series():
+    """A clean two-week diurnal series (known structure, mild noise)."""
+    return 1000.0 * hp_workload_shape(hours=336, seed=3, noise_sigma=0.01)
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_season(self):
+        series = np.arange(48, dtype=float)
+        pred = SeasonalNaive(period=24)
+        assert pred.predict(series) == series[-24]
+
+    def test_short_history_persistence(self):
+        pred = SeasonalNaive(period=24)
+        assert pred.predict(np.array([5.0, 7.0])) == 7.0
+        assert pred.predict(np.array([])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalNaive(period=0)
+
+    def test_accuracy_on_diurnal_series(self, diurnal_series):
+        pred = SeasonalNaive(period=24)
+        forecasts = forecast_matrix(diurnal_series, pred, start=168)
+        error = mape(diurnal_series[168:], forecasts)
+        assert error < 0.15
+
+
+class TestHoltWinters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltWintersPredictor(period=0)
+        with pytest.raises(ValueError):
+            HoltWintersPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltWintersPredictor(gamma=1.0)
+
+    def test_short_history_persistence(self):
+        pred = HoltWintersPredictor(period=24)
+        assert pred.predict(np.array([3.0, 4.0])) == 4.0
+
+    def test_tracks_linear_trend(self):
+        """On a pure trend (no seasonality) HW extrapolates forward."""
+        series = np.arange(120, dtype=float)
+        pred = HoltWintersPredictor(period=24, alpha=0.5, beta=0.3, gamma=0.1)
+        forecast = pred.predict(series)
+        assert forecast == pytest.approx(120.0, abs=3.0)
+
+    def test_accuracy_beats_persistence(self, diurnal_series):
+        hw = HoltWintersPredictor(period=24)
+        forecasts = forecast_matrix(diurnal_series, hw, start=168)
+        persistence = diurnal_series[167:-1]
+        assert mape(diurnal_series[168:], forecasts) < mape(
+            diurnal_series[168:], persistence
+        )
+
+    def test_non_negative(self):
+        series = np.maximum(0.0, np.sin(np.arange(100)) * 2 - 1.5)
+        pred = HoltWintersPredictor(period=24)
+        assert pred.predict(series) >= 0.0
+
+
+class TestARPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ARPredictor(order=0)
+
+    def test_short_history_persistence(self):
+        pred = ARPredictor(order=24)
+        assert pred.predict(np.array([9.0])) == 9.0
+
+    def test_exact_on_ar1_process(self):
+        """An AR(1) series is predicted (near-)exactly by AR(p >= 1)."""
+        rng = np.random.default_rng(0)
+        series = np.empty(300)
+        series[0] = 1.0
+        for t in range(1, 300):
+            series[t] = 5.0 + 0.8 * series[t - 1]
+        pred = ARPredictor(order=2, min_history=20)
+        forecast = pred.predict(series)
+        assert forecast == pytest.approx(5.0 + 0.8 * series[-1], rel=1e-6)
+
+    def test_accuracy_on_diurnal_series(self, diurnal_series):
+        pred = ARPredictor(order=24)
+        forecasts = forecast_matrix(diurnal_series, pred, start=168)
+        assert mape(diurnal_series[168:], forecasts) < 0.10
+
+
+class TestForecastMatrix:
+    def test_matrix_forecast_shape(self):
+        series = np.random.default_rng(0).random((60, 3)) + 1
+        out = forecast_matrix(series, SeasonalNaive(period=24), start=30)
+        assert out.shape == (30, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            forecast_matrix(np.zeros((2, 2, 2)), SeasonalNaive())
+
+
+class TestMetrics:
+    def test_mape_basic(self):
+        assert mape(np.array([100.0, 200.0]), np.array([110.0, 180.0])) == pytest.approx(
+            (0.1 + 0.1) / 2
+        )
+
+    def test_mape_ignores_zero_actuals(self):
+        assert mape(np.array([0.0, 100.0]), np.array([5.0, 150.0])) == pytest.approx(0.5)
+
+    def test_mape_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.zeros(3), np.ones(3))
+
+    def test_rmse_and_mae(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        predicted = np.array([1.0, 4.0, 3.0])
+        assert rmse(actual, predicted) == pytest.approx(np.sqrt(4 / 3))
+        assert mae(actual, predicted) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.ones(2), np.ones(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae(np.array([]), np.array([]))
+
+    @given(
+        seed=st.integers(0, 100),
+        scale=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_forecast_scores_zero(self, seed, scale):
+        series = np.random.default_rng(seed).random(20) * scale + 0.1
+        assert mape(series, series) == 0.0
+        assert rmse(series, series) == 0.0
+        assert mae(series, series) == 0.0

@@ -1,0 +1,117 @@
+"""Golden-value regression tests.
+
+Every quantity in ``tests/data/golden_values.json`` is deterministic
+(seeded generators, deterministic solvers), so any drift signals an
+unintentional behavior change in the traces, solvers or metrics.
+After an *intentional* change, regenerate with
+``python tests/data/make_golden.py`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_values.json").read_text()
+)
+HOURS = GOLDEN["meta"]["hours"]
+SEED = GOLDEN["meta"]["seed"]
+
+# Trace statistics are bit-deterministic; solver outputs go through the
+# interior-point method, so allow tiny numerical headroom.
+TRACE_TOL = 1e-9
+SOLVER_TOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    from repro.experiments.common import cached_comparison
+
+    return cached_comparison(hours=HOURS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    from repro.traces.datasets import default_bundle
+
+    return default_bundle(hours=HOURS, seed=SEED)
+
+
+class TestTraceAnchors:
+    def test_price_means(self, bundle):
+        for k, region in enumerate(bundle.regions):
+            assert float(bundle.prices[:, k].mean()) == pytest.approx(
+                GOLDEN["price_means"][region], rel=TRACE_TOL, abs=1e-5
+            ), region
+
+    def test_carbon_means(self, bundle):
+        for k, region in enumerate(bundle.regions):
+            assert float(bundle.carbon_rates[:, k].mean()) == pytest.approx(
+                GOLDEN["carbon_means"][region], rel=TRACE_TOL, abs=1e-5
+            ), region
+
+    def test_workload_mean(self, bundle):
+        assert float(bundle.arrivals.sum(axis=1).mean()) == pytest.approx(
+            GOLDEN["workload_total_mean"], rel=TRACE_TOL, abs=1e-3
+        )
+
+    def test_table1_cells(self):
+        from repro.experiments.table1 import run_table1
+
+        result = run_table1()
+        for site, row in GOLDEN["table1"].items():
+            for key, value in row.items():
+                assert result.costs[site][key] == pytest.approx(
+                    value, rel=TRACE_TOL, abs=1e-3
+                ), (site, key)
+
+
+class TestSolverAnchors:
+    @pytest.mark.parametrize("strategy", ["hybrid", "grid", "fuel_cell"])
+    def test_strategy_metrics(self, comparison, strategy):
+        result = {
+            "hybrid": comparison.hybrid,
+            "grid": comparison.grid,
+            "fuel_cell": comparison.fuel_cell,
+        }[strategy]
+        anchors = GOLDEN[strategy]
+        assert float(result.ufc.mean()) == pytest.approx(
+            anchors["mean_ufc"], rel=SOLVER_TOL
+        )
+        assert result.total_energy_cost() == pytest.approx(
+            anchors["total_energy_cost"], rel=SOLVER_TOL
+        )
+
+    def test_hybrid_detail_metrics(self, comparison):
+        anchors = GOLDEN["hybrid"]
+        assert comparison.hybrid.total_carbon_tonnes() == pytest.approx(
+            anchors["total_carbon_tonnes"], rel=SOLVER_TOL
+        )
+        assert float(comparison.hybrid.avg_latency_ms.mean()) == pytest.approx(
+            anchors["mean_latency_ms"], rel=SOLVER_TOL
+        )
+        assert comparison.hybrid.mean_utilization() == pytest.approx(
+            anchors["mean_utilization"], rel=1e-4, abs=1e-6
+        )
+
+
+class TestGoldenFileIntegrity:
+    def test_metadata_present(self):
+        assert GOLDEN["meta"]["hours"] == 48
+        assert GOLDEN["meta"]["seed"] == 2014
+
+    def test_regenerator_matches_schema(self):
+        """make_golden.py produces the same keys as the checked-in file
+        (without re-running the expensive computation)."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "make_golden", Path(__file__).parent / "data" / "make_golden.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.HOURS == GOLDEN["meta"]["hours"]
+        assert module.SEED == GOLDEN["meta"]["seed"]

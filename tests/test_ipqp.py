@@ -1,0 +1,170 @@
+"""Tests for repro.optim.ipqp: the dense interior-point QP solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import optimize
+
+from repro.optim.ipqp import solve_qp
+
+
+def scipy_reference(P, q, A=None, b=None, G=None, h=None):
+    """Solve the same QP with scipy's trust-constr as an oracle."""
+    n = len(q)
+    constraints = []
+    if A is not None and len(A):
+        constraints.append(optimize.LinearConstraint(A, b, b))
+    if G is not None and len(G):
+        constraints.append(optimize.LinearConstraint(G, -np.inf, h))
+    res = optimize.minimize(
+        lambda x: 0.5 * x @ P @ x + q @ x,
+        np.zeros(n),
+        jac=lambda x: P @ x + q,
+        method="trust-constr",
+        constraints=constraints,
+        options={"gtol": 1e-10, "xtol": 1e-12, "maxiter": 3000},
+    )
+    return res.x, res.fun
+
+
+class TestUnconstrained:
+    def test_simple_quadratic(self):
+        res = solve_qp(np.diag([2.0, 4.0]), np.array([-2.0, -8.0]))
+        np.testing.assert_allclose(res.x, [1.0, 2.0], atol=1e-8)
+        assert res.converged
+
+
+class TestEqualityOnly:
+    def test_projection_onto_hyperplane(self):
+        # min ||x||^2 s.t. x1 + x2 = 2 -> x = (1, 1).
+        res = solve_qp(
+            2 * np.eye(2), np.zeros(2), A=np.array([[1.0, 1.0]]), b=np.array([2.0])
+        )
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-9)
+        assert res.converged
+        # Dual satisfies stationarity: 2x + A^T y = 0 -> y = -2.
+        assert res.eq_dual[0] == pytest.approx(-2.0, abs=1e-8)
+
+
+class TestInequality:
+    def test_active_box_constraint(self):
+        # min (x-3)^2 s.t. x <= 1 -> x = 1.
+        res = solve_qp(
+            np.array([[2.0]]),
+            np.array([-6.0]),
+            G=np.array([[1.0]]),
+            h=np.array([1.0]),
+        )
+        assert res.converged
+        assert res.x[0] == pytest.approx(1.0, abs=1e-7)
+        assert res.ineq_dual[0] == pytest.approx(4.0, abs=1e-5)
+
+    def test_inactive_constraint(self):
+        res = solve_qp(
+            np.array([[2.0]]),
+            np.array([-2.0]),
+            G=np.array([[1.0]]),
+            h=np.array([10.0]),
+        )
+        assert res.x[0] == pytest.approx(1.0, abs=1e-7)
+        assert res.ineq_dual[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_simplex_lp(self):
+        """Pure LP (P = 0) over a simplex picks the cheapest vertex."""
+        n = 4
+        res = solve_qp(
+            np.zeros((n, n)),
+            np.array([3.0, 1.0, 2.0, 5.0]),
+            A=np.ones((1, n)),
+            b=np.array([1.0]),
+            G=-np.eye(n),
+            h=np.zeros(n),
+        )
+        assert res.converged
+        np.testing.assert_allclose(res.x, [0, 1, 0, 0], atol=1e-6)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            solve_qp(np.eye(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            solve_qp(np.eye(2), np.zeros(2), A=np.eye(3), b=np.zeros(3))
+        with pytest.raises(ValueError):
+            solve_qp(np.eye(2), np.zeros(2), G=np.eye(2), h=np.zeros(3))
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_strictly_convex_qps(self, seed):
+        rng = np.random.default_rng(seed)
+        n, p, m = 6, 2, 8
+        a_half = rng.normal(size=(n, n))
+        P = a_half @ a_half.T + 0.5 * np.eye(n)
+        q = rng.normal(size=n)
+        A = rng.normal(size=(p, n))
+        x_feas = rng.uniform(0.5, 1.0, size=n)
+        b = A @ x_feas
+        G = rng.normal(size=(m, n))
+        h = G @ x_feas + rng.uniform(0.2, 2.0, size=m)
+        res = solve_qp(P, q, A=A, b=b, G=G, h=h)
+        assert res.converged
+        _, ref_val = scipy_reference(P, q, A, b, G, h)
+        assert res.value == pytest.approx(ref_val, abs=1e-5 * max(1.0, abs(ref_val)))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_badly_scaled_problems(self, seed):
+        """Mixed 1e4 / 1e-4 variable scales (the UFC regime)."""
+        rng = np.random.default_rng(100 + seed)
+        scales = np.array([1e4, 1e4, 1.0, 1e-2])
+        n = 4
+        P = np.diag(1.0 / scales**2)
+        q = -1.0 / scales
+        G = np.vstack([-np.eye(n), np.eye(n)])
+        h = np.concatenate([np.zeros(n), 3 * scales])
+        res = solve_qp(P, q, G=G, h=h)
+        assert res.converged
+        np.testing.assert_allclose(res.x, scales, rtol=1e-5)
+
+
+class TestUFCInstances:
+    def test_hybrid_slot_feasible_and_stable(self, small_model, small_bundle):
+        """Every strategy/slot compiles and solves to feasibility."""
+        from repro.core.problem import SlotInputs, UFCProblem
+        from repro.core.strategies import ALL_STRATEGIES
+
+        for t in (0, 7, 15):
+            slot = small_bundle.slot(t)
+            for strategy in ALL_STRATEGIES:
+                problem = UFCProblem(
+                    small_model,
+                    SlotInputs(
+                        arrivals=slot["arrivals"],
+                        prices=slot["prices"],
+                        carbon_rates=slot["carbon_rates"],
+                    ),
+                    strategy=strategy,
+                )
+                qp = problem.to_qp()
+                res = solve_qp(qp.P, qp.q, A=qp.A, b=qp.b, G=qp.G, h=qp.h)
+                assert res.converged, f"slot {t} {strategy.name}"
+                alloc = qp.extract(res.x)
+                report = problem.check_feasibility(alloc, tol=1e-4)
+                assert report.ok, (t, strategy.name, report)
+
+
+class TestEquilibration:
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_equilibration_does_not_change_solution(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 5
+        a_half = rng.normal(size=(n, n))
+        P = a_half @ a_half.T + np.eye(n)
+        q = rng.normal(size=n)
+        G = -np.eye(n)
+        h = np.zeros(n) + 2.0
+        plain = solve_qp(P, q, G=G, h=h, equilibrate=False)
+        scaled = solve_qp(P, q, G=G, h=h, equilibrate=True)
+        np.testing.assert_allclose(plain.x, scaled.x, atol=1e-6)

@@ -1,0 +1,117 @@
+"""Additional edge-case coverage for the generic optimization engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim.admg import ADMGEngine
+from repro.optim.admm import ADMMBlock, ADMMEngine
+from repro.optim.ipqp import solve_qp
+
+
+def _target_block(target, K=None, x0=None, name=""):
+    """Block with f(x) = 0.5||x - target||^2."""
+    target = np.asarray(target, dtype=float)
+    K = np.eye(len(target)) if K is None else np.atleast_2d(K)
+
+    def prox(v, rho):
+        return np.linalg.solve(np.eye(len(target)) + rho * K.T @ K,
+                               target + rho * K.T @ v)
+
+    return ADMMBlock(
+        K=K,
+        prox=prox,
+        objective=lambda x: float(0.5 * np.sum((x - target) ** 2)),
+        name=name,
+        x0=x0,
+    )
+
+
+class TestADMMWarmStart:
+    def test_x0_respected(self):
+        """Starting at the solution converges immediately."""
+        t1, t2 = np.array([1.0]), np.array([3.0])
+        # min sum ||x_i - t_i||^2 s.t. x1 + x2 = 4: optimum (1, 3).
+        cold = ADMMEngine(
+            [_target_block(t1), _target_block(t2)], b=np.array([4.0]), rho=1.0
+        ).run(max_iter=300, tol=1e-10)
+        warm = ADMMEngine(
+            [
+                _target_block(t1, x0=np.array([1.0])),
+                _target_block(t2, x0=np.array([3.0])),
+            ],
+            b=np.array([4.0]),
+            rho=1.0,
+        ).run(max_iter=300, tol=1e-10)
+        assert warm.converged
+        assert warm.iterations <= cold.iterations
+
+    def test_objective_history_absent_without_objectives(self):
+        block = ADMMBlock(
+            K=np.eye(1),
+            prox=lambda v, rho: rho * v / (1.0 + rho),
+            objective=None,
+        )
+        res = ADMMEngine([block], b=np.array([0.5]), rho=1.0).run(max_iter=50)
+        assert res.objectives == []
+        assert len(res.primal_residuals) == res.iterations
+
+
+class TestADMGBlockNames:
+    def test_error_message_names_block(self):
+        good = _target_block(np.zeros(2), name="fine")
+        bad = _target_block(
+            np.zeros(2), K=np.array([[1.0, 0.0], [1.0, 0.0]]), name="rank-deficient"
+        )
+        with pytest.raises(ValueError, match="rank-deficient"):
+            ADMGEngine([good, bad], b=np.zeros(2), rho=1.0)
+
+
+class TestIPQPEdgeCases:
+    def test_iteration_cap_reported(self):
+        """An artificially tight cap returns converged=False rather than
+        raising, with the best iterate so far."""
+        rng = np.random.default_rng(0)
+        n = 5
+        half = rng.normal(size=(n, n))
+        P = half @ half.T + np.eye(n)
+        q = rng.normal(size=n)
+        res = solve_qp(P, q, G=-np.eye(n), h=np.zeros(n), max_iter=2)
+        assert not res.converged
+        assert res.iterations == 2
+        assert np.isfinite(res.x).all()
+
+    def test_equality_only_duals_satisfy_stationarity(self):
+        P = np.diag([2.0, 6.0])
+        q = np.array([1.0, -2.0])
+        A = np.array([[1.0, -1.0]])
+        b = np.array([0.5])
+        res = solve_qp(P, q, A=A, b=b)
+        stationarity = P @ res.x + q + A.T @ res.eq_dual
+        np.testing.assert_allclose(stationarity, 0.0, atol=1e-8)
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-10)
+
+    def test_redundant_inequalities_harmless(self):
+        """Duplicated rows (rank-deficient G) still solve."""
+        res = solve_qp(
+            np.array([[2.0]]),
+            np.array([-4.0]),
+            G=np.array([[1.0], [1.0], [1.0]]),
+            h=np.array([1.0, 1.0, 1.0]),
+        )
+        assert res.converged
+        assert res.x[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_objective_pure_feasibility(self):
+        res = solve_qp(
+            np.zeros((2, 2)),
+            np.zeros(2),
+            A=np.array([[1.0, 1.0]]),
+            b=np.array([2.0]),
+            G=-np.eye(2),
+            h=np.zeros(2),
+        )
+        assert res.converged
+        assert res.x.sum() == pytest.approx(2.0, abs=1e-6)
+        assert (res.x >= -1e-8).all()

@@ -1,0 +1,147 @@
+"""Tests for repro.optim.rank_one: the capacitated diag+rank-1 QP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.optim.rank_one import solve_capped_rank_one_qp
+
+
+def objective(a, c, rho, beta):
+    return 0.5 * rho * (a @ a) + 0.5 * rho * beta**2 * a.sum() ** 2 - c @ a
+
+
+def reference_solution(c, rho, beta, cap, iters=300_000):
+    """Projected gradient reference (slow but dependable)."""
+    n = len(c)
+    a = np.zeros(n)
+    lip = rho * (1 + n * beta**2)
+    step = 1.0 / lip
+    for _ in range(iters):
+        grad = rho * a + rho * beta**2 * a.sum() - c
+        a = np.maximum(a - step * grad, 0.0)
+        if a.sum() > cap:
+            # project onto {sum <= cap, a >= 0}: scale-down is not exact,
+            # use the simplex projection on the violated face.
+            from repro.optim.simplex import project_simplex
+
+            a = project_simplex(a, cap)
+    return a
+
+
+class TestCappedRankOneQP:
+    def test_all_negative_rewards_give_zero(self):
+        a = solve_capped_rank_one_qp(np.array([-1.0, -2.0]), rho=1.0, beta=0.5, cap=10.0)
+        np.testing.assert_allclose(a, [0.0, 0.0])
+
+    def test_zero_cap_gives_zero(self):
+        a = solve_capped_rank_one_qp(np.array([5.0, 3.0]), rho=1.0, beta=0.0, cap=0.0)
+        np.testing.assert_allclose(a, [0.0, 0.0])
+
+    def test_empty_input(self):
+        a = solve_capped_rank_one_qp(np.array([]), rho=1.0, beta=1.0, cap=1.0)
+        assert a.shape == (0,)
+
+    def test_separable_case_beta_zero(self):
+        """With beta = 0 and a loose cap, a_i = max(0, c_i / rho)."""
+        c = np.array([2.0, -1.0, 0.5])
+        a = solve_capped_rank_one_qp(c, rho=2.0, beta=0.0, cap=100.0)
+        np.testing.assert_allclose(a, [1.0, 0.0, 0.25])
+
+    def test_uncapped_fixed_point_identity(self):
+        """The uncapped solution satisfies a_i = (c_i - rho b^2 T)+/rho."""
+        c = np.array([3.0, 1.0, 0.2, -0.5])
+        rho, beta = 0.7, 0.6
+        a = solve_capped_rank_one_qp(c, rho=rho, beta=beta, cap=1e9)
+        t = a.sum()
+        expected = np.maximum((c - rho * beta**2 * t) / rho, 0.0)
+        np.testing.assert_allclose(a, expected, atol=1e-10)
+
+    def test_cap_binds_when_rewards_large(self):
+        c = np.array([10.0, 12.0, 8.0])
+        a = solve_capped_rank_one_qp(c, rho=0.3, beta=0.1, cap=2.0)
+        assert a.sum() == pytest.approx(2.0, abs=1e-10)
+        assert (a >= 0).all()
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            solve_capped_rank_one_qp(np.array([1.0]), rho=0.0, beta=1.0, cap=1.0)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            solve_capped_rank_one_qp(np.array([1.0]), rho=1.0, beta=1.0, cap=-1.0)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            solve_capped_rank_one_qp(np.zeros((2, 2)), rho=1.0, beta=1.0, cap=1.0)
+
+    def test_matches_reference_uncapped(self):
+        rng = np.random.default_rng(7)
+        c = rng.normal(size=6) * 3
+        a = solve_capped_rank_one_qp(c, rho=0.5, beta=0.3, cap=1e6)
+        ref = reference_solution(c, 0.5, 0.3, 1e6, iters=20_000)
+        assert objective(a, c, 0.5, 0.3) <= objective(ref, c, 0.5, 0.3) + 1e-8
+
+    def test_matches_reference_capped(self):
+        rng = np.random.default_rng(11)
+        c = np.abs(rng.normal(size=5)) * 5
+        a = solve_capped_rank_one_qp(c, rho=0.4, beta=0.2, cap=3.0)
+        ref = reference_solution(c, 0.4, 0.2, 3.0, iters=20_000)
+        assert objective(a, c, 0.4, 0.2) <= objective(ref, c, 0.4, 0.2) + 1e-7
+
+    @given(
+        c=hnp.arrays(
+            dtype=float, shape=st.integers(1, 10),
+            elements=st.floats(min_value=-20, max_value=20, allow_nan=False),
+        ),
+        rho=st.floats(min_value=0.05, max_value=5.0),
+        beta=st.floats(min_value=0.0, max_value=2.0),
+        cap=st.one_of(
+            st.just(0.0), st.floats(min_value=1e-3, max_value=50.0)
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_feasibility_and_kkt(self, c, rho, beta, cap):
+        a = solve_capped_rank_one_qp(c, rho=rho, beta=beta, cap=cap)
+        assert (a >= -1e-12).all()
+        assert a.sum() <= cap * (1 + 1e-9) + 1e-9
+        if cap == 0.0:
+            np.testing.assert_allclose(a, 0.0)
+            return
+        # KKT: grad_i + sigma >= 0 with equality on the support.
+        t = a.sum()
+        grad = rho * a + rho * beta**2 * t - c
+        sigma = 0.0
+        if t >= cap * (1 - 1e-9):
+            support = a > 1e-12
+            if support.any():
+                sigma = float(np.max(-grad[support]))
+                sigma = max(sigma, 0.0)
+            else:
+                sigma = float(max(0.0, np.max(-grad)))
+        scale = max(1.0, np.abs(c).max(initial=0.0))
+        support = a > 1e-10 * max(1.0, cap)
+        if support.any():
+            assert np.abs(grad[support] + sigma).max() < 1e-6 * scale
+        if (~support).any():
+            assert (grad[~support] + sigma >= -1e-6 * scale).all()
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_beats_random_feasible_points(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 8))
+        c = rng.normal(size=n) * 4
+        rho = float(rng.uniform(0.1, 2.0))
+        beta = float(rng.uniform(0.0, 1.0))
+        cap = float(rng.uniform(0.5, 10.0))
+        a = solve_capped_rank_one_qp(c, rho=rho, beta=beta, cap=cap)
+        val = objective(a, c, rho, beta)
+        for _ in range(30):
+            y = rng.random(n)
+            y = y / y.sum() * rng.uniform(0, cap)
+            assert val <= objective(y, c, rho, beta) + 1e-7

@@ -1,0 +1,63 @@
+"""Tests for the report generator and its chart section."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import _chart_section, generate_report, main
+
+HOURS = 24
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def fast_report(self):
+        return generate_report(hours=HOURS, fast=True, charts=True)
+
+    def test_sections_in_paper_order(self, fast_report):
+        order = ["Table I", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+                 "Fig. 7", "Fig. 8"]
+        positions = [fast_report.index(f"\n{name}\n") for name in order]
+        assert positions == sorted(positions)
+
+    def test_fast_skips_sweeps(self, fast_report):
+        assert "Fig. 9" not in fast_report
+        assert "Fig. 10" not in fast_report
+        assert "Fig. 11" not in fast_report
+
+    def test_charts_included_by_default(self, fast_report):
+        assert "Series charts" in fast_report
+        assert "total workload" in fast_report
+        # Sparkline block characters present.
+        assert any(ch in fast_report for ch in "▁▂▃▄▅▆▇█")
+
+    def test_charts_can_be_disabled(self):
+        report = generate_report(hours=HOURS, fast=True, charts=False)
+        assert "Series charts" not in report
+
+    def test_timings_recorded(self, fast_report):
+        assert "[0." in fast_report or "s]" in fast_report
+
+
+class TestChartSection:
+    def test_all_series_rendered(self):
+        section = _chart_section(HOURS, 2014)
+        for label in ("total workload", "san jose price", "I_hg",
+                      "FC utilization", "hybrid latency"):
+            assert label in section
+
+    def test_lines_aligned(self):
+        section = _chart_section(HOURS, 2014)
+        lines = section.splitlines()
+        # Every line ends with a block-character chart of equal length.
+        chart_lengths = {
+            sum(1 for ch in line if ch in "▁▂▃▄▅▆▇█") for line in lines
+        }
+        assert len(chart_lengths) == 1
+
+
+class TestMain:
+    def test_cli_entry(self, capsys):
+        assert main(["--hours", str(HOURS), "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out

@@ -1,0 +1,163 @@
+"""Tests for repro.optim.scalar: PL convex functions and scalar prox."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.scalar import (
+    PiecewiseLinearConvex,
+    QuadraticScalar,
+    minimize_convex_on_interval,
+    prox_nonneg,
+)
+
+
+class TestQuadraticScalar:
+    def test_value_and_derivative(self):
+        f = QuadraticScalar(a=2.0, b=-4.0, c=1.0)
+        assert f(0.0) == 1.0
+        assert f(1.0) == -1.0
+        assert f.derivative(1.0) == 0.0
+
+    def test_negative_curvature_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticScalar(a=-1.0, b=0.0)
+
+
+class TestPiecewiseLinearConvex:
+    def test_single_segment_is_linear(self):
+        f = PiecewiseLinearConvex([0.0], [2.0], offset=1.0)
+        assert f(0.0) == 1.0
+        assert f(3.0) == 7.0
+
+    def test_two_segments_value(self):
+        f = PiecewiseLinearConvex([0.0, 10.0], [1.0, 3.0])
+        assert f(5.0) == 5.0
+        assert f(10.0) == 10.0
+        assert f(12.0) == 16.0
+
+    def test_subgradient_interval_at_kink(self):
+        f = PiecewiseLinearConvex([0.0, 10.0], [1.0, 3.0])
+        lo, hi = f.subgradient_interval(10.0)
+        assert (lo, hi) == (1.0, 3.0)
+        lo, hi = f.subgradient_interval(4.0)
+        assert (lo, hi) == (1.0, 1.0)
+
+    def test_negative_domain_rejected(self):
+        f = PiecewiseLinearConvex([0.0], [1.0])
+        with pytest.raises(ValueError):
+            f(-0.1)
+        with pytest.raises(ValueError):
+            f.subgradient_interval(-0.1)
+
+    def test_scaled_composition(self):
+        f = PiecewiseLinearConvex([0.0, 6.0], [1.0, 2.0])
+        g = f.scaled(3.0)  # g(x) = f(3x)
+        for x in (0.0, 1.0, 2.0, 5.0):
+            assert g(x) == pytest.approx(f(3.0 * x))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearConvex([], [])
+        with pytest.raises(ValueError):
+            PiecewiseLinearConvex([1.0], [1.0])  # first breakpoint not 0
+        with pytest.raises(ValueError):
+            PiecewiseLinearConvex([0.0, 0.0], [1.0, 2.0])  # not increasing
+        with pytest.raises(ValueError):
+            PiecewiseLinearConvex([0.0, 1.0], [2.0, 1.0])  # slopes decrease
+        with pytest.raises(ValueError):
+            PiecewiseLinearConvex([0.0], [1.0, 2.0])  # length mismatch
+
+    def test_prox_interior_segment(self):
+        """Smooth region: prox is the quadratic shift d - s/rho."""
+        f = PiecewiseLinearConvex([0.0, 10.0], [1.0, 3.0])
+        x = f.prox(d=5.0, rho=1.0)
+        assert x == pytest.approx(4.0)
+
+    def test_prox_sticks_at_kink(self):
+        f = PiecewiseLinearConvex([0.0, 10.0], [0.0, 100.0])
+        # Pull toward 12, but the slope jump at 10 holds the prox there.
+        x = f.prox(d=12.0, rho=1.0)
+        assert x == pytest.approx(10.0)
+
+    def test_prox_at_zero_boundary(self):
+        f = PiecewiseLinearConvex([0.0], [5.0])
+        assert f.prox(d=2.0, rho=1.0) == pytest.approx(0.0)
+
+    def test_prox_with_linear_term(self):
+        f = PiecewiseLinearConvex([0.0], [1.0])
+        # min x + linear*x + 0.5(x-d)^2 -> x = d - (1+linear).
+        assert f.prox(d=5.0, rho=1.0, linear=2.0) == pytest.approx(2.0)
+
+    def test_prox_invalid_rho(self):
+        f = PiecewiseLinearConvex([0.0], [1.0])
+        with pytest.raises(ValueError):
+            f.prox(d=1.0, rho=0.0)
+
+    @given(
+        n_seg=st.integers(1, 4),
+        seed=st.integers(0, 2000),
+        d=st.floats(min_value=-5.0, max_value=30.0),
+        rho=st.floats(min_value=0.1, max_value=5.0),
+        linear=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_prox_matches_grid_search(self, n_seg, seed, d, rho, linear):
+        rng = np.random.default_rng(seed)
+        bps = np.concatenate([[0.0], np.cumsum(rng.uniform(0.5, 5.0, n_seg - 1))])
+        slopes = np.cumsum(rng.uniform(0.0, 2.0, n_seg))
+        f = PiecewiseLinearConvex(bps, slopes)
+        x = f.prox(d=d, rho=rho, linear=linear)
+
+        def obj(t):
+            return f(t) + linear * t + 0.5 * rho * (t - d) ** 2
+
+        assert x >= 0.0
+        grid = np.linspace(0.0, max(abs(d) * 2 + 5, bps[-1] + 5), 4001)
+        best = min(obj(t) for t in grid)
+        assert obj(x) <= best + 1e-6 * max(1.0, abs(best))
+
+
+class TestMinimizeConvexOnInterval:
+    def test_quadratic_minimum(self):
+        x = minimize_convex_on_interval(lambda t: (t - 2.5) ** 2, 0.0, 10.0)
+        assert x == pytest.approx(2.5, abs=1e-6)
+
+    def test_boundary_minimum(self):
+        x = minimize_convex_on_interval(lambda t: t, 1.0, 5.0)
+        assert x == pytest.approx(1.0, abs=1e-5)
+
+    def test_nonsmooth_objective(self):
+        x = minimize_convex_on_interval(lambda t: abs(t - 3.0), 0.0, 10.0)
+        assert x == pytest.approx(3.0, abs=1e-5)
+
+    def test_degenerate_interval(self):
+        assert minimize_convex_on_interval(lambda t: t * t, 2.0, 2.0) == 2.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_convex_on_interval(lambda t: t, 2.0, 1.0)
+
+
+class TestProxNonneg:
+    def test_matches_closed_form_quadratic(self):
+        # min 2x^2 + 0.5*rho*(x-d)^2, rho=2, d=4 -> x = rho d /(4+rho)=8/6.
+        x = prox_nonneg(lambda t: 2 * t * t, d=4.0, rho=2.0)
+        assert x == pytest.approx(8.0 / 6.0, abs=1e-6)
+
+    def test_clamps_to_zero(self):
+        x = prox_nonneg(lambda t: 10 * t, d=1.0, rho=1.0)
+        assert x == pytest.approx(0.0, abs=1e-6)
+
+    def test_matches_pl_prox(self):
+        f = PiecewiseLinearConvex([0.0, 2.0], [0.5, 4.0])
+        exact = f.prox(d=3.0, rho=1.0)
+        approx = prox_nonneg(f, d=3.0, rho=1.0)
+        assert approx == pytest.approx(exact, abs=1e-5)
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            prox_nonneg(lambda t: t, d=1.0, rho=0.0)

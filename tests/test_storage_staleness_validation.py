@@ -1,0 +1,169 @@
+"""Tests for battery storage, stale-message execution, and the scorecard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.admg.solver import DistributedUFCSolver
+from repro.core.centralized import CentralizedSolver
+from repro.core.strategies import HYBRID
+from repro.distributed.staleness import StalenessRuntime
+from repro.experiments.validation import Check, render_scorecard
+from repro.extensions.multislot import solve_multislot
+from repro.extensions.storage import BatterySpec, solve_multislot_with_storage
+from repro.sim.simulator import Simulator
+
+HOURS = 8
+
+
+class TestBatterySpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatterySpec(energy_mwh=-1, charge_mw=1, discharge_mw=1)
+        with pytest.raises(ValueError):
+            BatterySpec(energy_mwh=1, charge_mw=1, discharge_mw=1, initial_soc=1.5)
+        with pytest.raises(ValueError):
+            BatterySpec(energy_mwh=1, charge_mw=1, discharge_mw=1, wear_cost=-1)
+
+
+class TestStorageCoOptimization:
+    @pytest.fixture(scope="class")
+    def results(self, request):
+        from repro.sim.simulator import build_model
+        from repro.traces.datasets import default_bundle
+
+        bundle = default_bundle(hours=HOURS)
+        model = build_model(bundle)
+        battery = BatterySpec(energy_mwh=6.0, charge_mw=2.0, discharge_mw=2.0)
+        with_batt = solve_multislot_with_storage(
+            model, bundle, battery, hours=HOURS
+        )
+        without = solve_multislot(model, bundle, np.inf, hours=HOURS)
+        return model, bundle, battery, with_batt, without
+
+    def test_converges(self, results):
+        *_, with_batt, without = results
+        assert with_batt.base.converged and without.converged
+
+    def test_battery_never_hurts(self, results):
+        *_, with_batt, without = results
+        net = with_batt.base.total_ufc - with_batt.wear_cost_total
+        assert net >= without.total_ufc - 1e-6 * abs(without.total_ufc)
+
+    def test_power_limits_respected(self, results):
+        _, _, battery, with_batt, _ = results
+        w = with_batt.battery_power
+        assert (w <= battery.charge_mw + 1e-6).all()
+        assert (w >= -battery.discharge_mw - 1e-6).all()
+
+    def test_soc_within_bounds(self, results):
+        _, _, battery, with_batt, _ = results
+        soc = with_batt.state_of_charge
+        assert (soc >= -1e-6).all()
+        assert (soc <= battery.energy_mwh + 1e-6).all()
+
+    def test_sustainability_constraint(self, results):
+        _, _, battery, with_batt, _ = results
+        start = with_batt.state_of_charge[0]
+        end = with_batt.state_of_charge[-1]
+        assert (end >= start - 1e-6).all()
+
+    def test_slot_allocations_feasible(self, results):
+        """Each slot's (lambda, mu, nu) satisfies everything except the
+        power balance, which the battery intentionally shifts."""
+        model, bundle, battery, with_batt, _ = results
+        for t, alloc in enumerate(with_batt.base.allocations):
+            problem = Simulator(model, bundle).problem_for_slot(t, HYBRID)
+            report = problem.check_feasibility(alloc, tol=1e-4)
+            assert report.load_balance < 1.0
+            assert report.capacity < 1.0
+            # Balance shifted by exactly the battery power.
+            balance = (
+                model.alphas
+                + model.betas * alloc.datacenter_load()
+                - alloc.mu
+                - alloc.nu
+            )
+            np.testing.assert_allclose(
+                balance, -with_batt.battery_power[t], atol=1e-4
+            )
+
+    def test_zero_battery_matches_plain(self, results):
+        model, bundle, *_ = results
+        none = BatterySpec(energy_mwh=0.0, charge_mw=0.0, discharge_mw=0.0)
+        with_none = solve_multislot_with_storage(model, bundle, none, hours=4)
+        plain = solve_multislot(model, bundle, np.inf, hours=4)
+        np.testing.assert_allclose(with_none.base.ufc, plain.ufc, rtol=1e-4)
+        np.testing.assert_allclose(with_none.battery_power, 0.0, atol=1e-6)
+
+
+class TestStalenessRuntime:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        from repro.sim.simulator import build_model
+        from repro.traces.datasets import default_bundle
+
+        bundle = default_bundle(hours=4)
+        model = build_model(bundle)
+        return Simulator(model, bundle).problem_for_slot(2, HYBRID)
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            StalenessRuntime(problem, delay_probability=1.0)
+
+    def test_zero_delay_matches_sync_iterations(self, problem):
+        solver = DistributedUFCSolver(rho=0.3, tol=6e-3, max_iter=2000)
+        sync = solver.solve(problem)
+        stale = StalenessRuntime(
+            problem, solver, delay_probability=0.0, stable_rounds=1
+        ).run()
+        assert stale.converged
+        assert stale.iterations == sync.iterations
+        assert stale.delayed_messages == 0
+
+    def test_converges_under_moderate_delay(self, problem):
+        cent = CentralizedSolver().solve(problem)
+        solver = DistributedUFCSolver(rho=0.3, tol=6e-3, max_iter=3000)
+        run = StalenessRuntime(
+            problem, solver, delay_probability=0.3, seed=2
+        ).run()
+        assert run.converged
+        assert run.delayed_messages > 0
+        gap = abs(run.ufc - cent.ufc) / abs(cent.ufc)
+        assert gap < 1e-2
+
+    def test_delay_increases_rounds(self, problem):
+        solver = DistributedUFCSolver(rho=0.3, tol=6e-3, max_iter=4000)
+        fast = StalenessRuntime(problem, solver, delay_probability=0.0).run()
+        slow = StalenessRuntime(
+            problem, solver, delay_probability=0.5, seed=7
+        ).run()
+        assert slow.converged
+        assert slow.iterations > fast.iterations
+
+    def test_allocation_always_feasible(self, problem):
+        solver = DistributedUFCSolver(rho=0.3, tol=6e-3, max_iter=3000)
+        run = StalenessRuntime(problem, solver, delay_probability=0.4, seed=3).run()
+        assert problem.check_feasibility(run.allocation, tol=1e-6).ok
+
+
+class TestScorecard:
+    def test_render_marks_pass_and_fail(self):
+        checks = [
+            Check("Fig. X", "claim A", "1", "1", True),
+            Check("Fig. Y", "claim B", "2", "3", False),
+        ]
+        text = render_scorecard(checks)
+        assert "1/2 shape targets hold" in text
+        assert "[PASS] Fig. X" in text
+        assert "[FAIL] Fig. Y" in text
+
+    def test_validation_on_short_horizon(self):
+        """The full scorecard runs (and mostly passes) on 48 hours."""
+        from repro.experiments.validation import run_validation
+
+        checks = run_validation(hours=48)
+        assert len(checks) >= 10
+        passed = sum(c.passed for c in checks)
+        assert passed >= len(checks) - 2  # short horizons may miss 1-2

@@ -1,0 +1,253 @@
+"""Tests for the trace substrate (repro.traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costs.carbon import FUEL_CARBON_RATES_G_PER_KWH
+from repro.traces.datasets import TraceBundle, default_bundle, paper_setup
+from repro.traces.fuelmix import REGION_FUEL_MIXES, carbon_rate_series, fuel_mix_series
+from repro.traces.geography import (
+    CITY_COORDINATES,
+    DATACENTER_CITIES,
+    FRONTEND_CITIES,
+    distance_matrix,
+    haversine_km,
+)
+from repro.traces.power_demand import facebook_power_profile
+from repro.traces.prices import REGION_PRICE_PRESETS, lmp_series
+from repro.traces.workload import hp_workload_shape, split_workload, workload_matrix
+
+
+class TestGeography:
+    def test_paper_sites_present(self):
+        assert DATACENTER_CITIES == ("calgary", "san_jose", "dallas", "pittsburgh")
+        assert len(FRONTEND_CITIES) == 10
+
+    def test_haversine_zero_distance(self):
+        c = CITY_COORDINATES["dallas"]
+        assert haversine_km(c, c) == pytest.approx(0.0)
+
+    def test_haversine_known_pair(self):
+        # New York - Los Angeles great-circle distance ~ 3940 km.
+        d = haversine_km(CITY_COORDINATES["new_york"], CITY_COORDINATES["los_angeles"])
+        assert 3800 < d < 4100
+
+    def test_haversine_symmetry(self):
+        a, b = CITY_COORDINATES["chicago"], CITY_COORDINATES["miami"]
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_distance_matrix_shape_and_positivity(self):
+        d = distance_matrix()
+        assert d.shape == (10, 4)
+        assert (d > 0).all()
+        assert d.max() < 5000  # continental scale
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(KeyError):
+            distance_matrix(sources=("atlantis",))
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        a = hp_workload_shape(hours=48, seed=5)
+        b = hp_workload_shape(hours=48, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_series(self):
+        a = hp_workload_shape(hours=48, seed=5)
+        b = hp_workload_shape(hours=48, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_bounds(self):
+        w = hp_workload_shape(hours=168)
+        assert (w >= 0.05).all() and (w <= 0.98).all()
+
+    def test_diurnal_pattern(self):
+        """Peak-hour mean beats trough-hour mean on weekdays."""
+        w = hp_workload_shape(hours=120, noise_sigma=0.0)
+        by_hour = w.reshape(5, 24).mean(axis=0)
+        assert by_hour[14] > by_hour[2] * 1.4
+
+    def test_weekend_damping(self):
+        w = hp_workload_shape(hours=168, noise_sigma=0.0)
+        weekday = w[:120].mean()
+        weekend = w[120:].mean()
+        assert weekend < weekday
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError):
+            hp_workload_shape(hours=0)
+
+    def test_split_normalized(self):
+        w = split_workload(10, seed=1)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            split_workload(0)
+
+    def test_matrix_respects_utilization_target(self):
+        m = workload_matrix(total_servers=50_000, hours=72, utilization_target=0.8)
+        assert m.sum(axis=1).max() == pytest.approx(0.8 * 50_000, rel=1e-9)
+        assert (m >= 0).all()
+
+    def test_matrix_timezone_offsets_shift_peaks(self):
+        east = workload_matrix(
+            1000, num_frontends=1, hours=48, utilization_target=1.0,
+            frontend_utc_offsets=np.array([-5.0]),
+        )
+        west = workload_matrix(
+            1000, num_frontends=1, hours=48, utilization_target=1.0,
+            frontend_utc_offsets=np.array([-8.0]),
+        )
+        assert np.argmax(east[:24, 0]) < np.argmax(west[:24, 0])
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            workload_matrix(0.0)
+        with pytest.raises(ValueError):
+            workload_matrix(100, utilization_target=1.5)
+        with pytest.raises(ValueError):
+            workload_matrix(100, num_frontends=3, frontend_utc_offsets=np.zeros(2))
+
+
+class TestPrices:
+    def test_deterministic_across_calls(self):
+        np.testing.assert_array_equal(
+            lmp_series("dallas", seed=3), lmp_series("dallas", seed=3)
+        )
+
+    def test_regions_differ(self):
+        assert not np.array_equal(lmp_series("dallas"), lmp_series("san_jose"))
+
+    def test_floors_respected(self):
+        for region, preset in REGION_PRICE_PRESETS.items():
+            p = lmp_series(region, hours=168)
+            assert p.min() >= preset.floor - 1e-12, region
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            lmp_series("gotham")
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError):
+            lmp_series("dallas", hours=0)
+
+    def test_calibration_dallas_cheap_san_jose_dear(self):
+        """The Table I relationships require these orderings."""
+        dallas = lmp_series("dallas", hours=168)
+        san_jose = lmp_series("san_jose", hours=168)
+        assert dallas.mean() < 35.0
+        assert 70.0 < san_jose.mean() < 95.0
+        # San Jose must straddle the $80 fuel-cell price for arbitrage.
+        assert (san_jose > 80).mean() > 0.2
+        assert (san_jose < 80).mean() > 0.2
+
+    def test_dallas_rarely_exceeds_fuel_cell_price(self):
+        dallas = lmp_series("dallas", hours=168)
+        assert (dallas > 80).mean() < 0.1
+
+
+class TestFuelMix:
+    def test_mix_series_shapes(self):
+        mixes = fuel_mix_series("calgary", hours=24)
+        assert len(mixes) == 24
+        for mix in mixes:
+            assert all(v > 0 for v in mix.values())
+            assert set(mix) <= set(FUEL_CARBON_RATES_G_PER_KWH)
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            fuel_mix_series("gotham")
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError):
+            fuel_mix_series("dallas", hours=-1)
+
+    def test_solar_absent_at_night(self):
+        mixes = fuel_mix_series("san_jose", hours=24)
+        # Local midnight (UTC-8): hour 8 UTC == 0 local.
+        midnight_local = mixes[8]
+        assert midnight_local.get("solar", 0.0) == 0.0
+
+    def test_carbon_rates_ordering(self):
+        """Spatial diversity: Calgary/Pittsburgh dirty, San Jose clean."""
+        rates = {r: carbon_rate_series(r, hours=168).mean() for r in REGION_FUEL_MIXES}
+        assert rates["san_jose"] < rates["dallas"] < rates["calgary"]
+        assert rates["san_jose"] < 350
+        assert rates["calgary"] > 550
+
+    def test_rates_within_physical_bounds(self):
+        for region in REGION_FUEL_MIXES:
+            c = carbon_rate_series(region, hours=72)
+            assert (c > 13.0).all() and (c < 968.0).all()
+
+
+class TestPowerDemand:
+    def test_weekly_energy_calibration(self):
+        """Table I implies ~349.46 MWh (fuel-cell cost 27957 at $80)."""
+        demand = facebook_power_profile()
+        assert demand.sum() == pytest.approx(27957.0 / 80.0, rel=1e-9)
+
+    def test_prorated_for_shorter_horizons(self):
+        demand = facebook_power_profile(hours=84)
+        assert demand.sum() == pytest.approx(349.4625 / 2, rel=1e-9)
+
+    def test_positive(self):
+        assert (facebook_power_profile() > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            facebook_power_profile(hours=0)
+        with pytest.raises(ValueError):
+            facebook_power_profile(weekly_energy_mwh=-1)
+
+
+class TestDatasets:
+    def test_paper_setup_capacity_range(self):
+        caps, distances = paper_setup(seed=2014)
+        assert caps.shape == (4,)
+        assert ((caps >= 1.7e4) & (caps <= 2.3e4)).all()
+        assert distances.shape == (10, 4)
+
+    def test_default_bundle_consistency(self, small_bundle):
+        assert small_bundle.hours == 24
+        assert small_bundle.num_datacenters == 4
+        assert small_bundle.num_frontends == 10
+        assert small_bundle.arrivals.shape == (24, 10)
+        assert small_bundle.prices.shape == (24, 4)
+        assert small_bundle.carbon_rates.shape == (24, 4)
+        assert small_bundle.latency_ms.shape == (10, 4)
+
+    def test_workload_never_exceeds_capacity(self, small_bundle):
+        assert small_bundle.arrivals.sum(axis=1).max() <= small_bundle.capacities.sum()
+
+    def test_slot_accessor(self, small_bundle):
+        slot = small_bundle.slot(3)
+        np.testing.assert_array_equal(slot["arrivals"], small_bundle.arrivals[3])
+        with pytest.raises(IndexError):
+            small_bundle.slot(24)
+        with pytest.raises(IndexError):
+            small_bundle.slot(-1)
+
+    def test_bundle_shape_validation(self):
+        with pytest.raises(ValueError):
+            TraceBundle(
+                regions=("a", "b"),
+                frontends=("x",),
+                arrivals=np.zeros((5, 1)),
+                prices=np.zeros((5, 3)),  # wrong N
+                carbon_rates=np.zeros((5, 2)),
+                latency_ms=np.zeros((1, 2)),
+                capacities=np.ones(2),
+            )
+
+    def test_determinism(self):
+        a = default_bundle(hours=12, seed=99)
+        b = default_bundle(hours=12, seed=99)
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+        np.testing.assert_array_equal(a.prices, b.prices)
+        np.testing.assert_array_equal(a.carbon_rates, b.carbon_rates)

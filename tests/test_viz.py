@@ -1,0 +1,101 @@
+"""Tests for the ASCII visualization primitives (repro.viz)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.viz.ascii import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_blocks(self):
+        out = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert out == "▁▃▆█"
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_resampling_to_width(self):
+        out = sparkline(np.arange(100), width=10)
+        assert len(out) == 10
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0], width=10)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, float("nan")])
+
+    @given(
+        values=hnp.arrays(
+            dtype=float,
+            shape=st.integers(1, 200),
+            elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_renders_blocks(self, values):
+        out = sparkline(values, width=40)
+        assert 1 <= len(out) <= 40
+        assert set(out) <= set("▁▂▃▄▅▆▇█")
+
+
+class TestBarChart:
+    def test_scales_to_largest(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_negative_values_distinct_fill(self):
+        out = bar_chart({"up": 4.0, "down": -4.0}, width=8)
+        assert "░" in out and "█" in out
+
+    def test_all_zero(self):
+        out = bar_chart({"a": 0.0}, width=10)
+        assert "█" not in out
+
+    def test_labels_aligned(self):
+        out = bar_chart({"long-label": 1.0, "x": 2.0})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        out = line_chart(np.sin(np.linspace(0, 6, 100)), height=6, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 6
+        assert all("┤" in line for line in lines)
+
+    def test_extremes_labelled(self):
+        out = line_chart([0.0, 100.0], height=4)
+        assert "100" in out.splitlines()[0]
+        assert out.splitlines()[-1].lstrip().startswith("0")
+
+    def test_every_column_has_a_dot(self):
+        out = line_chart(np.arange(10, dtype=float), height=5, width=10)
+        total_dots = out.count("•")
+        assert total_dots == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([1.0], height=1)
+        with pytest.raises(ValueError):
+            line_chart([1.0, float("nan")])
