@@ -1,0 +1,137 @@
+"""Solve-engine wall-clock benchmarks.
+
+Times the default three-strategy week (3 x 168 slots, centralized
+solver) through :class:`~repro.engine.horizon.HorizonEngine` in three
+modes — serial without structure caching (the per-slot assembly the
+pre-engine simulator did), serial with caching, and the cached process
+pool — and verifies the modes produce bit-identical solutions.
+
+Run standalone to write the JSON summary::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
+
+or through pytest-benchmark with the rest of the ``bench_*`` modules
+(a shortened horizon keeps the suite's runtime sane).
+
+Speedups depend on hardware: the pool cannot beat serial on a
+single-core container, which is why ``cpu_count`` is recorded next to
+every timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.strategies import ALL_STRATEGIES
+from repro.engine import HorizonEngine
+from repro.sim.simulator import Simulator, build_model
+from repro.traces.datasets import default_bundle
+
+
+def _horizon_problems(hours: int, seed: int):
+    """The 3 x ``hours`` slot problems of the default comparison."""
+    bundle = default_bundle(hours=hours, seed=seed)
+    model = build_model(bundle)
+    sim = Simulator(model, bundle)
+    return [
+        sim.problem_for_slot(t, strategy)
+        for strategy in ALL_STRATEGIES
+        for t in range(hours)
+    ]
+
+
+def _time_engine(problems, repeats: int = 1, **engine_kwargs):
+    """Best-of-``repeats`` wall time plus the (identical) outcomes."""
+    best = None
+    outcomes = None
+    for _ in range(repeats):
+        engine = HorizonEngine("centralized", **engine_kwargs)
+        start = time.perf_counter()
+        outcomes = engine.run(problems)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, outcomes
+
+
+def _bit_identical(a, b) -> bool:
+    """Exact equality of every slot's allocation and UFC value."""
+    return len(a) == len(b) and all(
+        x.ok
+        and y.ok
+        and (x.result.allocation.lam == y.result.allocation.lam).all()
+        and (x.result.allocation.mu == y.result.allocation.mu).all()
+        and (x.result.allocation.nu == y.result.allocation.nu).all()
+        and x.result.ufc == y.result.ufc
+        and x.result.iterations == y.result.iterations
+        for x, y in zip(a, b)
+    )
+
+
+def run_bench(
+    hours: int = 168,
+    seed: int = 2014,
+    workers: int = 4,
+    repeats: int = 3,
+) -> dict:
+    """Time the three engine modes and summarize as a JSON-ready dict."""
+    problems = _horizon_problems(hours, seed)
+    cold_s, cold = _time_engine(problems, repeats, structure_cache=False)
+    cached_s, cached = _time_engine(problems, repeats, structure_cache=True)
+    workers = max(1, workers)
+    pool_s, pooled = _time_engine(problems, repeats, workers=workers)
+    return {
+        "hours": hours,
+        "seed": seed,
+        "slots": len(problems),
+        "strategies": [s.name for s in ALL_STRATEGIES],
+        "solver": "centralized",
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial_cold_s": round(cold_s, 4),
+        "serial_cached_s": round(cached_s, 4),
+        "parallel_cached_s": round(pool_s, 4),
+        "caching_speedup": round(cold_s / cached_s, 4),
+        "parallel_speedup_vs_serial_cold": round(cold_s / pool_s, 4),
+        "bit_identical": {
+            "cached_vs_cold": _bit_identical(cold, cached),
+            "parallel_vs_serial": _bit_identical(cached, pooled),
+        },
+    }
+
+
+def test_engine_modes_agree(run_once, bench_workers):
+    """Pytest entry: shortened horizon, same three-mode comparison."""
+    summary = run_once(run_bench, hours=24, workers=bench_workers, repeats=1)
+    print("\n" + json.dumps(summary, indent=2))
+    assert summary["bit_identical"]["cached_vs_cold"]
+    assert summary["bit_identical"]["parallel_vs_serial"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=168)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON summary here (default: stdout only)")
+    args = parser.parse_args(argv)
+    summary = run_bench(
+        hours=args.hours, seed=args.seed, workers=args.workers,
+        repeats=args.repeats,
+    )
+    text = json.dumps(summary, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

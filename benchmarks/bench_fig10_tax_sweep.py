@@ -7,8 +7,8 @@ import numpy as np
 from repro.experiments.fig10_tax_sweep import render_fig10, run_fig10
 
 
-def test_fig10_tax_sweep(run_once):
-    result = run_once(run_fig10)
+def test_fig10_tax_sweep(run_once, bench_workers):
+    result = run_once(run_fig10, workers=bench_workers)
     print("\n" + render_fig10(result))
 
     # Both curves increase with the tax rate.

@@ -7,8 +7,8 @@ import numpy as np
 from repro.experiments.fig9_price_sweep import render_fig9, run_fig9
 
 
-def test_fig9_price_sweep(run_once):
-    result = run_once(run_fig9)
+def test_fig9_price_sweep(run_once, bench_workers):
+    result = run_once(run_fig9, workers=bench_workers)
     print("\n" + render_fig9(result))
 
     # Both curves decrease as p0 rises.

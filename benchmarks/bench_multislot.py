@@ -19,15 +19,20 @@ HOURS = 12
 RAMP = 0.5
 
 
-def test_greedy_vs_exact_lookahead(run_once):
+def test_greedy_vs_exact_lookahead(run_once, bench_workers):
     bundle, model = evaluation_setup(hours=HOURS)
 
     def compare():
+        # The ramping variants couple slots (sequential by nature); only
+        # the unconstrained reference is an independent-slot horizon the
+        # engine can fan out.
         exact = solve_multislot(model, bundle, ramp_mw_per_hour=RAMP, hours=HOURS)
         greedy = RampingSimulator(model, bundle, ramp_mw_per_hour=RAMP).run(
             HYBRID, hours=HOURS
         )
-        unconstrained = Simulator(model, bundle).run(HYBRID, hours=HOURS)
+        unconstrained = Simulator(model, bundle, workers=bench_workers).run(
+            HYBRID, hours=HOURS
+        )
         return exact, greedy, unconstrained
 
     exact, greedy, unconstrained = run_once(compare)

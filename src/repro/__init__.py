@@ -34,6 +34,7 @@ from repro.core import (
     UFCProblem,
     optimal_power_split,
 )
+from repro.core.compiled import CompiledQPStructure
 from repro.costs import (
     CapAndTrade,
     EmissionCostFunction,
@@ -45,6 +46,16 @@ from repro.costs import (
     ServerPowerModel,
     SteppedCarbonTax,
     carbon_intensity,
+)
+from repro.engine import (
+    HorizonEngine,
+    SlotOutcome,
+    SlotResult,
+    SlotSolver,
+    available_solvers,
+    create_solver,
+    parallel_map,
+    register_solver,
 )
 from repro.sim import SimulationResult, Simulator, build_model
 from repro.traces import TraceBundle, default_bundle
@@ -59,6 +70,7 @@ __all__ = [
     "CentralizedResult",
     "CentralizedSolver",
     "CloudModel",
+    "CompiledQPStructure",
     "Datacenter",
     "DistributedUFCSolver",
     "EmissionCostFunction",
@@ -66,6 +78,7 @@ __all__ = [
     "FrontEnd",
     "GRID",
     "HYBRID",
+    "HorizonEngine",
     "LinearCarbonTax",
     "LinearLatencyUtility",
     "NoEmissionCost",
@@ -75,14 +88,21 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "SlotInputs",
+    "SlotOutcome",
+    "SlotResult",
+    "SlotSolver",
     "SteppedCarbonTax",
     "Strategy",
     "TraceBundle",
     "UFCADMGResult",
     "UFCProblem",
+    "available_solvers",
     "build_model",
     "carbon_intensity",
+    "create_solver",
     "default_bundle",
     "optimal_power_split",
+    "parallel_map",
+    "register_solver",
     "__version__",
 ]

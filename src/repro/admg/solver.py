@@ -188,38 +188,57 @@ class DistributedUFCSolver:
         self.polish = polish
         self.workload_scale = workload_scale
 
-    def scaled_context(self, problem: UFCProblem) -> tuple[ScaledView, SlotInputs]:
-        """The rescaled model view and inputs the iteration runs on.
+    def compile_context(self, model) -> ScaledView:
+        """The slot-invariant rescaled view of ``model``.
 
-        Solver state (:class:`ADMGState`) is expressed in these scaled
-        workload units; multiply routing blocks by
-        ``view.workload_scale`` to recover servers.
+        The view (and the workload scale it encodes) depends only on
+        the model, so one compiled view serves every slot of a horizon;
+        pass it back into :meth:`solve` to skip recomputing it per slot.
         """
         scale = (
             self.workload_scale
             if self.workload_scale is not None
-            else ScaledView.natural_scale(problem.model, self.rho)
+            else ScaledView.natural_scale(model, self.rho)
         )
-        view = ScaledView(problem.model, scale)
+        return ScaledView(model, scale)
+
+    def scaled_context(
+        self, problem: UFCProblem, view: ScaledView | None = None
+    ) -> tuple[ScaledView, SlotInputs]:
+        """The rescaled model view and inputs the iteration runs on.
+
+        Solver state (:class:`ADMGState`) is expressed in these scaled
+        workload units; multiply routing blocks by
+        ``view.workload_scale`` to recover servers.  ``view`` reuses a
+        precompiled :meth:`compile_context` result.
+        """
+        if view is None:
+            view = self.compile_context(problem.model)
         inputs = SlotInputs(
-            arrivals=problem.inputs.arrivals / scale,
+            arrivals=problem.inputs.arrivals / view.workload_scale,
             prices=problem.inputs.prices,
             carbon_rates=problem.inputs.carbon_rates,
         )
         return view, inputs
 
-    def iterate(self, problem: UFCProblem, state: ADMGState) -> tuple[ADMGState, ADMGState]:
+    def iterate(
+        self,
+        problem: UFCProblem,
+        state: ADMGState,
+        context: tuple[ScaledView, SlotInputs] | None = None,
+    ) -> tuple[ADMGState, ADMGState]:
         """One full ADM-G iteration (prediction + correction).
 
         ``state`` is in scaled workload units (see
-        :meth:`scaled_context`).
+        :meth:`scaled_context`); ``context`` reuses a precomputed
+        ``(view, scaled_inputs)`` pair instead of rebuilding it.
 
         Returns:
             ``(new_state, prediction)`` — the corrected iterate and the
             prediction it was built from (whose ``lam``/``mu``/``nu``
             are the feasible candidates used for reporting).
         """
-        model, inputs = self.scaled_context(problem)
+        model, inputs = context if context is not None else self.scaled_context(problem)
         strategy = problem.strategy
         lam_pred = sp.lambda_minimization(
             model, inputs, state.a, state.varphi, self.rho, lam_warm=state.lam
@@ -260,14 +279,19 @@ class DistributedUFCSolver:
         return new_state, prediction
 
     def solve(
-        self, problem: UFCProblem, initial: ADMGState | None = None
+        self,
+        problem: UFCProblem,
+        initial: ADMGState | None = None,
+        context: ScaledView | None = None,
     ) -> UFCADMGResult:
         """Run ADM-G to convergence on one slot's UFC problem.
 
         ``initial`` warm-starts the iteration (e.g. from the previous
         slot); the default is the paper's all-zeros initialization.
+        ``context`` reuses a precompiled :meth:`compile_context` view
+        (the scaled iterates are identical either way).
         """
-        view, scaled_inputs = self.scaled_context(problem)
+        view, scaled_inputs = self.scaled_context(problem, view=context)
         state = (
             initial.copy()
             if initial is not None
@@ -282,9 +306,10 @@ class DistributedUFCSolver:
         converged = False
         prediction = state
         it = 0
+        slot_context = (view, scaled_inputs)
         for it in range(1, self.max_iter + 1):
             prev = state
-            state, prediction = self.iterate(problem, state)
+            state, prediction = self.iterate(problem, state, context=slot_context)
             coupling = float(np.abs(prediction.a - prediction.lam).max()) / arrival_scale
             balance = (
                 view.alphas

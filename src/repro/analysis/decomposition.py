@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.centralized import CentralizedSolver, optimal_power_split
 from repro.core.problem import UFCProblem
 from repro.core.solution import Allocation

@@ -20,8 +20,8 @@ import sys
 
 import numpy as np
 
-from repro.admg.solver import DistributedUFCSolver
 from repro.core.strategies import FUEL_CELL, GRID, HYBRID, Strategy
+from repro.engine.registry import available_solvers, create_solver
 from repro.sim.simulator import Simulator, build_model
 from repro.traces.datasets import default_bundle
 
@@ -43,6 +43,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--hours", type=int, default=168, help="horizon (slots)")
     parser.add_argument("--seed", type=int, default=2014, help="trace seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the solve engine (results are "
+        "identical at any worker count)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="run one strategy and print a summary")
@@ -50,9 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=sorted(_STRATEGIES), default="hybrid"
     )
     sim.add_argument(
-        "--solver", choices=["centralized", "distributed"], default="centralized"
+        "--solver", choices=available_solvers(), default="centralized"
     )
-    sim.add_argument("--rho", type=float, default=0.3)
+    sim.add_argument("--rho", type=float, default=0.3,
+                     help="ADM-G penalty (distributed solver only)")
 
     sub.add_parser("compare", help="run all three strategies")
 
@@ -80,12 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_simulate(args) -> int:
     bundle = default_bundle(hours=args.hours, seed=args.seed)
     model = build_model(bundle)
-    solver = (
-        DistributedUFCSolver(rho=args.rho)
-        if args.solver == "distributed"
-        else "centralized"
+    solver_kwargs = {"rho": args.rho} if args.solver == "distributed" else {}
+    solver = create_solver(args.solver, **solver_kwargs)
+    result = Simulator(model, bundle, solver=solver, workers=args.workers).run(
+        _STRATEGIES[args.strategy]
     )
-    result = Simulator(model, bundle, solver=solver).run(_STRATEGIES[args.strategy])
     print(result.summary())
     return 0
 
@@ -93,7 +100,7 @@ def _cmd_simulate(args) -> int:
 def _cmd_compare(args) -> int:
     bundle = default_bundle(hours=args.hours, seed=args.seed)
     model = build_model(bundle)
-    comp = Simulator(model, bundle).compare_strategies()
+    comp = Simulator(model, bundle).compare_strategies(workers=args.workers)
     for result in (comp.grid, comp.fuel_cell, comp.hybrid):
         print(result.summary())
         print()
@@ -107,7 +114,11 @@ def _cmd_compare(args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
-    print(generate_report(hours=args.hours, seed=args.seed, fast=args.fast))
+    print(
+        generate_report(
+            hours=args.hours, seed=args.seed, fast=args.fast, workers=args.workers
+        )
+    )
     return 0
 
 
@@ -115,11 +126,19 @@ def _cmd_sweep(args) -> int:
     if args.kind == "price":
         from repro.experiments.fig9_price_sweep import render_fig9, run_fig9
 
-        print(render_fig9(run_fig9(hours=args.hours, seed=args.seed)))
+        print(
+            render_fig9(
+                run_fig9(hours=args.hours, seed=args.seed, workers=args.workers)
+            )
+        )
     else:
         from repro.experiments.fig10_tax_sweep import render_fig10, run_fig10
 
-        print(render_fig10(run_fig10(hours=args.hours, seed=args.seed)))
+        print(
+            render_fig10(
+                run_fig10(hours=args.hours, seed=args.seed, workers=args.workers)
+            )
+        )
     return 0
 
 
@@ -135,7 +154,13 @@ def _cmd_convergence(args) -> int:
 
     print(
         render_fig11(
-            run_fig11(hours=args.hours, seed=args.seed, rho=args.rho, tol=args.tol)
+            run_fig11(
+                hours=args.hours,
+                seed=args.seed,
+                rho=args.rho,
+                tol=args.tol,
+                workers=args.workers,
+            )
         )
     )
     return 0

@@ -53,14 +53,37 @@ class CentralizedSolver:
         self.tol = tol
         self.max_iter = max_iter
 
-    def solve(self, problem: UFCProblem) -> CentralizedResult:
+    def compile(self, model: CloudModel, strategy: Strategy) -> "CompiledQPStructure":
+        """Slot-invariant QP structure for (model, strategy).
+
+        Passing the returned structure back into :meth:`solve` skips
+        the per-slot constraint-matrix assembly; the emitted QP (and
+        therefore the solution) is bit-identical to a from-scratch
+        compile.
+        """
+        from repro.core.compiled import CompiledQPStructure
+
+        return CompiledQPStructure(model, strategy)
+
+    def solve(
+        self, problem: UFCProblem, compiled: "CompiledQPStructure | None" = None
+    ) -> CentralizedResult:
         """Solve one slot to optimality.
+
+        Args:
+            problem: the slot's UFC problem.
+            compiled: optional slot-invariant structure from
+                :meth:`compile`; ignored when it was built for a
+                different model or strategy.
 
         Raises:
             NotImplementedError: when an emission cost is not
                 QP-representable (see :meth:`UFCProblem.to_qp`).
         """
-        qp = problem.to_qp()
+        if compiled is not None and compiled.matches(problem):
+            qp = compiled.qp_for(problem.inputs)
+        else:
+            qp = problem.to_qp()
         res = solve_qp(
             qp.P, qp.q, A=qp.A, b=qp.b, G=qp.G, h=qp.h,
             tol=self.tol, max_iter=self.max_iter,

@@ -47,6 +47,7 @@ __all__ = [
     "QuadraticEmissionCost",
     "QuadraticLatencyUtility",
     "ServerPowerModel",
+    "SteppedCarbonTax",
     "carbon_intensity",
     "latency_matrix_from_distances",
 ]

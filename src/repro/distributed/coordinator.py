@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.admg.solver import DistributedUFCSolver, ScaledView
+from repro.admg.solver import DistributedUFCSolver
 from repro.core.problem import UFCProblem
 from repro.core.repair import polish_allocation
 from repro.core.solution import Allocation

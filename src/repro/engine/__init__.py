@@ -1,0 +1,36 @@
+"""The unified solve engine.
+
+One protocol (:class:`~repro.engine.protocol.SlotSolver`), one factory
+(:mod:`repro.engine.registry`), one horizon mapper
+(:class:`~repro.engine.horizon.HorizonEngine`): every per-slot UFC
+solver in the library — centralized interior-point, distributed ADM-G,
+dual subgradient, routing heuristics — plugs in behind the same
+``solve(problem, warm=...) -> SlotResult`` surface, with slot-invariant
+compiled structure built once per horizon and slots mapped over a
+serial or process-pool executor.
+"""
+
+from repro.engine.adapters import (
+    CentralizedSlotSolver,
+    DistributedSlotSolver,
+    DualSubgradientSlotSolver,
+    HeuristicSlotSolver,
+)
+from repro.engine.horizon import HorizonEngine, SlotOutcome, parallel_map
+from repro.engine.protocol import SlotResult, SlotSolver
+from repro.engine.registry import available_solvers, create_solver, register_solver
+
+__all__ = [
+    "SlotResult",
+    "SlotSolver",
+    "SlotOutcome",
+    "HorizonEngine",
+    "parallel_map",
+    "CentralizedSlotSolver",
+    "DistributedSlotSolver",
+    "DualSubgradientSlotSolver",
+    "HeuristicSlotSolver",
+    "available_solvers",
+    "create_solver",
+    "register_solver",
+]

@@ -1,0 +1,222 @@
+"""Map independent slot problems over a worker pool.
+
+Interactive workloads cannot be deferred, so the paper's 168 hourly
+UFC problems are independent — the horizon is an embarrassingly
+parallel map.  :class:`HorizonEngine` runs it with
+
+- a **serial** executor (``workers=1``) or a chunked **process pool**
+  (``workers>1``), with deterministic, index-ordered results either
+  way (solvers are deterministic, so serial and parallel runs return
+  bit-identical allocations);
+- **compiled-structure caching**: each distinct (model, strategy) pair
+  gets one :meth:`SlotSolver.compile` call per horizon (per worker in
+  the process pool), not one per slot;
+- **per-slot error capture**: a slot whose solve raises is reported as
+  a failed :class:`SlotOutcome` instead of killing the horizon;
+- **warm-start chaining** (``warm_start=True``): each slot resumes
+  from the previous slot's payload.  Chaining is inherently
+  sequential, so it requires ``workers=1`` and a solver that supports
+  warm starts.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.core.problem import UFCProblem
+from repro.engine.protocol import SlotResult, SlotSolver
+from repro.engine.registry import create_solver
+
+__all__ = ["SlotOutcome", "HorizonEngine", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@dataclass
+class SlotOutcome:
+    """One slot's engine outcome: a result or a captured error.
+
+    Attributes:
+        index: slot index within the submitted horizon.
+        result: the solver's :class:`SlotResult` (None on error).
+        error: formatted traceback of the slot's failure (None on
+            success).
+    """
+
+    index: int
+    result: SlotResult | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Chunk:
+    """A contiguous run of slots shipped to one worker."""
+
+    start: int
+    problems: list[UFCProblem] = field(default_factory=list)
+
+
+def _solve_chunk(
+    solver: SlotSolver, chunk: _Chunk, structure_cache: bool
+) -> list[SlotOutcome]:
+    """Solve a contiguous chunk serially with a per-chunk compile cache.
+
+    Module-level so the process executor can pickle it; also the
+    serial executor's inner loop, so both paths share one code path.
+    """
+    compiled_for: dict[tuple[int, Any], Any] = {}
+    outcomes: list[SlotOutcome] = []
+    for offset, problem in enumerate(chunk.problems):
+        index = chunk.start + offset
+        try:
+            compiled = None
+            if structure_cache:
+                key = (id(problem.model), problem.strategy)
+                if key not in compiled_for:
+                    compiled_for[key] = solver.compile(problem.model, problem.strategy)
+                compiled = compiled_for[key]
+            result = solver.solve(problem, compiled=compiled)
+            outcomes.append(SlotOutcome(index=index, result=result))
+        except Exception:
+            outcomes.append(SlotOutcome(index=index, error=traceback.format_exc()))
+    return outcomes
+
+
+class HorizonEngine:
+    """Run a sequence of slot problems through one solver.
+
+    Args:
+        solver: a solver specification (registry name, SlotSolver, or
+            legacy solver instance — see
+            :func:`repro.engine.registry.create_solver`).
+        workers: worker processes; 1 (default) runs in-process.
+        chunk_size: slots per process-pool task; None picks
+            ``ceil(T / (4 * workers))`` so the pool load-balances while
+            amortizing per-task pickling.
+        structure_cache: build each (model, strategy)'s slot-invariant
+            structure once per horizon (default).  Disable only to
+            measure the cold path — results are identical either way.
+    """
+
+    def __init__(
+        self,
+        solver: str | SlotSolver | Any = "centralized",
+        workers: int = 1,
+        chunk_size: int | None = None,
+        structure_cache: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.solver = create_solver(solver)
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+        self.structure_cache = structure_cache
+
+    def run(
+        self, problems: Sequence[UFCProblem], warm_start: bool = False
+    ) -> list[SlotOutcome]:
+        """Solve every problem; outcomes are returned in input order.
+
+        Args:
+            problems: the horizon's slot problems.
+            warm_start: chain each slot from the previous slot's warm
+                payload.  Requires a warm-start-capable solver and
+                ``workers=1`` (the chain is sequential by nature).
+
+        Raises:
+            ValueError: for warm-start requests the configuration
+                cannot honor (clear error instead of silent fallback).
+        """
+        problems = list(problems)
+        if warm_start:
+            if not self.solver.supports_warm_start:
+                raise ValueError(
+                    f"solver {self.solver.name!r} does not support warm "
+                    "starts; run with warm_start=False"
+                )
+            if self.workers > 1:
+                raise ValueError(
+                    "warm-start chaining is sequential; use workers=1 "
+                    "(the Fig. 11 iteration counts are cold-started anyway)"
+                )
+            return self._run_warm(problems)
+        if self.workers == 1 or len(problems) <= 1:
+            return _solve_chunk(
+                self.solver, _Chunk(start=0, problems=problems), self.structure_cache
+            )
+        return self._run_pool(problems)
+
+    # -- executors -----------------------------------------------------------
+
+    def _run_warm(self, problems: list[UFCProblem]) -> list[SlotOutcome]:
+        compiled_for: dict[tuple[int, Any], Any] = {}
+        outcomes: list[SlotOutcome] = []
+        warm = None
+        for index, problem in enumerate(problems):
+            try:
+                compiled = None
+                if self.structure_cache:
+                    key = (id(problem.model), problem.strategy)
+                    if key not in compiled_for:
+                        compiled_for[key] = self.solver.compile(
+                            problem.model, problem.strategy
+                        )
+                    compiled = compiled_for[key]
+                result = self.solver.solve(problem, compiled=compiled, warm=warm)
+                warm = result.warm
+                outcomes.append(SlotOutcome(index=index, result=result))
+            except Exception:
+                # A poisoned slot breaks the chain: the next slot
+                # cold-starts, mirroring a restarted solver.
+                warm = None
+                outcomes.append(SlotOutcome(index=index, error=traceback.format_exc()))
+        return outcomes
+
+    def _run_pool(self, problems: list[UFCProblem]) -> list[SlotOutcome]:
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(problems) // (4 * self.workers)))
+        chunks = [
+            _Chunk(start=start, problems=problems[start : start + chunk_size])
+            for start in range(0, len(problems), chunk_size)
+        ]
+        outcomes: list[SlotOutcome] = []
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+            for chunk_outcomes in pool.map(
+                _solve_chunk,
+                (self.solver for _ in chunks),
+                chunks,
+                (self.structure_cache for _ in chunks),
+            ):
+                outcomes.extend(chunk_outcomes)
+        outcomes.sort(key=lambda o: o.index)
+        return outcomes
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], workers: int = 1
+) -> list[_R]:
+    """Order-preserving map over a process pool.
+
+    The sweep drivers (Fig. 9/10) use this to evaluate independent
+    grid points concurrently.  ``fn`` and every item must be picklable
+    (module-level functions, models, bundles all are); with
+    ``workers <= 1`` it degrades to a plain list comprehension.
+    Exceptions propagate to the caller — a sweep point is not a slot,
+    so there is no per-item capture here.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))

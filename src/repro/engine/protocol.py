@@ -1,0 +1,82 @@
+"""The slot-solver protocol every UFC solver plugs into.
+
+A *slot solver* answers one question — "given one slot's
+:class:`~repro.core.problem.UFCProblem`, what allocation do you pick?"
+— through a uniform surface, so the simulator, the experiment drivers
+and the benchmarks never branch on solver kind again:
+
+- :meth:`SlotSolver.compile` builds the solver's *slot-invariant*
+  structure once per (model, strategy): the compiled QP skeleton for
+  the centralized solver, the rescaled model view for ADM-G.  Solvers
+  without reusable structure return None.
+- :meth:`SlotSolver.solve` solves one slot, optionally resuming from
+  the previous slot's opaque ``warm`` payload (only solvers with
+  ``supports_warm_start`` accept one).
+
+Results come back as :class:`SlotResult`, a solver-agnostic record of
+the allocation plus convergence bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.model import CloudModel
+from repro.core.problem import UFCProblem
+from repro.core.solution import Allocation
+from repro.core.strategies import Strategy
+
+__all__ = ["SlotResult", "SlotSolver"]
+
+
+@dataclass
+class SlotResult:
+    """One slot's solve outcome, solver-agnostic.
+
+    Attributes:
+        allocation: the chosen (lambda, mu, nu).
+        ufc: UFC value of the allocation.
+        iterations: solver iterations used (0 for non-iterative
+            solvers such as routing heuristics).
+        converged: whether the solver met its own stopping criterion.
+        warm: opaque warm-start payload for the *next* slot (None when
+            the solver does not support warm starts).
+        extras: solver-specific diagnostics (e.g. ADM-G residual
+            histories), safe to ignore.
+    """
+
+    allocation: Allocation
+    ufc: float
+    iterations: int
+    converged: bool
+    warm: Any = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+@runtime_checkable
+class SlotSolver(Protocol):
+    """The pluggable per-slot solver interface.
+
+    Attributes:
+        name: registry/display name.
+        supports_warm_start: whether :meth:`solve` accepts a ``warm``
+            payload from the previous slot's :class:`SlotResult`.
+    """
+
+    name: str
+    supports_warm_start: bool
+
+    def compile(self, model: CloudModel, strategy: Strategy) -> Any | None:
+        """Slot-invariant structure for (model, strategy), or None."""
+        ...
+
+    def solve(
+        self,
+        problem: UFCProblem,
+        compiled: Any | None = None,
+        warm: Any | None = None,
+    ) -> SlotResult:
+        """Solve one slot, optionally using compiled structure and a
+        warm-start payload from the previous slot."""
+        ...

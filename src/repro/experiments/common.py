@@ -8,8 +8,6 @@ run so regenerating every figure costs one simulation.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.core.model import CloudModel
 from repro.sim.results import StrategyComparison
 from repro.sim.simulator import Simulator, build_model
@@ -42,9 +40,24 @@ def evaluation_setup(
     return bundle, model
 
 
-@lru_cache(maxsize=8)
-def cached_comparison(hours: int = 168, seed: int = 2014) -> StrategyComparison:
+_COMPARISON_CACHE: dict[tuple[int, int], StrategyComparison] = {}
+
+
+def cached_comparison(
+    hours: int = 168, seed: int = 2014, workers: int = 1
+) -> StrategyComparison:
     """The three-strategy comparison under default parameters, cached so
-    Figs. 4-8 share one simulation."""
-    bundle, model = evaluation_setup(hours=hours, seed=seed)
-    return Simulator(model, bundle).compare_strategies()
+    Figs. 4-8 share one simulation.
+
+    The cache key is ``(hours, seed)`` only: worker count changes how
+    the comparison is computed, never what it computes (results are
+    bit-identical at any worker count), so a hit is valid regardless of
+    the ``workers`` it was filled with.
+    """
+    key = (hours, seed)
+    if key not in _COMPARISON_CACHE:
+        bundle, model = evaluation_setup(hours=hours, seed=seed)
+        _COMPARISON_CACHE[key] = Simulator(model, bundle).compare_strategies(
+            workers=workers
+        )
+    return _COMPARISON_CACHE[key]

@@ -13,15 +13,19 @@ rate: its UFC includes the taxed emissions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.model import CloudModel
 from repro.core.strategies import GRID, HYBRID
 from repro.costs.carbon import LinearCarbonTax
+from repro.engine.horizon import parallel_map
 from repro.experiments.common import evaluation_setup
 from repro.sim.metrics import average_improvement
 from repro.sim.simulator import Simulator
+from repro.traces.datasets import TraceBundle
 
 __all__ = ["Fig10Result", "run_fig10", "render_fig10", "DEFAULT_RATES"]
 
@@ -43,26 +47,41 @@ class Fig10Result:
     utilization: np.ndarray
 
 
+def _tax_point(
+    rate: float, *, bundle: TraceBundle, model: CloudModel
+) -> tuple[float, float]:
+    """One sweep point: (mean improvement, mean utilization) at ``rate``.
+
+    Module-level so :func:`parallel_map` can ship it to a worker.  Grid
+    and Hybrid share one simulator, so the taxed model's compiled
+    structures are built once per point.
+    """
+    taxed = model.with_emission_costs(LinearCarbonTax(rate))
+    sim = Simulator(taxed, bundle)
+    grid = sim.run(GRID)
+    hybrid = sim.run(HYBRID)
+    return average_improvement(hybrid.ufc, grid.ufc), hybrid.mean_utilization()
+
+
 def run_fig10(
     rates: Sequence[float] = DEFAULT_RATES,
     hours: int = 168,
     seed: int = 2014,
+    workers: int = 1,
 ) -> Fig10Result:
-    """Regenerate the Fig. 10 sweep."""
+    """Regenerate the Fig. 10 sweep.
+
+    ``workers > 1`` evaluates the sweep points concurrently; the result
+    is identical at any worker count.
+    """
     bundle, model = evaluation_setup(hours=hours, seed=seed)
-    improvements = []
-    utilizations = []
-    for rate in rates:
-        taxed = model.with_emission_costs(LinearCarbonTax(rate))
-        sim = Simulator(taxed, bundle)
-        grid = sim.run(GRID)
-        hybrid = sim.run(HYBRID)
-        improvements.append(average_improvement(hybrid.ufc, grid.ufc))
-        utilizations.append(hybrid.mean_utilization())
+    points = parallel_map(
+        partial(_tax_point, bundle=bundle, model=model), rates, workers=workers
+    )
     return Fig10Result(
         rates=np.asarray(rates, dtype=float),
-        improvement=np.asarray(improvements),
-        utilization=np.asarray(utilizations),
+        improvement=np.asarray([imp for imp, _ in points]),
+        utilization=np.asarray([util for _, util in points]),
     )
 
 

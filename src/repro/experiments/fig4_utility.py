@@ -39,9 +39,9 @@ class Fig4Result:
     comparison: StrategyComparison
 
 
-def run_fig4(hours: int = 168, seed: int = 2014) -> Fig4Result:
+def run_fig4(hours: int = 168, seed: int = 2014, workers: int = 1) -> Fig4Result:
     """Regenerate the Fig. 4 series."""
-    comp = cached_comparison(hours=hours, seed=seed)
+    comp = cached_comparison(hours=hours, seed=seed, workers=workers)
     return Fig4Result(
         i_hg=improvement_series(comp.hybrid.ufc, comp.grid.ufc),
         i_hf=improvement_series(comp.hybrid.ufc, comp.fuel_cell.ufc),

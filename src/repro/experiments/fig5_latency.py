@@ -36,9 +36,9 @@ class Fig5Result:
     comparison: StrategyComparison
 
 
-def run_fig5(hours: int = 168, seed: int = 2014) -> Fig5Result:
+def run_fig5(hours: int = 168, seed: int = 2014, workers: int = 1) -> Fig5Result:
     """Regenerate the Fig. 5 series."""
-    comp = cached_comparison(hours=hours, seed=seed)
+    comp = cached_comparison(hours=hours, seed=seed, workers=workers)
     return Fig5Result(
         grid=comp.grid.avg_latency_ms,
         fuel_cell=comp.fuel_cell.avg_latency_ms,

@@ -35,9 +35,9 @@ class Fig6Result:
     comparison: StrategyComparison
 
 
-def run_fig6(hours: int = 168, seed: int = 2014) -> Fig6Result:
+def run_fig6(hours: int = 168, seed: int = 2014, workers: int = 1) -> Fig6Result:
     """Regenerate the Fig. 6 series."""
-    comp = cached_comparison(hours=hours, seed=seed)
+    comp = cached_comparison(hours=hours, seed=seed, workers=workers)
     return Fig6Result(
         grid=comp.grid.energy_cost,
         fuel_cell=comp.fuel_cell.energy_cost,

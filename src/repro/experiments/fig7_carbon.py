@@ -39,9 +39,9 @@ class Fig7Result:
     comparison: StrategyComparison
 
 
-def run_fig7(hours: int = 168, seed: int = 2014) -> Fig7Result:
+def run_fig7(hours: int = 168, seed: int = 2014, workers: int = 1) -> Fig7Result:
     """Regenerate the Fig. 7 series."""
-    comp = cached_comparison(hours=hours, seed=seed)
+    comp = cached_comparison(hours=hours, seed=seed, workers=workers)
     return Fig7Result(
         grid_cost=comp.grid.carbon_cost,
         fuel_cell_cost=comp.fuel_cell.carbon_cost,

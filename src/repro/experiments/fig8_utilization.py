@@ -39,9 +39,9 @@ class Fig8Result:
         return float(self.utilization.max())
 
 
-def run_fig8(hours: int = 168, seed: int = 2014) -> Fig8Result:
+def run_fig8(hours: int = 168, seed: int = 2014, workers: int = 1) -> Fig8Result:
     """Regenerate the Fig. 8 series."""
-    comp = cached_comparison(hours=hours, seed=seed)
+    comp = cached_comparison(hours=hours, seed=seed, workers=workers)
     return Fig8Result(utilization=comp.hybrid.utilization, comparison=comp)
 
 

@@ -12,14 +12,18 @@ traces).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.model import CloudModel
 from repro.core.strategies import GRID, HYBRID
+from repro.engine.horizon import parallel_map
 from repro.experiments.common import evaluation_setup
 from repro.sim.metrics import average_improvement
 from repro.sim.simulator import Simulator
+from repro.traces.datasets import TraceBundle
 
 __all__ = ["Fig9Result", "run_fig9", "render_fig9", "DEFAULT_PRICES"]
 
@@ -41,29 +45,43 @@ class Fig9Result:
     utilization: np.ndarray
 
 
+def _price_point(
+    p0: float, *, bundle: TraceBundle, model: CloudModel, grid_ufc: np.ndarray
+) -> tuple[float, float]:
+    """One sweep point: (mean improvement, mean utilization) at ``p0``.
+
+    Module-level so :func:`parallel_map` can ship it to a worker.
+    """
+    swept = model.with_fuel_cell_price(p0)
+    hybrid = Simulator(swept, bundle).run(HYBRID)
+    return average_improvement(hybrid.ufc, grid_ufc), hybrid.mean_utilization()
+
+
 def run_fig9(
     prices: Sequence[float] = DEFAULT_PRICES,
     hours: int = 168,
     seed: int = 2014,
+    workers: int = 1,
 ) -> Fig9Result:
     """Regenerate the Fig. 9 sweep.
 
     The Grid baseline is price-independent (it burns no fuel-cell
-    energy) and is simulated once.
+    energy) and is simulated once.  ``workers > 1`` evaluates the sweep
+    points concurrently; the result is identical at any worker count.
     """
     bundle, model = evaluation_setup(hours=hours, seed=seed)
-    grid_result = Simulator(model, bundle).run(GRID)
-    improvements = []
-    utilizations = []
-    for p0 in prices:
-        swept = model.with_fuel_cell_price(p0)
-        hybrid = Simulator(swept, bundle).run(HYBRID)
-        improvements.append(average_improvement(hybrid.ufc, grid_result.ufc))
-        utilizations.append(hybrid.mean_utilization())
+    grid_result = Simulator(model, bundle, workers=workers).run(GRID)
+    points = parallel_map(
+        partial(
+            _price_point, bundle=bundle, model=model, grid_ufc=grid_result.ufc
+        ),
+        prices,
+        workers=workers,
+    )
     return Fig9Result(
         prices=np.asarray(prices, dtype=float),
-        improvement=np.asarray(improvements),
-        utilization=np.asarray(utilizations),
+        improvement=np.asarray([imp for imp, _ in points]),
+        utilization=np.asarray([util for _, util in points]),
     )
 
 

@@ -57,9 +57,18 @@ def _chart_section(hours: int, seed: int) -> str:
 
 
 def generate_report(
-    hours: int = 168, seed: int = 2014, fast: bool = False, charts: bool = True
+    hours: int = 168,
+    seed: int = 2014,
+    fast: bool = False,
+    charts: bool = True,
+    workers: int = 1,
 ) -> str:
-    """Render every artifact into one text report."""
+    """Render every artifact into one text report.
+
+    ``workers > 1`` parallelizes the per-figure simulations (slots for
+    Figs. 4-8/11, sweep points for Figs. 9-10) without changing any
+    number in the report.
+    """
     sections: list[tuple[str, str]] = []
 
     def add(title, fn, render):
@@ -69,15 +78,15 @@ def generate_report(
 
     add("Table I", lambda: run_table1(), render_table1)
     add("Fig. 3", lambda: run_fig3(hours=hours, seed=seed), render_fig3)
-    add("Fig. 4", lambda: run_fig4(hours=hours, seed=seed), render_fig4)
-    add("Fig. 5", lambda: run_fig5(hours=hours, seed=seed), render_fig5)
-    add("Fig. 6", lambda: run_fig6(hours=hours, seed=seed), render_fig6)
-    add("Fig. 7", lambda: run_fig7(hours=hours, seed=seed), render_fig7)
-    add("Fig. 8", lambda: run_fig8(hours=hours, seed=seed), render_fig8)
+    add("Fig. 4", lambda: run_fig4(hours=hours, seed=seed, workers=workers), render_fig4)
+    add("Fig. 5", lambda: run_fig5(hours=hours, seed=seed, workers=workers), render_fig5)
+    add("Fig. 6", lambda: run_fig6(hours=hours, seed=seed, workers=workers), render_fig6)
+    add("Fig. 7", lambda: run_fig7(hours=hours, seed=seed, workers=workers), render_fig7)
+    add("Fig. 8", lambda: run_fig8(hours=hours, seed=seed, workers=workers), render_fig8)
     if not fast:
-        add("Fig. 9", lambda: run_fig9(hours=hours, seed=seed), render_fig9)
-        add("Fig. 10", lambda: run_fig10(hours=hours, seed=seed), render_fig10)
-        add("Fig. 11", lambda: run_fig11(hours=hours, seed=seed), render_fig11)
+        add("Fig. 9", lambda: run_fig9(hours=hours, seed=seed, workers=workers), render_fig9)
+        add("Fig. 10", lambda: run_fig10(hours=hours, seed=seed, workers=workers), render_fig10)
+        add("Fig. 11", lambda: run_fig11(hours=hours, seed=seed, workers=workers), render_fig11)
     if charts:
         sections.append(("Series charts", _chart_section(hours, seed)))
 
@@ -91,8 +100,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2014)
     parser.add_argument("--fast", action="store_true",
                         help="skip the sweeps and Fig. 11")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the simulations")
     args = parser.parse_args(argv)
-    print(generate_report(hours=args.hours, seed=args.seed, fast=args.fast))
+    print(
+        generate_report(
+            hours=args.hours, seed=args.seed, fast=args.fast, workers=args.workers
+        )
+    )
     return 0
 
 

@@ -50,23 +50,34 @@ def _ruiz_equilibrate(
     P = P.copy()
     A = A.copy()
     G = G.copy()
+    # Scratch buffers: the scaling loop is pure max/multiply arithmetic,
+    # so working in place (row scale, then column scale — the same
+    # association as the expression it replaces) is bit-identical while
+    # avoiding a dense stack copy per sweep.
+    abs_buf_p = np.empty_like(P)
+    abs_buf_a = np.empty_like(A)
+    abs_buf_g = np.empty_like(G)
     for _ in range(iterations):
-        stack_cols = np.vstack([m for m in (P, A, G) if m.shape[0] > 0])
-        col_norm = np.abs(stack_cols).max(axis=0)
+        col_norm = np.abs(P, out=abs_buf_p).max(axis=0)
+        if p_rows:
+            np.maximum(col_norm, np.abs(A, out=abs_buf_a).max(axis=0), out=col_norm)
+        if m_rows:
+            np.maximum(col_norm, np.abs(G, out=abs_buf_g).max(axis=0), out=col_norm)
         col_scale = 1.0 / np.sqrt(np.maximum(col_norm, 1e-12))
-        P = col_scale[:, None] * P * col_scale[None, :]
-        A = A * col_scale[None, :]
-        G = G * col_scale[None, :]
+        P *= col_scale[:, None]
+        P *= col_scale[None, :]
+        A *= col_scale[None, :]
+        G *= col_scale[None, :]
         d *= col_scale
         if p_rows:
-            row_norm = np.abs(A).max(axis=1)
+            row_norm = np.abs(A, out=abs_buf_a).max(axis=1)
             row_scale = 1.0 / np.sqrt(np.maximum(row_norm, 1e-12))
-            A = row_scale[:, None] * A
+            A *= row_scale[:, None]
             r_a *= row_scale
         if m_rows:
-            row_norm = np.abs(G).max(axis=1)
+            row_norm = np.abs(G, out=abs_buf_g).max(axis=1)
             row_scale = 1.0 / np.sqrt(np.maximum(row_norm, 1e-12))
-            G = row_scale[:, None] * G
+            G *= row_scale[:, None]
             r_g *= row_scale
     q_scaled = d * q
     gamma = max(1e-12, np.abs(q_scaled).max(initial=0.0), np.abs(P).max(initial=0.0))
@@ -238,9 +249,14 @@ def solve_qp(
             break
 
         w = z / s
-        kkt = np.block(
-            [[P + G.T @ (w[:, None] * G), A.T], [A, -1e-12 * np.eye(p)]]
-        )
+        # Assemble the condensed KKT system in a preallocated buffer
+        # (bit-identical to the np.block expression, without its
+        # per-iteration list/concatenate overhead).
+        kkt = np.zeros((n + p, n + p))
+        kkt[:n, :n] = P + G.T @ (w[:, None] * G)
+        kkt[:n, n:] = A.T
+        kkt[n:, :n] = A
+        kkt[n:, n:].flat[:: p + 1] = -1e-12
 
         def solve_newton(r_comp: np.ndarray) -> tuple[np.ndarray, ...]:
             # Eliminate ds = -r_ineq - G dx, dz = (r_comp - z*ds)/s.

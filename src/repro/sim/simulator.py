@@ -4,28 +4,29 @@ Replays a trace bundle slot by slot: each hourly slot yields a
 :class:`~repro.core.problem.UFCProblem` that a pluggable solver
 optimizes; interactive workloads cannot be deferred, so slots are
 independent (the paper's observation that decisions decouple across
-slots) and the simulator is a straightforward map over the horizon.
+slots) and the simulator is a straightforward map over the horizon —
+executed through :class:`~repro.engine.horizon.HorizonEngine`, which
+adds compiled-structure caching and an optional process pool.
 """
 
 from __future__ import annotations
 
-from typing import Literal, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.admg.solver import ADMGState, DistributedUFCSolver
-from repro.core.centralized import CentralizedSolver
 from repro.core.model import CloudModel, Datacenter, FrontEnd
 from repro.core.problem import SlotInputs, UFCProblem
 from repro.core.strategies import FUEL_CELL, GRID, HYBRID, Strategy
 from repro.costs.carbon import EmissionCostFunction
 from repro.costs.latency import LatencyUtility
+from repro.engine.horizon import HorizonEngine, SlotOutcome
+from repro.engine.protocol import SlotResult, SlotSolver
+from repro.engine.registry import create_solver
 from repro.sim.results import SimulationResult, StrategyComparison
 from repro.traces.datasets import TraceBundle
 
 __all__ = ["build_model", "Simulator"]
-
-SolverKind = Literal["centralized", "distributed"]
 
 
 def build_model(
@@ -63,20 +64,30 @@ class Simulator:
     Args:
         model: the static cloud model.
         bundle: aligned traces (must match the model's M and N).
-        solver: ``"centralized"`` (interior-point reference; fast,
-            default) or ``"distributed"`` (the paper's ADM-G; records
-            genuine iteration counts), or a pre-built solver instance.
-        warm_start: for the distributed solver, reuse each slot's final
-            state to initialize the next slot (the paper's Fig. 11
-            counts cold-started runs, so the default is False).
+        solver: a solver specification resolved by the engine registry
+            — a name (``"centralized"`` (default), ``"distributed"``,
+            ``"dual-subgradient"``, ``"nearest"``, ``"cheapest-power"``,
+            ``"proportional"``), a pre-built solver instance, or any
+            :class:`~repro.engine.protocol.SlotSolver`.
+        warm_start: reuse each slot's final solver state to initialize
+            the next slot.  Only warm-start-capable solvers (the
+            distributed ADM-G) accept this; any other solver raises a
+            clear ``ValueError`` instead of silently cold-starting.
+            The paper's Fig. 11 iteration counts are *cold-started*
+            (168 independent runs), so the default is False; warm
+            starts also force serial execution (the chain is
+            sequential), so they cannot combine with ``workers > 1``.
+        workers: default worker processes for :meth:`run` /
+            :meth:`compare_strategies`; 1 solves in-process.
     """
 
     def __init__(
         self,
         model: CloudModel,
         bundle: TraceBundle,
-        solver: SolverKind | CentralizedSolver | DistributedUFCSolver = "centralized",
+        solver: str | SlotSolver | object = "centralized",
         warm_start: bool = False,
+        workers: int = 1,
     ) -> None:
         if model.num_datacenters != bundle.num_datacenters:
             raise ValueError(
@@ -90,13 +101,15 @@ class Simulator:
             )
         self.model = model
         self.bundle = bundle
-        if solver == "centralized":
-            self.solver: CentralizedSolver | DistributedUFCSolver = CentralizedSolver()
-        elif solver == "distributed":
-            self.solver = DistributedUFCSolver()
-        else:
-            self.solver = solver
+        self.solver: SlotSolver = create_solver(solver)
+        if warm_start and not self.solver.supports_warm_start:
+            raise ValueError(
+                f"solver {self.solver.name!r} does not support warm starts; "
+                "use warm_start=False (only the distributed ADM-G solver "
+                "keeps reusable state between slots)"
+            )
         self.warm_start = warm_start
+        self.workers = int(workers)
 
     def problem_for_slot(self, t: int, strategy: Strategy) -> UFCProblem:
         """The slot-``t`` UFC problem under ``strategy``."""
@@ -111,11 +124,36 @@ class Simulator:
             strategy=strategy,
         )
 
-    def run(
-        self, strategy: Strategy, hours: int | None = None
+    def _horizon(self, hours: int | None) -> int:
+        return self.bundle.hours if hours is None else min(hours, self.bundle.hours)
+
+    def _engine(self, workers: int | None) -> HorizonEngine:
+        return HorizonEngine(
+            self.solver,
+            workers=self.workers if workers is None else int(workers),
+        )
+
+    def _collect(
+        self,
+        strategy: Strategy,
+        problems: Sequence[UFCProblem],
+        outcomes: Sequence[SlotOutcome],
     ) -> SimulationResult:
-        """Simulate ``hours`` slots (default: the whole bundle)."""
-        horizon = self.bundle.hours if hours is None else min(hours, self.bundle.hours)
+        """Assemble a :class:`SimulationResult` from engine outcomes.
+
+        Raises:
+            RuntimeError: if any slot failed (per-slot tracebacks are
+                available on the engine outcomes; the simulator surface
+                stays all-or-nothing).
+        """
+        failed = [o for o in outcomes if not o.ok]
+        if failed:
+            raise RuntimeError(
+                f"{len(failed)} of {len(outcomes)} slots failed under "
+                f"{strategy.name!r} (first failure at slot {failed[0].index}):\n"
+                f"{failed[0].error}"
+            )
+        horizon = len(outcomes)
         ufc = np.empty(horizon)
         energy = np.empty(horizon)
         carbon_cost = np.empty(horizon)
@@ -125,23 +163,11 @@ class Simulator:
         utilization = np.empty(horizon)
         iterations = np.zeros(horizon, dtype=int)
         converged = np.ones(horizon, dtype=bool)
-
-        distributed = isinstance(self.solver, DistributedUFCSolver)
-        state: ADMGState | None = None
-        for t in range(horizon):
-            problem = self.problem_for_slot(t, strategy)
-            if distributed:
-                res = self.solver.solve(problem, initial=state)
-                alloc = res.allocation
-                iterations[t] = res.iterations
-                converged[t] = res.converged
-                if self.warm_start:
-                    state = res.state
-            else:
-                res = self.solver.solve(problem)
-                alloc = res.allocation
-                iterations[t] = res.iterations
-                converged[t] = res.converged
+        for t, (problem, outcome) in enumerate(zip(problems, outcomes)):
+            result: SlotResult = outcome.result
+            alloc = result.allocation
+            iterations[t] = result.iterations
+            converged[t] = result.converged
             ufc[t] = problem.ufc(alloc)
             energy[t] = problem.energy_cost(alloc)
             carbon_cost[t] = problem.carbon_cost(alloc)
@@ -149,7 +175,6 @@ class Simulator:
             utility[t] = self.model.latency_weight * problem.utility(alloc)
             latency[t] = problem.average_latency_ms(alloc)
             utilization[t] = problem.fuel_cell_utilization(alloc)
-
         return SimulationResult(
             strategy=strategy.name,
             ufc=ufc,
@@ -163,10 +188,53 @@ class Simulator:
             converged=converged,
         )
 
-    def compare_strategies(self, hours: int | None = None) -> StrategyComparison:
-        """Run Grid, Fuel cell and Hybrid on the same horizon."""
+    def run(
+        self,
+        strategy: Strategy,
+        hours: int | None = None,
+        workers: int | None = None,
+    ) -> SimulationResult:
+        """Simulate ``hours`` slots (default: the whole bundle).
+
+        ``workers`` overrides the simulator-wide worker count for this
+        run; results are identical (bit-for-bit) at any worker count.
+        """
+        horizon = self._horizon(hours)
+        problems = [self.problem_for_slot(t, strategy) for t in range(horizon)]
+        outcomes = self._engine(workers).run(problems, warm_start=self.warm_start)
+        return self._collect(strategy, problems, outcomes)
+
+    def compare_strategies(
+        self, hours: int | None = None, workers: int | None = None
+    ) -> StrategyComparison:
+        """Run Grid, Fuel cell and Hybrid on the same horizon.
+
+        All three strategies share one engine pass: each strategy's
+        compiled structure is built once, and with ``workers > 1`` the
+        pool draws from the full ``3 x T`` slot set.
+        """
+        strategies = (GRID, FUEL_CELL, HYBRID)
+        if self.warm_start:
+            # Warm chains must not cross strategies: run them apart.
+            grid, fuel_cell, hybrid = (
+                self.run(s, hours=hours, workers=workers) for s in strategies
+            )
+            return StrategyComparison(grid=grid, fuel_cell=fuel_cell, hybrid=hybrid)
+        horizon = self._horizon(hours)
+        problems = [
+            self.problem_for_slot(t, strategy)
+            for strategy in strategies
+            for t in range(horizon)
+        ]
+        outcomes = self._engine(workers).run(problems)
+        results = {}
+        for k, strategy in enumerate(strategies):
+            block = slice(k * horizon, (k + 1) * horizon)
+            results[strategy.name] = self._collect(
+                strategy, problems[block], outcomes[block]
+            )
         return StrategyComparison(
-            grid=self.run(GRID, hours=hours),
-            fuel_cell=self.run(FUEL_CELL, hours=hours),
-            hybrid=self.run(HYBRID, hours=hours),
+            grid=results[GRID.name],
+            fuel_cell=results[FUEL_CELL.name],
+            hybrid=results[HYBRID.name],
         )

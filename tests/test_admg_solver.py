@@ -7,8 +7,8 @@ import pytest
 
 from repro.admg.solver import ADMGState, DistributedUFCSolver
 from repro.core.centralized import CentralizedSolver
-from repro.core.problem import SlotInputs, UFCProblem
-from repro.core.strategies import ALL_STRATEGIES, FUEL_CELL, GRID, HYBRID
+from repro.core.problem import UFCProblem
+from repro.core.strategies import ALL_STRATEGIES, HYBRID
 from repro.costs.carbon import CapAndTrade, SteppedCarbonTax
 from repro.sim.simulator import Simulator
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.core.centralized import CentralizedSolver, optimal_power_split
 from repro.core.problem import SlotInputs, UFCProblem

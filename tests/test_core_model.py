@@ -9,7 +9,6 @@ from repro.core.model import CloudModel, Datacenter, FrontEnd
 from repro.core.solution import Allocation
 from repro.core.strategies import ALL_STRATEGIES, FUEL_CELL, GRID, HYBRID, Strategy
 from repro.costs.carbon import LinearCarbonTax, NoEmissionCost
-from repro.costs.energy import ServerPowerModel
 
 
 class TestDatacenter:

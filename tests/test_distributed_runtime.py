@@ -7,7 +7,7 @@ import pytest
 
 from repro.admg.solver import DistributedUFCSolver
 from repro.core.strategies import ALL_STRATEGIES, HYBRID
-from repro.distributed.agents import DatacenterAgent, FrontEndAgent
+from repro.distributed.agents import FrontEndAgent
 from repro.distributed.coordinator import DistributedRuntime
 from repro.distributed.messages import (
     RoutingAssignment,

@@ -13,7 +13,6 @@ import pytest
 from repro import (
     CentralizedSolver,
     DistributedUFCSolver,
-    FUEL_CELL,
     GRID,
     HYBRID,
     Simulator,

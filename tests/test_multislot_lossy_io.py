@@ -10,7 +10,6 @@ from repro.distributed import DistributedRuntime, LossyNetwork
 from repro.extensions.multislot import solve_multislot
 from repro.extensions.ramping import RampingSimulator
 from repro.sim.simulator import Simulator
-from repro.traces.datasets import default_bundle
 from repro.traces.io import bundle_from_arrays, load_bundle, save_bundle
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.strategies import GRID, HYBRID
+from repro.core.strategies import HYBRID
 from repro.sim.simulator import Simulator, build_model
 from repro.traces.datasets import default_bundle
 from repro.traces.scenarios import (
@@ -82,7 +82,6 @@ class TestRenewableHeavyBundle:
         """With a cleaner grid, the same tax moves utilization less —
         the policy insight the scenario exists to demonstrate."""
         from repro.costs.carbon import LinearCarbonTax
-        from repro.sim.metrics import average_improvement
 
         hours = 24
         tax = LinearCarbonTax(140.0)
