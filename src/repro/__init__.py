@@ -57,6 +57,16 @@ from repro.engine import (
     parallel_map,
     register_solver,
 )
+from repro.obs import (
+    HorizonSummary,
+    JsonlTelemetry,
+    NullTelemetry,
+    RecordingTelemetry,
+    ResidualTrace,
+    SlotTelemetry,
+    Telemetry,
+    TelemetryEvent,
+)
 from repro.sim import SimulationResult, Simulator, build_model
 from repro.traces import TraceBundle, default_bundle
 
@@ -79,11 +89,16 @@ __all__ = [
     "GRID",
     "HYBRID",
     "HorizonEngine",
+    "HorizonSummary",
+    "JsonlTelemetry",
     "LinearCarbonTax",
     "LinearLatencyUtility",
     "NoEmissionCost",
+    "NullTelemetry",
     "QuadraticEmissionCost",
     "QuadraticLatencyUtility",
+    "RecordingTelemetry",
+    "ResidualTrace",
     "ServerPowerModel",
     "SimulationResult",
     "Simulator",
@@ -91,8 +106,11 @@ __all__ = [
     "SlotOutcome",
     "SlotResult",
     "SlotSolver",
+    "SlotTelemetry",
     "SteppedCarbonTax",
     "Strategy",
+    "Telemetry",
+    "TelemetryEvent",
     "TraceBundle",
     "UFCADMGResult",
     "UFCProblem",

@@ -23,6 +23,7 @@ from repro.admg import subproblems as sp
 from repro.core.problem import SlotInputs, UFCProblem
 from repro.core.repair import polish_allocation
 from repro.core.solution import Allocation
+from repro.obs import ResidualTrace
 
 __all__ = ["ADMGState", "UFCADMGResult", "DistributedUFCSolver", "ScaledView"]
 
@@ -140,6 +141,9 @@ class UFCADMGResult:
         power_residuals: per-iteration power-balance residual (relative).
         state: final solver state (for warm starts).
         raw_allocation: unpolished predicted allocation.
+        trace: per-iteration :class:`~repro.obs.ResidualTrace`
+            (primal/dual residuals + objective) when the solve ran
+            with ``trace=True``; None otherwise.
     """
 
     allocation: Allocation
@@ -150,6 +154,7 @@ class UFCADMGResult:
     power_residuals: list[float] = field(default_factory=list)
     state: ADMGState | None = None
     raw_allocation: Allocation | None = None
+    trace: ResidualTrace | None = None
 
 
 class DistributedUFCSolver:
@@ -164,6 +169,10 @@ class DistributedUFCSolver:
         polish: repair + power-split the final routing (default True).
         workload_scale: servers per scaled workload unit (see
             :class:`ScaledView`); None picks the model's natural scale.
+        trace: record a per-iteration :class:`~repro.obs.ResidualTrace`
+            (primal/dual residuals + objective) on every solve.  Off by
+            default so the iteration stays allocation-free; the
+            iterates are identical either way.
     """
 
     def __init__(
@@ -174,6 +183,7 @@ class DistributedUFCSolver:
         max_iter: int = 500,
         polish: bool = True,
         workload_scale: float | None = None,
+        trace: bool = False,
     ) -> None:
         if rho <= 0:
             raise ValueError(f"rho must be positive, got {rho}")
@@ -187,6 +197,7 @@ class DistributedUFCSolver:
         self.max_iter = int(max_iter)
         self.polish = polish
         self.workload_scale = workload_scale
+        self.trace = bool(trace)
 
     def compile_context(self, model) -> ScaledView:
         """The slot-invariant rescaled view of ``model``.
@@ -283,15 +294,22 @@ class DistributedUFCSolver:
         problem: UFCProblem,
         initial: ADMGState | None = None,
         context: ScaledView | None = None,
+        trace: bool | None = None,
     ) -> UFCADMGResult:
         """Run ADM-G to convergence on one slot's UFC problem.
 
         ``initial`` warm-starts the iteration (e.g. from the previous
         slot); the default is the paper's all-zeros initialization.
         ``context`` reuses a precompiled :meth:`compile_context` view
-        (the scaled iterates are identical either way).
+        (the scaled iterates are identical either way).  ``trace``
+        overrides the solver-level trace flag for this call; tracing
+        evaluates the (unpolished) objective once per iteration, so it
+        is opt-in.
         """
         view, scaled_inputs = self.scaled_context(problem, view=context)
+        trace_rec = (
+            ResidualTrace() if (self.trace if trace is None else trace) else None
+        )
         state = (
             initial.copy()
             if initial is not None
@@ -326,6 +344,20 @@ class DistributedUFCSolver:
             )
             coupling_hist.append(coupling)
             power_hist.append(power)
+            if trace_rec is not None:
+                # Primal: the residual pair already driving the stop
+                # test.  Dual: the ADMM surrogate rho * |a_k - a_{k-1}|
+                # (scaled units).  Objective: UFC of the unpolished
+                # prediction, mapped back to servers.
+                dual = self.rho * float(np.abs(state.a - prev.a).max()) / arrival_scale
+                objective = problem.ufc(
+                    Allocation(
+                        lam=prediction.lam * view.workload_scale,
+                        mu=prediction.mu,
+                        nu=prediction.nu,
+                    )
+                )
+                trace_rec.record(max(coupling, power), dual, objective)
             if max(coupling, power, change) < self.tol:
                 converged = True
                 break
@@ -351,4 +383,5 @@ class DistributedUFCSolver:
             power_residuals=power_hist,
             state=state,
             raw_allocation=raw,
+            trace=trace_rec,
         )

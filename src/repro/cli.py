@@ -4,6 +4,8 @@ Installed as ``python -m repro``::
 
     python -m repro simulate --hours 48 --strategy hybrid
     python -m repro compare --hours 24
+    python -m repro --profile simulate
+    python -m repro --telemetry-out run.jsonl compare
     python -m repro report --fast
     python -m repro sweep price --hours 48
     python -m repro sweep tax --hours 48
@@ -48,7 +50,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the solve engine (results are "
-        "identical at any worker count)",
+        "identical at any worker count; counts beyond the usable CPUs "
+        "are clamped, and a useless pool falls back to serial)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the engine's per-phase profile (compile / solve / "
+        "IPC, cache hits, executor decision) after the run "
+        "(simulate and compare)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write engine telemetry events as JSON lines to PATH "
+        "(simulate and compare)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -85,22 +102,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _telemetry_sink(args):
+    """The ``--telemetry-out`` JSONL sink, or None."""
+    if args.telemetry_out:
+        from repro.obs import JsonlTelemetry
+
+        return JsonlTelemetry(args.telemetry_out)
+    return None
+
+
+def _print_profile(args, summary) -> None:
+    if args.profile and summary is not None:
+        print()
+        print(summary.format_table())
+
+
 def _cmd_simulate(args) -> int:
     bundle = default_bundle(hours=args.hours, seed=args.seed)
     model = build_model(bundle)
     solver_kwargs = {"rho": args.rho} if args.solver == "distributed" else {}
     solver = create_solver(args.solver, **solver_kwargs)
-    result = Simulator(model, bundle, solver=solver, workers=args.workers).run(
-        _STRATEGIES[args.strategy]
-    )
+    sink = _telemetry_sink(args)
+    try:
+        result = Simulator(model, bundle, solver=solver, workers=args.workers).run(
+            _STRATEGIES[args.strategy], telemetry=sink
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     print(result.summary())
+    _print_profile(args, result.horizon_summary)
     return 0
 
 
 def _cmd_compare(args) -> int:
     bundle = default_bundle(hours=args.hours, seed=args.seed)
     model = build_model(bundle)
-    comp = Simulator(model, bundle).compare_strategies(workers=args.workers)
+    sink = _telemetry_sink(args)
+    try:
+        comp = Simulator(model, bundle).compare_strategies(
+            workers=args.workers, telemetry=sink
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     for result in (comp.grid, comp.fuel_cell, comp.hybrid):
         print(result.summary())
         print()
@@ -108,6 +153,8 @@ def _cmd_compare(args) -> int:
         (comp.hybrid.ufc - comp.grid.ufc) / np.abs(comp.grid.ufc)
     )
     print(f"mean hybrid-over-grid UFC improvement: {100 * gain:+.1f}%")
+    # All three strategies share one engine pass, hence one summary.
+    _print_profile(args, comp.hybrid.horizon_summary)
     return 0
 
 
@@ -198,6 +245,14 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse and dispatch."""
     args = build_parser().parse_args(argv)
+    if args.command not in ("simulate", "compare") and (
+        args.profile or args.telemetry_out
+    ):
+        print(
+            "note: --profile/--telemetry-out apply to the simulate and "
+            "compare subcommands; ignoring.",
+            file=sys.stderr,
+        )
     return _COMMANDS[args.command](args)
 
 

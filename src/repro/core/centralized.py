@@ -23,7 +23,7 @@ from repro.core.model import CloudModel
 from repro.core.problem import SlotInputs, UFCProblem
 from repro.core.solution import Allocation
 from repro.core.strategies import HYBRID, Strategy
-from repro.optim.ipqp import solve_qp
+from repro.optim.ipqp import IPQPTrace, solve_qp
 from repro.optim.scalar import minimize_convex_on_interval
 
 __all__ = ["CentralizedResult", "CentralizedSolver", "optimal_power_split"]
@@ -38,20 +38,35 @@ class CentralizedResult:
         ufc: UFC value at the optimum.
         iterations: interior-point iterations used.
         converged: solver convergence flag.
+        trace: per-iteration interior-point diagnostics (duality gap,
+            KKT residual, step lengths) when the solver was built with
+            ``trace=True``; None otherwise.
     """
 
     allocation: Allocation
     ufc: float
     iterations: int
     converged: bool
+    trace: IPQPTrace | None = None
 
 
 class CentralizedSolver:
-    """Interior-point reference solver for per-slot UFC maximization."""
+    """Interior-point reference solver for per-slot UFC maximization.
 
-    def __init__(self, tol: float = 1e-9, max_iter: int = 120) -> None:
+    Args:
+        tol: interior-point tolerance.
+        max_iter: interior-point iteration cap.
+        trace: record a per-iteration :class:`~repro.optim.ipqp.IPQPTrace`
+            on every solve (opt-in; the iterates are identical either
+            way).
+    """
+
+    def __init__(
+        self, tol: float = 1e-9, max_iter: int = 120, trace: bool = False
+    ) -> None:
         self.tol = tol
         self.max_iter = max_iter
+        self.trace = bool(trace)
 
     def compile(self, model: CloudModel, strategy: Strategy) -> "CompiledQPStructure":
         """Slot-invariant QP structure for (model, strategy).
@@ -86,7 +101,7 @@ class CentralizedSolver:
             qp = problem.to_qp()
         res = solve_qp(
             qp.P, qp.q, A=qp.A, b=qp.b, G=qp.G, h=qp.h,
-            tol=self.tol, max_iter=self.max_iter,
+            tol=self.tol, max_iter=self.max_iter, trace=self.trace,
         )
         alloc = qp.extract(res.x)
         return CentralizedResult(
@@ -94,6 +109,7 @@ class CentralizedSolver:
             ufc=problem.ufc(alloc),
             iterations=res.iterations,
             converged=res.converged,
+            trace=res.trace,
         )
 
 

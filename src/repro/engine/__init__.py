@@ -16,7 +16,13 @@ from repro.engine.adapters import (
     DualSubgradientSlotSolver,
     HeuristicSlotSolver,
 )
-from repro.engine.horizon import HorizonEngine, SlotOutcome, parallel_map
+from repro.engine.horizon import (
+    CompileCache,
+    HorizonEngine,
+    SlotOutcome,
+    parallel_map,
+    usable_cpu_count,
+)
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import available_solvers, create_solver, register_solver
 
@@ -24,8 +30,10 @@ __all__ = [
     "SlotResult",
     "SlotSolver",
     "SlotOutcome",
+    "CompileCache",
     "HorizonEngine",
     "parallel_map",
+    "usable_cpu_count",
     "CentralizedSlotSolver",
     "DistributedSlotSolver",
     "DualSubgradientSlotSolver",

@@ -76,6 +76,7 @@ class CentralizedSlotSolver:
             ufc=res.ufc,
             iterations=res.iterations,
             converged=res.converged,
+            extras={"ip_trace": res.trace} if res.trace is not None else {},
         )
 
 
@@ -104,16 +105,19 @@ class DistributedSlotSolver:
     ) -> SlotResult:
         """Solve one slot with ADM-G, optionally warm-started."""
         res = self.inner.solve(problem, initial=warm, context=compiled)
+        extras = {
+            "coupling_residuals": res.coupling_residuals,
+            "power_residuals": res.power_residuals,
+        }
+        if res.trace is not None:
+            extras["residual_trace"] = res.trace
         return SlotResult(
             allocation=res.allocation,
             ufc=res.ufc,
             iterations=res.iterations,
             converged=res.converged,
             warm=res.state,
-            extras={
-                "coupling_residuals": res.coupling_residuals,
-                "power_residuals": res.power_residuals,
-            },
+            extras=extras,
         )
 
 

@@ -8,19 +8,39 @@ parallel map.  :class:`HorizonEngine` runs it with
   (``workers>1``), with deterministic, index-ordered results either
   way (solvers are deterministic, so serial and parallel runs return
   bit-identical allocations);
+- **pool sizing that cannot hurt**: the requested worker count is
+  clamped to the CPUs actually usable by this process, the
+  multiprocessing start method is pinned explicitly, and when the pool
+  cannot help (≤1 usable CPU) the engine falls back to the serial path
+  — every such decision is recorded in the run's telemetry and
+  :class:`~repro.obs.HorizonSummary` instead of silently costing 5%;
 - **compiled-structure caching**: each distinct (model, strategy) pair
   gets one :meth:`SlotSolver.compile` call per horizon (per worker in
-  the process pool), not one per slot;
+  the process pool), not one per slot.  The cache
+  (:class:`CompileCache`) is identity-safe: it holds a strong
+  reference to each keyed model and verifies ``is`` on hit, so a
+  recycled ``id()`` can never serve a stale structure;
 - **per-slot error capture**: a slot whose solve raises is reported as
-  a failed :class:`SlotOutcome` instead of killing the horizon;
+  a failed :class:`SlotOutcome` — with the exception's class name and
+  message carried as structured fields next to the formatted traceback
+  — instead of killing the horizon;
 - **warm-start chaining** (``warm_start=True``): each slot resumes
   from the previous slot's payload.  Chaining is inherently
   sequential, so it requires ``workers=1`` and a solver that supports
-  warm starts.
+  warm starts;
+- **telemetry**: pass a :class:`~repro.obs.Telemetry` sink to receive
+  ``engine.decision`` / ``engine.slot`` / ``engine.compile`` /
+  ``engine.run`` events; every outcome carries a
+  :class:`~repro.obs.SlotTelemetry` (these pickle with the outcome, so
+  pool workers report exactly what the serial path does), and
+  :attr:`HorizonEngine.last_summary` aggregates the run.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -29,11 +49,52 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 from repro.core.problem import UFCProblem
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import create_solver
+from repro.obs import (
+    HorizonSummary,
+    SlotTelemetry,
+    Telemetry,
+    as_telemetry,
+)
 
-__all__ = ["SlotOutcome", "HorizonEngine", "parallel_map"]
+__all__ = [
+    "SlotOutcome",
+    "CompileCache",
+    "HorizonEngine",
+    "parallel_map",
+    "usable_cpu_count",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    Containers and batch schedulers routinely hand out fewer cores
+    than ``os.cpu_count()`` reports; the scheduling affinity mask is
+    the honest number where the platform exposes it.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """The pinned multiprocessing context for every pool in the library.
+
+    ``fork`` where the platform offers it (workers inherit the loaded
+    modules, so startup is cheap and deterministic); ``spawn``
+    elsewhere.  Pinning keeps behavior stable across Python versions
+    instead of drifting with the platform default.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
 
 
 @dataclass
@@ -45,15 +106,71 @@ class SlotOutcome:
         result: the solver's :class:`SlotResult` (None on error).
         error: formatted traceback of the slot's failure (None on
             success).
+        error_type: exception class name (e.g. ``"LinAlgError"``) so
+            callers can branch on failure kind without parsing the
+            traceback; None on success.
+        error_message: ``str(exception)`` of the failure; None on
+            success.
+        telemetry: the slot's :class:`~repro.obs.SlotTelemetry`
+            measurements (None only for legacy hand-built outcomes).
     """
 
     index: int
     result: SlotResult | None = None
     error: str | None = None
+    error_type: str | None = None
+    error_message: str | None = None
+    telemetry: SlotTelemetry | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+class CompileCache:
+    """Identity-safe (model, strategy) -> compiled-structure cache.
+
+    Keys combine ``id(model)`` (models are mutable and unhashable by
+    value) with the strategy.  A raw id key is unsafe on its own:
+    CPython recycles addresses, so a freed transient model's id can be
+    reassigned to a different model, which would then be served the
+    stale structure.  Two defenses make the cache exact:
+
+    - every entry holds a **strong reference** to its keyed model, so
+      a cached model can never be garbage-collected (and its id never
+      recycled) while the cache lives;
+    - lookups verify the stored model ``is`` the requesting problem's
+      model, so even a corrupted or inherited entry can never hit for
+      a different object.
+
+    The cache also times compilation and counts hits/misses for the
+    observability layer.
+    """
+
+    def __init__(self, solver: SlotSolver) -> None:
+        self._solver = solver
+        self._entries: dict[tuple[int, Any], tuple[Any, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, model: Any, strategy: Any) -> tuple[Any, bool, float]:
+        """The compiled structure for (model, strategy).
+
+        Returns:
+            ``(compiled, hit, compile_seconds)`` — ``hit`` is False and
+            ``compile_seconds`` nonzero when this call compiled.
+        """
+        key = (id(model), strategy)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is model:
+            self.hits += 1
+            return entry[1], True, 0.0
+        start = time.perf_counter()
+        compiled = self._solver.compile(model, strategy)
+        elapsed = time.perf_counter() - start
+        self.misses += 1
+        self._entries[key] = (model, compiled)
+        return compiled, False, elapsed
 
 
 @dataclass
@@ -64,6 +181,36 @@ class _Chunk:
     problems: list[UFCProblem] = field(default_factory=list)
 
 
+def _failed_outcome(
+    index: int,
+    exc: Exception,
+    solver_name: str,
+    *,
+    wall_s: float,
+    compile_s: float,
+    cache_hit: bool | None,
+    warm_start: bool = False,
+) -> SlotOutcome:
+    """A failed :class:`SlotOutcome` with structured error info."""
+    return SlotOutcome(
+        index=index,
+        error=traceback.format_exc(),
+        error_type=type(exc).__name__,
+        error_message=str(exc),
+        telemetry=SlotTelemetry(
+            solver=solver_name,
+            wall_s=wall_s,
+            compile_s=compile_s,
+            iterations=0,
+            converged=False,
+            cache_hit=cache_hit,
+            worker=os.getpid(),
+            warm_start=warm_start,
+            error_type=type(exc).__name__,
+        ),
+    )
+
+
 def _solve_chunk(
     solver: SlotSolver, chunk: _Chunk, structure_cache: bool
 ) -> list[SlotOutcome]:
@@ -71,22 +218,53 @@ def _solve_chunk(
 
     Module-level so the process executor can pickle it; also the
     serial executor's inner loop, so both paths share one code path.
+    Per-slot telemetry travels back attached to the outcomes, which is
+    what lets the parent aggregate pool runs without a second channel.
     """
-    compiled_for: dict[tuple[int, Any], Any] = {}
+    cache = CompileCache(solver)
+    pid = os.getpid()
     outcomes: list[SlotOutcome] = []
     for offset, problem in enumerate(chunk.problems):
         index = chunk.start + offset
+        compiled = None
+        cache_hit: bool | None = None
+        compile_s = 0.0
+        start = time.perf_counter()
         try:
-            compiled = None
             if structure_cache:
-                key = (id(problem.model), problem.strategy)
-                if key not in compiled_for:
-                    compiled_for[key] = solver.compile(problem.model, problem.strategy)
-                compiled = compiled_for[key]
+                compiled, cache_hit, compile_s = cache.lookup(
+                    problem.model, problem.strategy
+                )
+            solve_start = time.perf_counter()
             result = solver.solve(problem, compiled=compiled)
-            outcomes.append(SlotOutcome(index=index, result=result))
-        except Exception:
-            outcomes.append(SlotOutcome(index=index, error=traceback.format_exc()))
+            wall_s = time.perf_counter() - solve_start
+            outcomes.append(
+                SlotOutcome(
+                    index=index,
+                    result=result,
+                    telemetry=SlotTelemetry(
+                        solver=solver.name,
+                        wall_s=wall_s,
+                        compile_s=compile_s,
+                        iterations=result.iterations,
+                        converged=result.converged,
+                        cache_hit=cache_hit,
+                        worker=pid,
+                        warm_start=False,
+                    ),
+                )
+            )
+        except Exception as exc:
+            outcomes.append(
+                _failed_outcome(
+                    index,
+                    exc,
+                    solver.name,
+                    wall_s=time.perf_counter() - start,
+                    compile_s=compile_s,
+                    cache_hit=cache_hit,
+                )
+            )
     return outcomes
 
 
@@ -97,13 +275,26 @@ class HorizonEngine:
         solver: a solver specification (registry name, SlotSolver, or
             legacy solver instance — see
             :func:`repro.engine.registry.create_solver`).
-        workers: worker processes; 1 (default) runs in-process.
+        workers: worker processes; 1 (default) runs in-process.  Counts
+            above the usable CPUs are clamped (and recorded), and a
+            pool that cannot help (≤1 usable CPU) falls back to the
+            serial path — see ``oversubscribe``.
         chunk_size: slots per process-pool task; None picks
             ``ceil(T / (4 * workers))`` so the pool load-balances while
             amortizing per-task pickling.
         structure_cache: build each (model, strategy)'s slot-invariant
             structure once per horizon (default).  Disable only to
             measure the cold path — results are identical either way.
+        telemetry: optional :class:`~repro.obs.Telemetry` sink for
+            engine events; None (default) is the no-op sink.
+        oversubscribe: run the requested worker count even beyond the
+            usable CPUs (benchmarks use this to *measure* the pool
+            penalty; tests use it to exercise the pool path on 1-CPU
+            CI).  Off by default.
+
+    After each :meth:`run`, :attr:`last_summary` holds the run's
+    :class:`~repro.obs.HorizonSummary` (phase breakdown, executor
+    decision, cache and convergence totals).
     """
 
     def __init__(
@@ -112,6 +303,8 @@ class HorizonEngine:
         workers: int = 1,
         chunk_size: int | None = None,
         structure_cache: bool = True,
+        telemetry: Telemetry | None = None,
+        oversubscribe: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -121,6 +314,33 @@ class HorizonEngine:
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.structure_cache = structure_cache
+        self.telemetry = as_telemetry(telemetry)
+        self.oversubscribe = bool(oversubscribe)
+        self.last_summary: HorizonSummary | None = None
+
+    def plan_workers(self, n_items: int) -> tuple[int, str, int]:
+        """The pool-sizing decision for a horizon of ``n_items`` slots.
+
+        Returns:
+            ``(effective_workers, decision, usable_cpus)`` — effective
+            is 1 for every serial outcome; the decision string says
+            why (``"serial:requested"``, ``"serial:single-slot"``,
+            ``"serial:fallback-single-cpu"``, ``"pool:requested"``,
+            ``"pool:clamped-to-cpus"``, ``"pool:oversubscribed"``).
+        """
+        usable = usable_cpu_count()
+        if self.workers == 1:
+            return 1, "serial:requested", usable
+        if n_items <= 1:
+            return 1, "serial:single-slot", usable
+        if self.oversubscribe:
+            return self.workers, "pool:oversubscribed", usable
+        effective = min(self.workers, usable)
+        if effective <= 1:
+            return 1, "serial:fallback-single-cpu", usable
+        if effective < self.workers:
+            return effective, "pool:clamped-to-cpus", usable
+        return effective, "pool:requested", usable
 
     def run(
         self, problems: Sequence[UFCProblem], warm_start: bool = False
@@ -138,6 +358,7 @@ class HorizonEngine:
                 cannot honor (clear error instead of silent fallback).
         """
         problems = list(problems)
+        start = time.perf_counter()
         if warm_start:
             if not self.solver.supports_warm_start:
                 raise ValueError(
@@ -149,49 +370,154 @@ class HorizonEngine:
                     "warm-start chaining is sequential; use workers=1 "
                     "(the Fig. 11 iteration counts are cold-started anyway)"
                 )
-            return self._run_warm(problems)
-        if self.workers == 1 or len(problems) <= 1:
-            return _solve_chunk(
-                self.solver, _Chunk(start=0, problems=problems), self.structure_cache
+            outcomes = self._run_warm(problems)
+            executor, decision, effective = "serial-warm", "serial:warm-start", 1
+            usable, start_method = usable_cpu_count(), None
+        else:
+            effective, decision, usable = self.plan_workers(len(problems))
+            if effective == 1:
+                outcomes = _solve_chunk(
+                    self.solver,
+                    _Chunk(start=0, problems=problems),
+                    self.structure_cache,
+                )
+                executor, start_method = "serial", None
+            else:
+                outcomes, start_method = self._run_pool(problems, effective)
+                executor = "pool"
+        wall_s = time.perf_counter() - start
+        summary = HorizonSummary.from_outcomes(
+            outcomes,
+            solver=self.solver.name,
+            wall_s=wall_s,
+            executor=executor,
+            decision=decision,
+            workers_requested=self.workers,
+            workers_effective=effective,
+            usable_cpus=usable,
+            mp_start_method=start_method,
+        )
+        self.last_summary = summary
+        self._emit(summary, outcomes)
+        return outcomes
+
+    def _emit(self, summary: HorizonSummary, outcomes: list[SlotOutcome]) -> None:
+        """Stream the run's events to the telemetry sink (if enabled)."""
+        sink = self.telemetry
+        if not sink.enabled:
+            return
+        sink.counter(
+            "engine.decision",
+            summary.workers_effective,
+            requested=summary.workers_requested,
+            usable_cpus=summary.usable_cpus,
+            executor=summary.executor,
+            decision=summary.decision,
+            mp_start_method=summary.mp_start_method,
+        )
+        for outcome in outcomes:
+            tele = outcome.telemetry
+            if tele is None:
+                continue
+            sink.timer(
+                "engine.slot",
+                tele.wall_s,
+                index=outcome.index,
+                solver=tele.solver,
+                iterations=tele.iterations,
+                converged=tele.converged,
+                cache_hit=tele.cache_hit,
+                worker=tele.worker,
+                warm_start=tele.warm_start,
+                ok=outcome.ok,
+                error_type=outcome.error_type,
             )
-        return self._run_pool(problems)
+        sink.timer(
+            "engine.compile",
+            summary.compile_s,
+            hits=summary.cache_hits,
+            misses=summary.cache_misses,
+        )
+        sink.timer(
+            "engine.run",
+            summary.wall_s,
+            solver=summary.solver,
+            slots=summary.slots,
+            failed=summary.failed_slots,
+            executor=summary.executor,
+            overhead_s=round(summary.overhead_s, 6),
+        )
 
     # -- executors -----------------------------------------------------------
 
     def _run_warm(self, problems: list[UFCProblem]) -> list[SlotOutcome]:
-        compiled_for: dict[tuple[int, Any], Any] = {}
+        cache = CompileCache(self.solver)
+        pid = os.getpid()
         outcomes: list[SlotOutcome] = []
         warm = None
         for index, problem in enumerate(problems):
+            compiled = None
+            cache_hit: bool | None = None
+            compile_s = 0.0
+            had_warm = warm is not None
+            start = time.perf_counter()
             try:
-                compiled = None
                 if self.structure_cache:
-                    key = (id(problem.model), problem.strategy)
-                    if key not in compiled_for:
-                        compiled_for[key] = self.solver.compile(
-                            problem.model, problem.strategy
-                        )
-                    compiled = compiled_for[key]
+                    compiled, cache_hit, compile_s = cache.lookup(
+                        problem.model, problem.strategy
+                    )
+                solve_start = time.perf_counter()
                 result = self.solver.solve(problem, compiled=compiled, warm=warm)
+                wall_s = time.perf_counter() - solve_start
                 warm = result.warm
-                outcomes.append(SlotOutcome(index=index, result=result))
-            except Exception:
+                outcomes.append(
+                    SlotOutcome(
+                        index=index,
+                        result=result,
+                        telemetry=SlotTelemetry(
+                            solver=self.solver.name,
+                            wall_s=wall_s,
+                            compile_s=compile_s,
+                            iterations=result.iterations,
+                            converged=result.converged,
+                            cache_hit=cache_hit,
+                            worker=pid,
+                            warm_start=had_warm,
+                        ),
+                    )
+                )
+            except Exception as exc:
                 # A poisoned slot breaks the chain: the next slot
                 # cold-starts, mirroring a restarted solver.
                 warm = None
-                outcomes.append(SlotOutcome(index=index, error=traceback.format_exc()))
+                outcomes.append(
+                    _failed_outcome(
+                        index,
+                        exc,
+                        self.solver.name,
+                        wall_s=time.perf_counter() - start,
+                        compile_s=compile_s,
+                        cache_hit=cache_hit,
+                        warm_start=had_warm,
+                    )
+                )
         return outcomes
 
-    def _run_pool(self, problems: list[UFCProblem]) -> list[SlotOutcome]:
+    def _run_pool(
+        self, problems: list[UFCProblem], effective_workers: int
+    ) -> tuple[list[SlotOutcome], str]:
         chunk_size = self.chunk_size
         if chunk_size is None:
-            chunk_size = max(1, -(-len(problems) // (4 * self.workers)))
+            chunk_size = max(1, -(-len(problems) // (4 * effective_workers)))
         chunks = [
             _Chunk(start=start, problems=problems[start : start + chunk_size])
             for start in range(0, len(problems), chunk_size)
         ]
+        ctx = _mp_context()
         outcomes: list[SlotOutcome] = []
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+        with ProcessPoolExecutor(
+            max_workers=min(effective_workers, len(chunks)), mp_context=ctx
+        ) as pool:
             for chunk_outcomes in pool.map(
                 _solve_chunk,
                 (self.solver for _ in chunks),
@@ -200,23 +526,48 @@ class HorizonEngine:
             ):
                 outcomes.extend(chunk_outcomes)
         outcomes.sort(key=lambda o: o.index)
-        return outcomes
+        return outcomes, ctx.get_start_method()
 
 
 def parallel_map(
-    fn: Callable[[_T], _R], items: Iterable[_T], workers: int = 1
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int = 1,
+    telemetry: Telemetry | None = None,
+    oversubscribe: bool = False,
 ) -> list[_R]:
     """Order-preserving map over a process pool.
 
     The sweep drivers (Fig. 9/10) use this to evaluate independent
     grid points concurrently.  ``fn`` and every item must be picklable
-    (module-level functions, models, bundles all are); with
-    ``workers <= 1`` it degrades to a plain list comprehension.
-    Exceptions propagate to the caller — a sweep point is not a slot,
-    so there is no per-item capture here.
+    (module-level functions, models, bundles all are).  The worker
+    count is clamped to the usable CPUs (``oversubscribe=True``
+    disables the clamp), and with ≤1 effective worker — requested or
+    clamped — the map degrades to a plain list comprehension; the
+    decision lands in ``telemetry`` as a ``parallel_map.decision``
+    event either way.  Exceptions propagate to the caller — a sweep
+    point is not a slot, so there is no per-item capture here.
     """
     items = list(items)
-    if workers <= 1 or len(items) <= 1:
+    sink = as_telemetry(telemetry)
+    requested = workers
+    usable = usable_cpu_count()
+    if workers > 1 and not oversubscribe:
+        workers = min(workers, usable)
+    effective = workers if (workers > 1 and len(items) > 1) else 1
+    if sink.enabled:
+        sink.counter(
+            "parallel_map.decision",
+            effective,
+            requested=requested,
+            usable_cpus=usable,
+            items=len(items),
+            oversubscribe=oversubscribe,
+        )
+    if effective <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+    ctx = _mp_context()
+    with ProcessPoolExecutor(
+        max_workers=min(effective, len(items)), mp_context=ctx
+    ) as pool:
         return list(pool.map(fn, items))

@@ -42,8 +42,11 @@ class SlotResult:
         converged: whether the solver met its own stopping criterion.
         warm: opaque warm-start payload for the *next* slot (None when
             the solver does not support warm starts).
-        extras: solver-specific diagnostics (e.g. ADM-G residual
-            histories), safe to ignore.
+        extras: solver-specific diagnostics, safe to ignore — e.g.
+            ADM-G residual histories, and the opt-in per-iteration
+            traces (``"residual_trace"`` from ADM-G built with
+            ``trace=True``, ``"ip_trace"`` from the centralized
+            interior-point solver).
     """
 
     allocation: Allocation

@@ -56,7 +56,12 @@ def create_solver(spec: str | SlotSolver | Any = "centralized", **kwargs: Any) -
             ``CentralizedSolver`` / ``DistributedUFCSolver`` /
             ``DualSubgradientSolver`` instance (adapted in place).
         **kwargs: forwarded to the registered factory (ignored for
-            pre-built instances).
+            pre-built instances).  The built-in adapters forward them
+            to the underlying solver constructor, so observability
+            knobs resolve here too — e.g.
+            ``create_solver("distributed", trace=True)`` yields a
+            solver whose every slot carries a per-iteration
+            ``residual_trace`` in ``SlotResult.extras``.
 
     Raises:
         KeyError: for an unknown registry name.

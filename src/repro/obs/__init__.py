@@ -1,0 +1,37 @@
+"""Opt-in observability: telemetry sinks, per-slot records, summaries.
+
+The obs layer sits at the bottom of the library (stdlib-only, imports
+nothing from other ``repro`` packages).  Code above it — the solve
+engine, the simulator, the CLI, the benchmarks — emits
+:class:`TelemetryEvent` records into whatever :class:`Telemetry` sink
+it was handed; the default :data:`NULL_TELEMETRY` makes every
+instrumentation point a no-op, so solves with telemetry off remain
+bit-identical and within noise of un-instrumented wall clock.
+"""
+
+from repro.obs.records import ResidualTrace, SlotTelemetry
+from repro.obs.summary import HorizonSummary
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    BaseTelemetry,
+    JsonlTelemetry,
+    NullTelemetry,
+    RecordingTelemetry,
+    Telemetry,
+    TelemetryEvent,
+    as_telemetry,
+)
+
+__all__ = [
+    "TelemetryEvent",
+    "Telemetry",
+    "BaseTelemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "RecordingTelemetry",
+    "JsonlTelemetry",
+    "as_telemetry",
+    "SlotTelemetry",
+    "ResidualTrace",
+    "HorizonSummary",
+]

@@ -1,0 +1,206 @@
+"""Aggregate a horizon run's per-slot telemetry into one summary.
+
+:class:`HorizonSummary` is what the CLI's ``--profile`` prints and
+what :class:`~repro.sim.results.SimulationResult` carries: total wall
+time split into compile / solve / overhead phases, the executor
+decision (serial, pool, or a recorded fallback), compiled-structure
+cache statistics and convergence totals.  It is built from any
+sequence of outcome-like objects exposing ``ok`` and ``telemetry``
+attributes (duck-typed so this module stays import-free of the engine
+layer above it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["HorizonSummary"]
+
+
+@dataclass
+class HorizonSummary:
+    """One horizon run's timing, cache and convergence aggregate.
+
+    Attributes:
+        solver: solver name the horizon ran with.
+        slots: total slots submitted.
+        ok_slots / failed_slots: per-slot success split.
+        wall_s: end-to-end engine wall time.
+        compile_s: total seconds compiling slot-invariant structure,
+            summed across workers.
+        solve_s: total seconds inside ``solver.solve``, summed across
+            workers.
+        overhead_s: wall time not explained by (amortized) compile and
+            solve — process-pool IPC, argument/result pickling, chunk
+            imbalance and per-slot bookkeeping.
+        executor: ``"serial"``, ``"pool"`` or ``"serial-warm"``.
+        decision: why that executor ran (e.g.
+            ``"serial:fallback-single-cpu"``, ``"pool:clamped-to-cpus"``).
+        workers_requested / workers_effective: pool sizing before and
+            after clamping to usable CPUs.
+        usable_cpus: CPUs available to this process (affinity-aware).
+        mp_start_method: the pinned multiprocessing start method (None
+            for serial runs).
+        cache_hits / cache_misses: compiled-structure cache counters.
+        iterations_total: summed solver iterations.
+        converged_slots: slots whose solver reported convergence.
+        error_types: failed-slot exception class name -> count.
+    """
+
+    solver: str
+    slots: int
+    ok_slots: int
+    failed_slots: int
+    wall_s: float
+    compile_s: float
+    solve_s: float
+    overhead_s: float
+    executor: str
+    decision: str
+    workers_requested: int
+    workers_effective: int
+    usable_cpus: int
+    mp_start_method: str | None
+    cache_hits: int
+    cache_misses: int
+    iterations_total: int
+    converged_slots: int
+    error_types: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        outcomes: Iterable[Any],
+        *,
+        solver: str,
+        wall_s: float,
+        executor: str,
+        decision: str,
+        workers_requested: int,
+        workers_effective: int,
+        usable_cpus: int,
+        mp_start_method: str | None = None,
+    ) -> "HorizonSummary":
+        """Aggregate outcome-like objects (``.ok``, ``.telemetry``)."""
+        outcomes = list(outcomes)
+        compile_s = solve_s = 0.0
+        hits = misses = iterations = converged = failed = 0
+        error_types: dict[str, int] = {}
+        for outcome in outcomes:
+            tele = getattr(outcome, "telemetry", None)
+            if not outcome.ok:
+                failed += 1
+                name = getattr(outcome, "error_type", None) or "Exception"
+                error_types[name] = error_types.get(name, 0) + 1
+            if tele is None:
+                continue
+            compile_s += tele.compile_s
+            solve_s += tele.wall_s
+            if tele.cache_hit is True:
+                hits += 1
+            elif tele.cache_hit is False:
+                misses += 1
+            iterations += tele.iterations
+            converged += bool(tele.converged)
+        # Busy time is summed across workers; amortize it over the
+        # effective worker count to estimate the wall share it covers.
+        workers_effective = max(1, workers_effective)
+        busy_amortized = (compile_s + solve_s) / workers_effective
+        overhead_s = max(0.0, wall_s - busy_amortized)
+        return cls(
+            solver=solver,
+            slots=len(outcomes),
+            ok_slots=len(outcomes) - failed,
+            failed_slots=failed,
+            wall_s=wall_s,
+            compile_s=compile_s,
+            solve_s=solve_s,
+            overhead_s=overhead_s,
+            executor=executor,
+            decision=decision,
+            workers_requested=workers_requested,
+            workers_effective=workers_effective,
+            usable_cpus=usable_cpus,
+            mp_start_method=mp_start_method,
+            cache_hits=hits,
+            cache_misses=misses,
+            iterations_total=iterations,
+            converged_slots=converged,
+            error_types=error_types,
+        )
+
+    # -- derived quantities ---------------------------------------------------
+
+    def _share(self, seconds: float) -> float:
+        """``seconds`` (amortized over workers) as a fraction of wall."""
+        if self.wall_s <= 0:
+            return 0.0
+        return (seconds / self.workers_effective) / self.wall_s
+
+    @property
+    def accounted_fraction(self) -> float:
+        """Fraction of wall time the compile+solve phases explain."""
+        return min(1.0, self._share(self.compile_s) + self._share(self.solve_s))
+
+    def phase_dict(self) -> dict[str, Any]:
+        """The JSON-ready phase breakdown (benchmarks record this)."""
+        return {
+            "wall_s": round(self.wall_s, 4),
+            "compile_s": round(self.compile_s, 4),
+            "solve_s": round(self.solve_s, 4),
+            "overhead_s": round(self.overhead_s, 4),
+            "accounted_fraction": round(self.accounted_fraction, 4),
+            "executor": self.executor,
+            "decision": self.decision,
+            "workers_effective": self.workers_effective,
+            "mp_start_method": self.mp_start_method,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """The full summary as a JSON-ready dict."""
+        out = {
+            "solver": self.solver,
+            "slots": self.slots,
+            "ok_slots": self.ok_slots,
+            "failed_slots": self.failed_slots,
+            "workers_requested": self.workers_requested,
+            "usable_cpus": self.usable_cpus,
+            "iterations_total": self.iterations_total,
+            "converged_slots": self.converged_slots,
+            "error_types": dict(self.error_types),
+        }
+        out.update(self.phase_dict())
+        return out
+
+    def format_table(self) -> str:
+        """The human-readable profile block ``--profile`` prints."""
+        pct = lambda s: f"{100 * self._share(s):5.1f}% of wall"  # noqa: E731
+        workers = (
+            f"requested {self.workers_requested}, effective "
+            f"{self.workers_effective} of {self.usable_cpus} usable CPUs"
+        )
+        if self.mp_start_method:
+            workers += f"; start method {self.mp_start_method}"
+        lines = [
+            f"horizon profile ({self.solver}, {self.slots} slots)",
+            f"  executor       : {self.executor}  [{self.decision}]",
+            f"  workers        : {workers}",
+            f"  wall time      : {self.wall_s:8.3f} s",
+            f"  compile        : {self.compile_s:8.3f} s  {pct(self.compile_s)}"
+            f"  ({self.cache_misses} misses, {self.cache_hits} hits)",
+            f"  solve          : {self.solve_s:8.3f} s  {pct(self.solve_s)}",
+            f"  overhead (IPC) : {self.overhead_s:8.3f} s  "
+            f"{100 * self.overhead_s / self.wall_s if self.wall_s > 0 else 0.0:5.1f}% of wall",
+            f"  slots          : {self.ok_slots} ok, {self.failed_slots} failed",
+            f"  iterations     : total {self.iterations_total}, "
+            f"converged {self.converged_slots}/{self.slots}",
+        ]
+        if self.error_types:
+            counts = ", ".join(
+                f"{name} x{count}" for name, count in sorted(self.error_types.items())
+            )
+            lines.append(f"  failures       : {counts}")
+        return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Zero-dependency telemetry: an event sink protocol plus three sinks.
+
+The library's observability layer is *pull-nothing, push-cheap*: code
+that wants to be observable emits :class:`TelemetryEvent` records into
+a :class:`Telemetry` sink it was handed.  The default sink is
+:data:`NULL_TELEMETRY`, whose convenience methods return before
+building an event object, so instrumented hot paths cost one attribute
+check when observability is off.
+
+Three sinks ship with the library:
+
+- :class:`NullTelemetry` — the no-op default;
+- :class:`RecordingTelemetry` — an in-memory list, for tests and for
+  programmatic post-processing;
+- :class:`JsonlTelemetry` — one JSON object per line to a file, the
+  CLI's ``--telemetry-out`` format.
+
+Anything with an ``enabled`` flag and an ``emit(event)`` method plugs
+in — see :class:`Telemetry`.  Everything here is stdlib-only: the obs
+package sits below every other layer (like ``optim``, it knows events,
+not datacenters).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "TelemetryEvent",
+    "Telemetry",
+    "BaseTelemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "RecordingTelemetry",
+    "JsonlTelemetry",
+    "as_telemetry",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One observability event.
+
+    Attributes:
+        name: dotted event name (e.g. ``"engine.slot"``).
+        kind: ``"counter"``, ``"timer"`` or ``"span"``.
+        value: the measurement — a count for counters, seconds for
+            timers and spans.
+        tags: event dimensions (slot index, worker id, cache hit, ...).
+            Values should be JSON-representable scalars.
+    """
+
+    name: str
+    kind: str
+    value: float
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready flat representation."""
+        return {"name": self.name, "kind": self.kind, "value": self.value,
+                "tags": dict(self.tags)}
+
+
+@runtime_checkable
+class Telemetry(Protocol):
+    """The sink protocol instrumented code writes to.
+
+    Attributes:
+        enabled: False only for the no-op sink; hot paths check it to
+            skip building events entirely.
+    """
+
+    enabled: bool
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Consume one event."""
+        ...
+
+
+class BaseTelemetry:
+    """Convenience constructors over :meth:`emit` for real sinks."""
+
+    enabled = True
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Consume one event (subclasses implement)."""
+        raise NotImplementedError
+
+    def counter(self, name: str, value: float = 1.0, **tags: Any) -> None:
+        """Emit a counter event."""
+        self.emit(TelemetryEvent(name, "counter", float(value), tags))
+
+    def timer(self, name: str, seconds: float, **tags: Any) -> None:
+        """Emit a timer event for an already-measured duration."""
+        self.emit(TelemetryEvent(name, "timer", float(seconds), tags))
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[None]:
+        """Time a ``with`` block and emit it as a span event."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(
+                TelemetryEvent(name, "span", time.perf_counter() - start, tags)
+            )
+
+
+class NullTelemetry(BaseTelemetry):
+    """The no-op default sink: every method returns immediately.
+
+    The convenience methods are overridden so that disabled telemetry
+    never allocates an event object.
+    """
+
+    enabled = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Discard the event."""
+
+    def counter(self, name: str, value: float = 1.0, **tags: Any) -> None:
+        """Do nothing (no event is built)."""
+
+    def timer(self, name: str, seconds: float, **tags: Any) -> None:
+        """Do nothing (no event is built)."""
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[None]:
+        """Run the block without timing it."""
+        yield
+
+
+#: The shared no-op sink (telemetry off).
+NULL_TELEMETRY = NullTelemetry()
+
+
+def as_telemetry(sink: Telemetry | None) -> Telemetry:
+    """``sink`` itself, or :data:`NULL_TELEMETRY` for None."""
+    return NULL_TELEMETRY if sink is None else sink
+
+
+class RecordingTelemetry(BaseTelemetry):
+    """An in-memory sink capturing every event, in emission order."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Append the event to :attr:`events`."""
+        self.events.append(event)
+
+    def names(self) -> list[str]:
+        """Event names in emission order."""
+        return [e.name for e in self.events]
+
+    def by_name(self, name: str) -> list[TelemetryEvent]:
+        """All events with the given name, in emission order."""
+        return [e for e in self.events if e.name == name]
+
+    def clear(self) -> None:
+        """Drop every recorded event."""
+        self.events.clear()
+
+
+class JsonlTelemetry(BaseTelemetry):
+    """A file sink writing one JSON object per event line.
+
+    Usable as a context manager; :meth:`close` flushes and closes the
+    file.  Non-JSON tag values are stringified rather than rejected, so
+    emitting never raises on exotic diagnostics.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Write the event as one JSON line."""
+        self._fh.write(json.dumps(event.to_dict(), default=str) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlTelemetry":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

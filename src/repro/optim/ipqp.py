@@ -18,11 +18,39 @@ robustness and simplicity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["IPQPResult", "solve_qp"]
+__all__ = ["IPQPTrace", "IPQPResult", "solve_qp"]
+
+
+@dataclass
+class IPQPTrace:
+    """Per-iteration interior-point diagnostics (``trace=True``).
+
+    ``gap`` and ``residual`` are recorded at the top of each iteration
+    (including the final, converged one), so their length equals the
+    reported iteration count; the step-size series are recorded after
+    the direction computation, so on a converged solve they are one
+    entry shorter.  On equilibrated solves the values are in the
+    scaled problem's units — shapes and trends are what matter.
+
+    Attributes:
+        gap: average complementarity ``s^T z / m`` per iteration.
+        residual: max KKT residual (dual, equality, inequality) per
+            iteration.
+        alpha_affine: predictor step length ``min(alpha_p, alpha_d)``.
+        alpha: corrector (actual) step length.
+    """
+
+    gap: list[float] = field(default_factory=list)
+    residual: list[float] = field(default_factory=list)
+    alpha_affine: list[float] = field(default_factory=list)
+    alpha: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.gap)
 
 
 def _ruiz_equilibrate(
@@ -108,6 +136,9 @@ class IPQPResult:
         converged: True when all residuals and the duality gap met the
             tolerance; False means the iterate at the cap is returned.
         gap: final average complementarity ``s^T z / m`` (0 if m == 0).
+        trace: per-iteration :class:`IPQPTrace` when the solve was
+            called with ``trace=True``; None otherwise (the hot loop
+            stays allocation-free by default).
     """
 
     x: np.ndarray
@@ -117,6 +148,7 @@ class IPQPResult:
     iterations: int
     converged: bool
     gap: float
+    trace: IPQPTrace | None = None
 
 
 def _step_length(v: np.ndarray, dv: np.ndarray, fraction: float = 0.99) -> float:
@@ -137,6 +169,7 @@ def solve_qp(
     tol: float = 1e-9,
     max_iter: int = 100,
     equilibrate: bool = True,
+    trace: bool = False,
 ) -> IPQPResult:
     """Solve a dense convex QP with a Mehrotra predictor-corrector method.
 
@@ -145,7 +178,10 @@ def solve_qp(
     minimizer is returned via a linear solve.  By default the data is
     Ruiz-equilibrated first, which makes the solver robust to badly
     scaled problems (the UFC QP mixes workload variables ~1e4 with
-    power variables ~1 and couplings ~1e-4).
+    power variables ~1 and couplings ~1e-4).  With ``trace=True`` the
+    result carries a per-iteration :class:`IPQPTrace` (duality gap,
+    KKT residual, step lengths); the iterates themselves are identical
+    with tracing on or off.
 
     Raises:
         ValueError: on inconsistent shapes.
@@ -186,6 +222,7 @@ def solve_qp(
             iterations=0,
             converged=True,
             gap=0.0,
+            trace=IPQPTrace() if trace else None,
         )
     if m == 0:
         # Pure equality-constrained QP: one KKT solve.
@@ -202,6 +239,7 @@ def solve_qp(
             iterations=0,
             converged=True,
             gap=0.0,
+            trace=IPQPTrace() if trace else None,
         )
 
     if equilibrate:
@@ -210,8 +248,21 @@ def solve_qp(
         ) = _ruiz_equilibrate(P, q, A, b, G, h)
         inner = solve_qp(
             P_s, q_s, A=A_s, b=b_s, G=G_s, h=h_s,
-            tol=tol, max_iter=max_iter, equilibrate=False,
+            tol=tol, max_iter=max_iter, equilibrate=False, trace=trace,
         )
+        if not inner.converged:
+            # Equilibration helps badly scaled instances but can send
+            # the Mehrotra iteration into a limit cycle on small
+            # well-scaled ones (residual traces show the gap orbiting
+            # a period-3 cycle while the KKT residual sits at 1e-12).
+            # Retry on the raw data; converging solves never get here,
+            # so their iterates are untouched.
+            raw = solve_qp(
+                P, q, A=A, b=b, G=G, h=h,
+                tol=tol, max_iter=max_iter, equilibrate=False, trace=trace,
+            )
+            if raw.converged:
+                return raw
         x = d * inner.x
         return IPQPResult(
             x=x,
@@ -221,6 +272,7 @@ def solve_qp(
             iterations=inner.iterations,
             converged=inner.converged,
             gap=inner.gap * gamma,
+            trace=inner.trace,
         )
 
     # Interior-point iterations.
@@ -231,6 +283,7 @@ def solve_qp(
     scale = 1.0 + max(np.abs(q).max(initial=0.0), np.abs(h).max(initial=0.0),
                       np.abs(b).max(initial=0.0))
 
+    trace_rec = IPQPTrace() if trace else None
     converged = False
     it = 0
     for it in range(1, max_iter + 1):
@@ -238,6 +291,16 @@ def solve_qp(
         r_eq = A @ x - b
         r_ineq = G @ x + s - h
         mu = float(s @ z) / m
+
+        if trace_rec is not None:
+            trace_rec.gap.append(mu)
+            trace_rec.residual.append(
+                max(
+                    float(np.abs(r_dual).max()),
+                    float(np.abs(r_eq).max(initial=0.0)),
+                    float(np.abs(r_ineq).max()),
+                )
+            )
 
         if (
             np.abs(r_dual).max() < tol * scale
@@ -288,6 +351,10 @@ def solve_qp(
         dx, dy, ds, dz = solve_newton(r_comp)
         alpha = min(_step_length(s, ds), _step_length(z, dz))
 
+        if trace_rec is not None:
+            trace_rec.alpha_affine.append(min(alpha_p, alpha_d))
+            trace_rec.alpha.append(alpha)
+
         x = x + alpha * dx
         s = s + alpha * ds
         y = y + alpha * dy
@@ -301,4 +368,5 @@ def solve_qp(
         iterations=it,
         converged=converged,
         gap=float(s @ z) / m,
+        trace=trace_rec,
     )

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import HorizonSummary
+
 __all__ = ["SimulationResult", "StrategyComparison"]
 
 
@@ -25,6 +27,11 @@ class SimulationResult:
         utilization: (T,) fuel-cell generation / total power demand.
         iterations: (T,) solver iterations per slot.
         converged: (T,) solver convergence flags.
+        horizon_summary: the engine run's
+            :class:`~repro.obs.HorizonSummary` (phase timings, cache
+            and executor decisions).  When several strategies share
+            one engine pass (``compare_strategies``), they share one
+            summary object covering the whole pass.
     """
 
     strategy: str
@@ -37,6 +44,7 @@ class SimulationResult:
     utilization: np.ndarray
     iterations: np.ndarray
     converged: np.ndarray
+    horizon_summary: HorizonSummary | None = None
 
     @property
     def hours(self) -> int:

@@ -23,6 +23,7 @@ from repro.costs.latency import LatencyUtility
 from repro.engine.horizon import HorizonEngine, SlotOutcome
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import create_solver
+from repro.obs import Telemetry
 from repro.sim.results import SimulationResult, StrategyComparison
 from repro.traces.datasets import TraceBundle
 
@@ -78,7 +79,14 @@ class Simulator:
             starts also force serial execution (the chain is
             sequential), so they cannot combine with ``workers > 1``.
         workers: default worker processes for :meth:`run` /
-            :meth:`compare_strategies`; 1 solves in-process.
+            :meth:`compare_strategies`; 1 solves in-process.  The
+            engine clamps the count to usable CPUs and falls back to
+            serial when a pool cannot help — see
+            :meth:`~repro.engine.horizon.HorizonEngine.plan_workers`.
+        telemetry: default :class:`~repro.obs.Telemetry` sink for every
+            run's engine events; None (default) disables telemetry.
+        oversubscribe: let the engine run more workers than usable
+            CPUs (measurement/testing aid; off by default).
     """
 
     def __init__(
@@ -88,6 +96,8 @@ class Simulator:
         solver: str | SlotSolver | object = "centralized",
         warm_start: bool = False,
         workers: int = 1,
+        telemetry: Telemetry | None = None,
+        oversubscribe: bool = False,
     ) -> None:
         if model.num_datacenters != bundle.num_datacenters:
             raise ValueError(
@@ -110,6 +120,8 @@ class Simulator:
             )
         self.warm_start = warm_start
         self.workers = int(workers)
+        self.telemetry = telemetry
+        self.oversubscribe = bool(oversubscribe)
 
     def problem_for_slot(self, t: int, strategy: Strategy) -> UFCProblem:
         """The slot-``t`` UFC problem under ``strategy``."""
@@ -127,10 +139,14 @@ class Simulator:
     def _horizon(self, hours: int | None) -> int:
         return self.bundle.hours if hours is None else min(hours, self.bundle.hours)
 
-    def _engine(self, workers: int | None) -> HorizonEngine:
+    def _engine(
+        self, workers: int | None, telemetry: Telemetry | None = None
+    ) -> HorizonEngine:
         return HorizonEngine(
             self.solver,
             workers=self.workers if workers is None else int(workers),
+            telemetry=self.telemetry if telemetry is None else telemetry,
+            oversubscribe=self.oversubscribe,
         )
 
     def _collect(
@@ -193,31 +209,44 @@ class Simulator:
         strategy: Strategy,
         hours: int | None = None,
         workers: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> SimulationResult:
         """Simulate ``hours`` slots (default: the whole bundle).
 
         ``workers`` overrides the simulator-wide worker count for this
         run; results are identical (bit-for-bit) at any worker count.
+        ``telemetry`` overrides the simulator-wide sink for this run;
+        the engine's :class:`~repro.obs.HorizonSummary` is attached to
+        the result as ``horizon_summary`` either way.
         """
         horizon = self._horizon(hours)
         problems = [self.problem_for_slot(t, strategy) for t in range(horizon)]
-        outcomes = self._engine(workers).run(problems, warm_start=self.warm_start)
-        return self._collect(strategy, problems, outcomes)
+        engine = self._engine(workers, telemetry)
+        outcomes = engine.run(problems, warm_start=self.warm_start)
+        result = self._collect(strategy, problems, outcomes)
+        result.horizon_summary = engine.last_summary
+        return result
 
     def compare_strategies(
-        self, hours: int | None = None, workers: int | None = None
+        self,
+        hours: int | None = None,
+        workers: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> StrategyComparison:
         """Run Grid, Fuel cell and Hybrid on the same horizon.
 
         All three strategies share one engine pass: each strategy's
         compiled structure is built once, and with ``workers > 1`` the
-        pool draws from the full ``3 x T`` slot set.
+        pool draws from the full ``3 x T`` slot set.  The shared
+        pass's :class:`~repro.obs.HorizonSummary` is attached to all
+        three results.
         """
         strategies = (GRID, FUEL_CELL, HYBRID)
         if self.warm_start:
             # Warm chains must not cross strategies: run them apart.
             grid, fuel_cell, hybrid = (
-                self.run(s, hours=hours, workers=workers) for s in strategies
+                self.run(s, hours=hours, workers=workers, telemetry=telemetry)
+                for s in strategies
             )
             return StrategyComparison(grid=grid, fuel_cell=fuel_cell, hybrid=hybrid)
         horizon = self._horizon(hours)
@@ -226,13 +255,15 @@ class Simulator:
             for strategy in strategies
             for t in range(horizon)
         ]
-        outcomes = self._engine(workers).run(problems)
+        engine = self._engine(workers, telemetry)
+        outcomes = engine.run(problems)
         results = {}
         for k, strategy in enumerate(strategies):
             block = slice(k * horizon, (k + 1) * horizon)
             results[strategy.name] = self._collect(
                 strategy, problems[block], outcomes[block]
             )
+            results[strategy.name].horizon_summary = engine.last_summary
         return StrategyComparison(
             grid=results[GRID.name],
             fuel_cell=results[FUEL_CELL.name],

@@ -20,6 +20,7 @@ from repro.core.strategies import ALL_STRATEGIES, HYBRID
 from repro.costs.carbon import SteppedCarbonTax
 from repro.engine import (
     CentralizedSlotSolver,
+    CompileCache,
     DistributedSlotSolver,
     DualSubgradientSlotSolver,
     HorizonEngine,
@@ -28,8 +29,10 @@ from repro.engine import (
     create_solver,
     parallel_map,
     register_solver,
+    usable_cpu_count,
 )
 from repro.engine import registry as registry_module
+from repro.obs import RecordingTelemetry
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import Simulator, build_model
 from repro.traces.datasets import default_bundle
@@ -185,7 +188,11 @@ class TestSerialVsProcessEquality:
     """
 
     def test_centralized_week(self, week_bundle, week_model):
-        sim = Simulator(week_model, week_bundle, solver="centralized")
+        # oversubscribe forces a real process pool even on 1-CPU CI
+        # (the guarded default would fall back to serial there).
+        sim = Simulator(
+            week_model, week_bundle, solver="centralized", oversubscribe=True
+        )
         serial = sim.compare_strategies(workers=1)
         pooled = sim.compare_strategies(workers=3)
         for field in ("grid", "fuel_cell", "hybrid"):
@@ -196,17 +203,28 @@ class TestSerialVsProcessEquality:
         # iteration cap keeps this full-week test fast; Fig. 11 tests
         # cover converged ADM-G behavior.
         solver = DistributedUFCSolver(max_iter=8)
-        sim = Simulator(week_model, week_bundle, solver=solver)
+        sim = Simulator(week_model, week_bundle, solver=solver, oversubscribe=True)
         serial = sim.compare_strategies(workers=1)
         pooled = sim.compare_strategies(workers=3)
         for field in ("grid", "fuel_cell", "hybrid"):
             _assert_results_equal(getattr(serial, field), getattr(pooled, field))
 
     def test_heuristic_day(self, week_bundle, week_model):
-        sim = Simulator(week_model, week_bundle, solver="nearest")
+        sim = Simulator(
+            week_model, week_bundle, solver="nearest", oversubscribe=True
+        )
         _assert_results_equal(
             sim.run(HYBRID, hours=24, workers=1),
             sim.run(HYBRID, hours=24, workers=2),
+        )
+
+    def test_clamped_pool_equals_serial(self, week_bundle, week_model):
+        # The default (guarded) policy: whatever executor it picks on
+        # this machine, the results match the serial reference.
+        sim = Simulator(week_model, week_bundle, solver="nearest")
+        _assert_results_equal(
+            sim.run(HYBRID, hours=24, workers=1),
+            sim.run(HYBRID, hours=24, workers=4),
         )
 
     def test_cached_equals_cold(self, week_bundle, week_model):
@@ -255,15 +273,23 @@ class TestPoisonedSlot:
         solver = _TrippingSolver(week_bundle.slot(poison_index)["arrivals"])
         sim = Simulator(week_model, week_bundle, solver=solver)
         problems = [sim.problem_for_slot(t, HYBRID) for t in range(12)]
-        outcomes = HorizonEngine(solver, workers=workers).run(problems)
+        outcomes = HorizonEngine(solver, workers=workers, oversubscribe=True).run(
+            problems
+        )
         assert [o.index for o in outcomes] == list(range(12))
         for outcome in outcomes:
             if outcome.index == poison_index:
                 assert not outcome.ok
                 assert outcome.result is None
                 assert "poisoned slot" in outcome.error
+                # Structured error info survives process-pool pickling.
+                assert outcome.error_type == "RuntimeError"
+                assert outcome.error_message == "poisoned slot"
+                assert outcome.telemetry.error_type == "RuntimeError"
             else:
                 assert outcome.ok, outcome.error
+                assert outcome.error_type is None
+                assert outcome.error_message is None
                 assert outcome.result.converged
 
     def test_simulator_surfaces_failed_slot(self, week_bundle, week_model):
@@ -303,6 +329,111 @@ class TestWarmStart:
             HYBRID, hours=4
         )
         assert result.iterations[1:].sum() <= cold.iterations[1:].sum()
+
+
+class TestPoolPolicy:
+    """Worker clamping and the serial fallback (the 0.95x regression fix)."""
+
+    def test_serial_requested(self):
+        engine = HorizonEngine("centralized", workers=1)
+        effective, decision, _ = engine.plan_workers(100)
+        assert effective == 1
+        assert decision == "serial:requested"
+
+    def test_single_slot_is_serial(self):
+        engine = HorizonEngine("centralized", workers=4)
+        effective, decision, _ = engine.plan_workers(1)
+        assert effective == 1
+        assert decision == "serial:single-slot"
+
+    def test_clamped_to_usable_cpus(self):
+        usable = usable_cpu_count()
+        engine = HorizonEngine("centralized", workers=usable + 7)
+        effective, decision, reported = engine.plan_workers(100)
+        assert reported == usable
+        assert effective <= usable
+        if usable <= 1:
+            assert effective == 1
+            assert decision == "serial:fallback-single-cpu"
+        else:
+            assert effective == usable
+            assert decision == "pool:clamped-to-cpus"
+
+    def test_oversubscribe_disables_clamp(self):
+        engine = HorizonEngine(
+            "centralized", workers=usable_cpu_count() + 7, oversubscribe=True
+        )
+        effective, decision, _ = engine.plan_workers(100)
+        assert effective == usable_cpu_count() + 7
+        assert decision == "pool:oversubscribed"
+
+    def test_decision_is_recorded_not_silent(self, week_bundle, week_model):
+        rec = RecordingTelemetry()
+        sim = Simulator(week_model, week_bundle, solver="nearest")
+        result = sim.run(HYBRID, hours=4, workers=64, telemetry=rec)
+        (event,) = rec.by_name("engine.decision")
+        assert event.tags["requested"] == 64
+        assert event.tags["decision"] == result.horizon_summary.decision
+        assert result.horizon_summary.workers_effective <= usable_cpu_count()
+
+
+class TestCompileCacheIdentity:
+    """The compiled-structure cache must never serve a stale entry.
+
+    The old cache keyed on bare ``id(model)``: after a transient model
+    was garbage-collected, CPython could hand its address to a new
+    model, which then *hit* the stale compiled structure.  The cache
+    now holds a strong reference to each keyed model and verifies
+    identity on hit.
+    """
+
+    def test_hit_requires_same_object(self, week_bundle, week_model):
+        cache = CompileCache(CentralizedSlotSolver())
+        compiled, hit, elapsed = cache.lookup(week_model, HYBRID)
+        assert not hit and elapsed >= 0.0
+        again, hit, _ = cache.lookup(week_model, HYBRID)
+        assert hit and again is compiled
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_recycled_id_never_hits_stale_entry(self, week_bundle, week_model):
+        # Simulate the failure mode directly: plant week_model's
+        # compiled structure under another model's id-key, exactly the
+        # state a freed-then-reallocated address would leave behind.
+        cache = CompileCache(CentralizedSlotSolver())
+        stale, _, _ = cache.lookup(week_model, HYBRID)
+        other_model = build_model(week_bundle, fuel_cell_price=55.0)
+        cache._entries[(id(other_model), HYBRID)] = (week_model, stale)
+        compiled, hit, _ = cache.lookup(other_model, HYBRID)
+        assert not hit
+        assert compiled is not stale
+        assert compiled.matches(
+            UFCProblem(
+                other_model,
+                SlotInputs(
+                    arrivals=week_bundle.slot(0)["arrivals"],
+                    prices=week_bundle.slot(0)["prices"],
+                    carbon_rates=week_bundle.slot(0)["carbon_rates"],
+                ),
+                strategy=HYBRID,
+            )
+        )
+
+    def test_cached_model_cannot_be_collected(self, week_bundle):
+        # The strong reference makes id recycling impossible while the
+        # cache lives: a cached model must survive its external refs.
+        import gc
+        import weakref
+
+        model = build_model(week_bundle)
+        ref = weakref.ref(model)
+        cache = CompileCache(CentralizedSlotSolver())
+        cache.lookup(model, HYBRID)
+        del model
+        gc.collect()
+        assert ref() is not None, "cache must pin the keyed model"
+        del cache
+        gc.collect()
+        assert ref() is None
 
 
 class TestEngineValidation:

@@ -168,3 +168,41 @@ class TestEquilibration:
         plain = solve_qp(P, q, G=G, h=h, equilibrate=False)
         scaled = solve_qp(P, q, G=G, h=h, equilibrate=True)
         np.testing.assert_allclose(plain.x, scaled.x, atol=1e-6)
+
+
+class TestEquilibrationCycleFallback:
+    def test_limit_cycle_instance_converges(self):
+        # Regression: on this instance (hypothesis seed=57 of the
+        # simplex cross-check) the equilibrated Mehrotra iteration
+        # enters a period-3 limit cycle and stalls at value 72.4; the
+        # raw data converges in ~10 iterations to the true optimum
+        # 19.6.  A non-converged equilibrated solve must fall back to
+        # the raw data.
+        rng = np.random.default_rng(57)
+        n = int(rng.integers(2, 7))
+        half = rng.normal(size=(n, n))
+        P = half @ half.T + 0.05 * np.eye(n)
+        q = rng.normal(size=n) * 3
+        A = np.ones((1, n))
+        b = np.array([7.0])
+        res = solve_qp(P, q, A=A, b=b, G=-np.eye(n), h=np.zeros(n))
+        assert res.converged
+        raw = solve_qp(
+            P, q, A=A, b=b, G=-np.eye(n), h=np.zeros(n), equilibrate=False
+        )
+        assert res.value == raw.value
+        assert (res.x == raw.x).all()
+
+    def test_fallback_reports_trace_of_returned_solve(self):
+        rng = np.random.default_rng(57)
+        n = int(rng.integers(2, 7))
+        half = rng.normal(size=(n, n))
+        P = half @ half.T + 0.05 * np.eye(n)
+        q = rng.normal(size=n) * 3
+        res = solve_qp(
+            P, q, A=np.ones((1, n)), b=np.array([7.0]),
+            G=-np.eye(n), h=np.zeros(n), trace=True,
+        )
+        assert res.converged
+        assert res.trace is not None
+        assert len(res.trace) == res.iterations
