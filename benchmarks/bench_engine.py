@@ -9,6 +9,12 @@ each mode's **phase breakdown** (compile vs. solve vs. pool
 overhead/IPC) from the engine's telemetry so a serial-vs-parallel gap
 is explained, not just observed.
 
+A fourth measurement pair times the a-posteriori solution certifier
+(``certify=True`` vs the default off path): the certified run's
+overhead is recorded, the disabled path is asserted to cost < 2 %
+(it is the same code), and certified solutions are checked to be
+bit-identical to uncertified ones.
+
 The pool timing runs with ``oversubscribe=True`` on purpose: the
 engine's default policy clamps workers to usable CPUs and falls back
 to serial when a pool cannot help, so measuring the pool penalty
@@ -85,6 +91,40 @@ def _bit_identical(a, b) -> bool:
     )
 
 
+def _certification_overhead(problems, repeats: int) -> dict:
+    """Cost of the a-posteriori certifier, on and off.
+
+    The disabled path must be free: ``certify=False`` is the default
+    engine configuration, so the baseline/disabled pair times the same
+    code twice and their delta bounds timer noise.  Both measurements
+    use min-of-3 (at least) so the pair stays well under the 2 % gate
+    even at CI's ``--repeats 1``.
+    """
+    reps = max(3, repeats)
+    base_s, base, _ = _time_engine(problems, reps, structure_cache=True)
+    off_s, _, _ = _time_engine(
+        problems, reps, structure_cache=True, certify=False
+    )
+    on_s, certified, on_sum = _time_engine(
+        problems, reps, structure_cache=True, certify=True
+    )
+    suspect = list(on_sum.suspect_slots)
+    return {
+        "repeats": reps,
+        "baseline_s": round(base_s, 4),
+        "disabled_s": round(off_s, 4),
+        "certified_s": round(on_s, 4),
+        "disabled_delta_fraction": round((off_s - base_s) / base_s, 4),
+        "certified_overhead_fraction": round((on_s - base_s) / base_s, 4),
+        "certify_phase_s": round(on_sum.certify_s, 4),
+        "certified_slots": on_sum.certified_slots,
+        "suspect_slots": suspect,
+        "worst_violation": on_sum.worst_violation,
+        "worst_kkt": on_sum.worst_kkt,
+        "bit_identical_with_certify": _bit_identical(base, certified),
+    }
+
+
 def run_bench(
     hours: int = 168,
     seed: int = 2014,
@@ -138,6 +178,7 @@ def run_bench(
             "cached_vs_cold": _bit_identical(cold, cached),
             "parallel_vs_serial": _bit_identical(cached, pooled),
         },
+        "certification": _certification_overhead(problems, repeats),
     }
 
 
@@ -151,6 +192,12 @@ def test_engine_modes_agree(run_once, bench_workers):
     # The profile must explain where the time goes: compile + solve
     # account for (almost) the whole serial wall clock.
     assert breakdown["accounted_fraction"] >= 0.9
+    cert = summary["certification"]
+    # certify=False is the default code path: its cost must be noise.
+    assert cert["disabled_delta_fraction"] < 0.02
+    # Certification never perturbs solutions.
+    assert cert["bit_identical_with_certify"]
+    assert not cert["suspect_slots"]
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -24,6 +24,7 @@ from repro.core.problem import SlotInputs, UFCProblem
 from repro.core.repair import polish_allocation
 from repro.core.solution import Allocation
 from repro.obs import ResidualTrace
+from repro.obs.metrics import DEFAULT_RESIDUAL_BUCKETS as _RESIDUAL_BUCKETS
 
 __all__ = ["ADMGState", "UFCADMGResult", "DistributedUFCSolver", "ScaledView"]
 
@@ -173,6 +174,12 @@ class DistributedUFCSolver:
             (primal/dual residuals + objective) on every solve.  Off by
             default so the iteration stays allocation-free; the
             iterates are identical either way.
+        trace_every: keep only every k-th traced iteration (default 1
+            keeps all, matching the iteration count; larger values
+            bound trace memory on long horizons).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            each solve records counts, iteration totals and a final
+            residual histogram.
     """
 
     def __init__(
@@ -184,6 +191,8 @@ class DistributedUFCSolver:
         polish: bool = True,
         workload_scale: float | None = None,
         trace: bool = False,
+        trace_every: int = 1,
+        metrics=None,
     ) -> None:
         if rho <= 0:
             raise ValueError(f"rho must be positive, got {rho}")
@@ -196,8 +205,12 @@ class DistributedUFCSolver:
         self.tol = float(tol)
         self.max_iter = int(max_iter)
         self.polish = polish
+        if trace_every < 1:
+            raise ValueError(f"trace_every must be >= 1, got {trace_every}")
         self.workload_scale = workload_scale
         self.trace = bool(trace)
+        self.trace_every = int(trace_every)
+        self.metrics = metrics
 
     def compile_context(self, model) -> ScaledView:
         """The slot-invariant rescaled view of ``model``.
@@ -344,7 +357,7 @@ class DistributedUFCSolver:
             )
             coupling_hist.append(coupling)
             power_hist.append(power)
-            if trace_rec is not None:
+            if trace_rec is not None and (it - 1) % self.trace_every == 0:
                 # Primal: the residual pair already driving the stop
                 # test.  Dual: the ADMM surrogate rho * |a_k - a_{k-1}|
                 # (scaled units).  Objective: UFC of the unpolished
@@ -374,6 +387,15 @@ class DistributedUFCSolver:
             )
         else:
             alloc = raw
+        if self.metrics is not None:
+            self.metrics.counter("repro_admg_solves_total").inc()
+            self.metrics.counter("repro_admg_iterations_total").inc(it)
+            if converged:
+                self.metrics.counter("repro_admg_converged_total").inc()
+            self.metrics.histogram(
+                "repro_admg_final_residual",
+                buckets=_RESIDUAL_BUCKETS,
+            ).observe(max(coupling_hist[-1], power_hist[-1]) if coupling_hist else 0.0)
         return UFCADMGResult(
             allocation=alloc,
             ufc=problem.ufc(alloc),

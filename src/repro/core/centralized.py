@@ -41,6 +41,9 @@ class CentralizedResult:
         trace: per-iteration interior-point diagnostics (duality gap,
             KKT residual, step lengths) when the solver was built with
             ``trace=True``; None otherwise.
+        eq_dual: equality multipliers at the optimum (certification
+            uses these as the solver-provided dual certificate).
+        ineq_dual: inequality multipliers at the optimum.
     """
 
     allocation: Allocation
@@ -48,6 +51,8 @@ class CentralizedResult:
     iterations: int
     converged: bool
     trace: IPQPTrace | None = None
+    eq_dual: np.ndarray | None = None
+    ineq_dual: np.ndarray | None = None
 
 
 class CentralizedSolver:
@@ -59,14 +64,26 @@ class CentralizedSolver:
         trace: record a per-iteration :class:`~repro.optim.ipqp.IPQPTrace`
             on every solve (opt-in; the iterates are identical either
             way).
+        trace_every: keep every k-th trace iteration (memory bound for
+            long horizons; 1 keeps all, matching the iteration count).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            forwarded to the interior-point method (duck-typed; the
+            optim layer never imports obs).
     """
 
     def __init__(
-        self, tol: float = 1e-9, max_iter: int = 120, trace: bool = False
+        self,
+        tol: float = 1e-9,
+        max_iter: int = 120,
+        trace: bool = False,
+        trace_every: int = 1,
+        metrics=None,
     ) -> None:
         self.tol = tol
         self.max_iter = max_iter
         self.trace = bool(trace)
+        self.trace_every = int(trace_every)
+        self.metrics = metrics
 
     def compile(self, model: CloudModel, strategy: Strategy) -> "CompiledQPStructure":
         """Slot-invariant QP structure for (model, strategy).
@@ -102,6 +119,7 @@ class CentralizedSolver:
         res = solve_qp(
             qp.P, qp.q, A=qp.A, b=qp.b, G=qp.G, h=qp.h,
             tol=self.tol, max_iter=self.max_iter, trace=self.trace,
+            trace_every=self.trace_every, metrics=self.metrics,
         )
         alloc = qp.extract(res.x)
         return CentralizedResult(
@@ -110,6 +128,8 @@ class CentralizedSolver:
             iterations=res.iterations,
             converged=res.converged,
             trace=res.trace,
+            eq_dual=res.eq_dual,
+            ineq_dual=res.ineq_dual,
         )
 
 

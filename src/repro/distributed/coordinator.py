@@ -10,6 +10,7 @@ would piggyback on its control plane.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.distributed.messages import (
     RoutingProposal,
     SimulatedNetwork,
 )
+from repro.obs.spans import as_tracer
 
 __all__ = ["DistributedRun", "DistributedRuntime"]
 
@@ -59,6 +61,12 @@ class DistributedRuntime:
     Mirrors :class:`repro.admg.solver.DistributedUFCSolver` exactly
     (same scaling, same stopping rule) but executes through agents and
     messages.  The solver object supplies the hyper-parameters.
+
+    Pass a :class:`~repro.obs.SpanTracer` as ``tracer`` to record one
+    ``distributed.solve`` span plus a ``distributed.round`` span per
+    iteration carrying message counts, serialized byte volume, relative
+    residuals, and per-agent subproblem seconds.  Tracing never touches
+    the arithmetic: solutions are bit-identical with or without it.
     """
 
     def __init__(
@@ -66,11 +74,13 @@ class DistributedRuntime:
         problem: UFCProblem,
         solver: DistributedUFCSolver | None = None,
         network: SimulatedNetwork | None = None,
+        tracer: object | None = None,
     ) -> None:
         self.problem = problem
         self.solver = solver if solver is not None else DistributedUFCSolver()
         self.view, self.scaled_inputs = self.solver.scaled_context(problem)
         self.network = network if network is not None else SimulatedNetwork()
+        self.tracer = as_tracer(tracer)
         view, inputs = self.view, self.scaled_inputs
         strategy = problem.strategy
         mu_caps = strategy.effective_mu_max(view.mu_max)
@@ -115,9 +125,16 @@ class DistributedRuntime:
         """
         m = len(self.frontends)
         n = len(self.datacenters)
+        traced = self.tracer.enabled
+        fe_seconds = 0.0
+        dc_seconds = 0.0
         # Wave 1: proposals out.
         for fe in self.frontends:
+            if traced:
+                t0 = time.perf_counter()
             lam_pred, varphi = fe.propose()
+            if traced:
+                fe_seconds += time.perf_counter() - t0
             for j in range(n):
                 self.network.send(
                     RoutingProposal(
@@ -136,7 +153,11 @@ class DistributedRuntime:
                 i = int(msg.sender[2:])
                 lam_col[i] = msg.lam
                 varphi_col[i] = msg.varphi
+            if traced:
+                t0 = time.perf_counter()
             a_pred = dc.process(lam_col, varphi_col)
+            if traced:
+                dc_seconds += time.perf_counter() - t0
             for i in range(m):
                 self.network.send(
                     RoutingAssignment(
@@ -163,6 +184,7 @@ class DistributedRuntime:
             max(dc.last_mu_change for dc in self.datacenters),
             max(dc.last_nu_change for dc in self.datacenters),
         )
+        self._last_agent_seconds = (fe_seconds, dc_seconds)
         return coupling, power, routing_change, power_change
 
     def run(self) -> DistributedRun:
@@ -176,18 +198,45 @@ class DistributedRuntime:
         power_hist: list[float] = []
         converged = False
         it = 0
-        for it in range(1, self.solver.max_iter + 1):
-            coupling, power, routing_change, power_change = self._round()
-            coupling_rel = coupling / arrival_scale
-            power_rel = power / power_scale
-            change_rel = max(
-                routing_change / arrival_scale, power_change / power_scale
-            )
-            coupling_hist.append(coupling_rel)
-            power_hist.append(power_rel)
-            if max(coupling_rel, power_rel, change_rel) < self.solver.tol:
-                converged = True
-                break
+        traced = self.tracer.enabled
+        with self.tracer.span(
+            "distributed.solve",
+            frontends=len(self.frontends),
+            datacenters=len(self.datacenters),
+            strategy=self.problem.strategy.name,
+        ) as solve_span:
+            for it in range(1, self.solver.max_iter + 1):
+                with self.tracer.span("distributed.round", round=it) as span:
+                    messages0 = self.network.messages_sent
+                    bytes0 = self.network.bytes_sent
+                    coupling, power, routing_change, power_change = self._round()
+                    coupling_rel = coupling / arrival_scale
+                    power_rel = power / power_scale
+                    change_rel = max(
+                        routing_change / arrival_scale, power_change / power_scale
+                    )
+                    if traced:
+                        fe_s, dc_s = self._last_agent_seconds
+                        span.set(
+                            messages=self.network.messages_sent - messages0,
+                            bytes=self.network.bytes_sent - bytes0,
+                            coupling_residual=coupling_rel,
+                            power_residual=power_rel,
+                            frontend_subproblem_s=fe_s,
+                            datacenter_subproblem_s=dc_s,
+                        )
+                coupling_hist.append(coupling_rel)
+                power_hist.append(power_rel)
+                if max(coupling_rel, power_rel, change_rel) < self.solver.tol:
+                    converged = True
+                    break
+            if traced:
+                solve_span.set(
+                    iterations=it,
+                    converged=converged,
+                    messages=self.network.messages_sent,
+                    bytes=self.network.bytes_sent,
+                )
 
         lam_servers = (
             np.vstack([fe.lam for fe in self.frontends]) * view.workload_scale

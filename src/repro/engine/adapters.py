@@ -71,12 +71,17 @@ class CentralizedSlotSolver:
         """Solve one slot with the interior-point reference solver."""
         _reject_warm(self.name, warm)
         res = self.inner.solve(problem, compiled=compiled)
+        extras: dict[str, Any] = {}
+        if res.trace is not None:
+            extras["ip_trace"] = res.trace
+        if res.eq_dual is not None and res.ineq_dual is not None:
+            extras["duals"] = (res.eq_dual, res.ineq_dual)
         return SlotResult(
             allocation=res.allocation,
             ufc=res.ufc,
             iterations=res.iterations,
             converged=res.converged,
-            extras={"ip_trace": res.trace} if res.trace is not None else {},
+            extras=extras,
         )
 
 

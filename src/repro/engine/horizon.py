@@ -113,6 +113,9 @@ class SlotOutcome:
             success.
         telemetry: the slot's :class:`~repro.obs.SlotTelemetry`
             measurements (None only for legacy hand-built outcomes).
+        certificate: the slot's numerical-health
+            :class:`~repro.obs.certify.Certificate` when the engine ran
+            with certification on; None otherwise.
     """
 
     index: int
@@ -121,6 +124,7 @@ class SlotOutcome:
     error_type: str | None = None
     error_message: str | None = None
     telemetry: SlotTelemetry | None = None
+    certificate: Any | None = None
 
     @property
     def ok(self) -> bool:
@@ -211,15 +215,30 @@ def _failed_outcome(
     )
 
 
+def _certify_result(
+    certifier: Any, problem: UFCProblem, result: SlotResult, solver_name: str,
+    index: int,
+) -> Any:
+    """The slot's certificate (solver duals preferred when shipped)."""
+    duals = result.extras.get("duals") if result.extras else None
+    return certifier.certify(
+        problem, result.allocation, duals=duals, solver=solver_name, slot=index
+    )
+
+
 def _solve_chunk(
-    solver: SlotSolver, chunk: _Chunk, structure_cache: bool
+    solver: SlotSolver,
+    chunk: _Chunk,
+    structure_cache: bool,
+    certifier: Any | None = None,
 ) -> list[SlotOutcome]:
     """Solve a contiguous chunk serially with a per-chunk compile cache.
 
     Module-level so the process executor can pickle it; also the
     serial executor's inner loop, so both paths share one code path.
-    Per-slot telemetry travels back attached to the outcomes, which is
-    what lets the parent aggregate pool runs without a second channel.
+    Per-slot telemetry (and, with ``certifier``, each slot's
+    certificate) travels back attached to the outcomes, which is what
+    lets the parent aggregate pool runs without a second channel.
     """
     cache = CompileCache(solver)
     pid = os.getpid()
@@ -238,10 +257,16 @@ def _solve_chunk(
             solve_start = time.perf_counter()
             result = solver.solve(problem, compiled=compiled)
             wall_s = time.perf_counter() - solve_start
+            certificate = (
+                _certify_result(certifier, problem, result, solver.name, index)
+                if certifier is not None
+                else None
+            )
             outcomes.append(
                 SlotOutcome(
                     index=index,
                     result=result,
+                    certificate=certificate,
                     telemetry=SlotTelemetry(
                         solver=solver.name,
                         wall_s=wall_s,
@@ -251,6 +276,9 @@ def _solve_chunk(
                         cache_hit=cache_hit,
                         worker=pid,
                         warm_start=False,
+                        certify_s=(
+                            certificate.certify_s if certificate is not None else 0.0
+                        ),
                     ),
                 )
             )
@@ -291,10 +319,22 @@ class HorizonEngine:
             usable CPUs (benchmarks use this to *measure* the pool
             penalty; tests use it to exercise the pool path on 1-CPU
             CI).  Off by default.
+        certify: audit every successful slot a posteriori and attach a
+            :class:`~repro.obs.certify.Certificate` to its outcome.
+            ``True`` builds a default
+            :class:`~repro.obs.certify.CertificationContext`; passing a
+            context (anything with a ``certify(problem, allocation,
+            ...)`` method) customizes thresholds.  Certification never
+            changes solutions — it reads them after the solver is done.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; each run
+            records slot counts, solve-time/iteration histograms and —
+            with ``certify`` on — certificate residual histograms.
+            Process-local: pool-run metrics are recorded in the parent
+            from the shipped-back outcomes.
 
     After each :meth:`run`, :attr:`last_summary` holds the run's
     :class:`~repro.obs.HorizonSummary` (phase breakdown, executor
-    decision, cache and convergence totals).
+    decision, cache, convergence and certification totals).
     """
 
     def __init__(
@@ -305,6 +345,8 @@ class HorizonEngine:
         structure_cache: bool = True,
         telemetry: Telemetry | None = None,
         oversubscribe: bool = False,
+        certify: bool | Any = False,
+        metrics: Any | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -316,6 +358,15 @@ class HorizonEngine:
         self.structure_cache = structure_cache
         self.telemetry = as_telemetry(telemetry)
         self.oversubscribe = bool(oversubscribe)
+        if certify is True:
+            from repro.obs.certify import CertificationContext
+
+            self.certifier: Any | None = CertificationContext()
+        elif certify:
+            self.certifier = certify
+        else:
+            self.certifier = None
+        self.metrics = metrics
         self.last_summary: HorizonSummary | None = None
 
     def plan_workers(self, n_items: int) -> tuple[int, str, int]:
@@ -380,6 +431,7 @@ class HorizonEngine:
                     self.solver,
                     _Chunk(start=0, problems=problems),
                     self.structure_cache,
+                    self.certifier,
                 )
                 executor, start_method = "serial", None
             else:
@@ -399,6 +451,7 @@ class HorizonEngine:
         )
         self.last_summary = summary
         self._emit(summary, outcomes)
+        self._record_metrics(summary, outcomes)
         return outcomes
 
     def _emit(self, summary: HorizonSummary, outcomes: list[SlotOutcome]) -> None:
@@ -447,6 +500,67 @@ class HorizonEngine:
             executor=summary.executor,
             overhead_s=round(summary.overhead_s, 6),
         )
+        if summary.certified_slots:
+            sink.counter(
+                "engine.certified",
+                summary.certified_slots,
+                suspect=len(summary.suspect_slots),
+                worst_violation=summary.worst_violation,
+                worst_kkt=summary.worst_kkt,
+                certify_s=round(summary.certify_s, 6),
+            )
+
+    def _record_metrics(
+        self, summary: HorizonSummary, outcomes: list[SlotOutcome]
+    ) -> None:
+        """Record the run into the metrics registry (parent process).
+
+        Registries are process-local, so pool workers cannot record
+        directly; everything here is derived from the outcomes they
+        shipped back, which keeps serial and pool runs identical in
+        what they expose.
+        """
+        reg = self.metrics
+        if reg is None:
+            return
+        from repro.obs.metrics import (
+            DEFAULT_ITERATION_BUCKETS,
+            DEFAULT_RESIDUAL_BUCKETS,
+            DEFAULT_TIME_BUCKETS,
+        )
+
+        solver = summary.solver
+        reg.counter("repro_engine_runs_total", solver=solver, executor=summary.executor).inc()
+        reg.gauge("repro_engine_last_run_seconds", solver=solver).set(summary.wall_s)
+        solve_hist = reg.histogram(
+            "repro_engine_slot_solve_seconds", buckets=DEFAULT_TIME_BUCKETS,
+            solver=solver,
+        )
+        iter_hist = reg.histogram(
+            "repro_engine_slot_iterations", buckets=DEFAULT_ITERATION_BUCKETS,
+            solver=solver,
+        )
+        for outcome in outcomes:
+            reg.counter("repro_engine_slots_total", solver=solver).inc()
+            if not outcome.ok:
+                reg.counter("repro_engine_slot_failures_total", solver=solver).inc()
+            tele = outcome.telemetry
+            if tele is not None:
+                solve_hist.observe(tele.wall_s)
+                iter_hist.observe(tele.iterations)
+            cert = outcome.certificate
+            if cert is not None:
+                reg.histogram(
+                    "repro_cert_kkt_residual", buckets=DEFAULT_RESIDUAL_BUCKETS,
+                    solver=solver,
+                ).observe(cert.kkt_residual)
+                reg.histogram(
+                    "repro_cert_feasibility_violation",
+                    buckets=DEFAULT_RESIDUAL_BUCKETS,
+                    solver=solver,
+                ).observe(cert.worst_violation)
+                if not cert.ok:
+                    reg.counter("repro_cert_suspect_total", solver=solver).inc()
 
     # -- executors -----------------------------------------------------------
 
@@ -470,10 +584,18 @@ class HorizonEngine:
                 result = self.solver.solve(problem, compiled=compiled, warm=warm)
                 wall_s = time.perf_counter() - solve_start
                 warm = result.warm
+                certificate = (
+                    _certify_result(
+                        self.certifier, problem, result, self.solver.name, index
+                    )
+                    if self.certifier is not None
+                    else None
+                )
                 outcomes.append(
                     SlotOutcome(
                         index=index,
                         result=result,
+                        certificate=certificate,
                         telemetry=SlotTelemetry(
                             solver=self.solver.name,
                             wall_s=wall_s,
@@ -483,6 +605,11 @@ class HorizonEngine:
                             cache_hit=cache_hit,
                             worker=pid,
                             warm_start=had_warm,
+                            certify_s=(
+                                certificate.certify_s
+                                if certificate is not None
+                                else 0.0
+                            ),
                         ),
                     )
                 )
@@ -523,6 +650,7 @@ class HorizonEngine:
                 (self.solver for _ in chunks),
                 chunks,
                 (self.structure_cache for _ in chunks),
+                (self.certifier for _ in chunks),
             ):
                 outcomes.extend(chunk_outcomes)
         outcomes.sort(key=lambda o: o.index)

@@ -1,15 +1,35 @@
-"""Opt-in observability: telemetry sinks, per-slot records, summaries.
+"""Opt-in observability: telemetry, metrics, spans, certificates.
 
-The obs layer sits at the bottom of the library (stdlib-only, imports
-nothing from other ``repro`` packages).  Code above it — the solve
-engine, the simulator, the CLI, the benchmarks — emits
-:class:`TelemetryEvent` records into whatever :class:`Telemetry` sink
-it was handed; the default :data:`NULL_TELEMETRY` makes every
-instrumentation point a no-op, so solves with telemetry off remain
-bit-identical and within noise of un-instrumented wall clock.
+The obs *primitives* — telemetry sinks, the metrics registry, span
+tracing, per-slot records and summaries — sit at the bottom of the
+library (stdlib-only, importing nothing from other ``repro``
+packages).  Code above them — the solve engine, the simulator, the
+CLI, the benchmarks — emits :class:`TelemetryEvent` records into
+whatever :class:`Telemetry` sink it was handed; the default
+:data:`NULL_TELEMETRY` (and its span sibling :data:`NULL_TRACER`)
+makes every instrumentation point a no-op, so solves with
+observability off remain bit-identical and within noise of
+un-instrumented wall clock.
+
+The one exception is :mod:`repro.obs.certify`, which audits solutions
+against the compiled QP and therefore imports numpy/scipy and
+``repro.core``.  It is re-exported here lazily so ``import repro.obs``
+stays dependency-free; the dependency is one-way (nothing in
+``repro.core`` imports obs).
 """
 
+from repro.obs.metrics import (
+    DEFAULT_ITERATION_BUCKETS,
+    DEFAULT_RESIDUAL_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
 from repro.obs.records import ResidualTrace, SlotTelemetry
+from repro.obs.spans import NULL_TRACER, NullSpanTracer, Span, SpanTracer, as_tracer
 from repro.obs.summary import HorizonSummary
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
@@ -34,4 +54,39 @@ __all__ = [
     "SlotTelemetry",
     "ResidualTrace",
     "HorizonSummary",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "parse_prometheus",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_ITERATION_BUCKETS",
+    "DEFAULT_RESIDUAL_BUCKETS",
+    "Span",
+    "SpanTracer",
+    "NullSpanTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    # lazy (pull numpy/scipy + repro.core on first touch):
+    "Certificate",
+    "certify_solution",
+    "CertificationContext",
+    "DEFAULT_FEAS_TOL",
+    "DEFAULT_KKT_TOL",
 ]
+
+_CERTIFY_EXPORTS = {
+    "Certificate",
+    "certify_solution",
+    "CertificationContext",
+    "DEFAULT_FEAS_TOL",
+    "DEFAULT_KKT_TOL",
+}
+
+
+def __getattr__(name: str):
+    if name in _CERTIFY_EXPORTS:
+        from repro.obs import certify
+
+        return getattr(certify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -37,6 +37,8 @@ class SlotTelemetry:
             slot's warm payload.
         error_type: exception class name when the slot failed, else
             None.
+        certify_s: seconds spent certifying the slot's solution (0.0
+            when certification was off).
     """
 
     solver: str
@@ -48,6 +50,7 @@ class SlotTelemetry:
     worker: int | None
     warm_start: bool
     error_type: str | None = None
+    certify_s: float = 0.0
 
     @property
     def ok(self) -> bool:

@@ -46,6 +46,15 @@ class HorizonSummary:
         iterations_total: summed solver iterations.
         converged_slots: slots whose solver reported convergence.
         error_types: failed-slot exception class name -> count.
+        certified_slots: slots that carried a certificate (0 when
+            certification was off).
+        suspect_slots: indices of certified slots that failed their
+            certificate (feasibility or KKT threshold).
+        certify_s: total seconds spent certifying, summed across
+            workers.
+        worst_violation: max relative feasibility violation over all
+            certified slots.
+        worst_kkt: max relative KKT residual over all certified slots.
     """
 
     solver: str
@@ -67,6 +76,11 @@ class HorizonSummary:
     iterations_total: int
     converged_slots: int
     error_types: dict[str, int] = field(default_factory=dict)
+    certified_slots: int = 0
+    suspect_slots: tuple[int, ...] = ()
+    certify_s: float = 0.0
+    worst_violation: float = 0.0
+    worst_kkt: float = 0.0
 
     @classmethod
     def from_outcomes(
@@ -84,8 +98,10 @@ class HorizonSummary:
     ) -> "HorizonSummary":
         """Aggregate outcome-like objects (``.ok``, ``.telemetry``)."""
         outcomes = list(outcomes)
-        compile_s = solve_s = 0.0
-        hits = misses = iterations = converged = failed = 0
+        compile_s = solve_s = certify_s = 0.0
+        hits = misses = iterations = converged = failed = certified = 0
+        worst_violation = worst_kkt = 0.0
+        suspect: list[int] = []
         error_types: dict[str, int] = {}
         for outcome in outcomes:
             tele = getattr(outcome, "telemetry", None)
@@ -93,6 +109,14 @@ class HorizonSummary:
                 failed += 1
                 name = getattr(outcome, "error_type", None) or "Exception"
                 error_types[name] = error_types.get(name, 0) + 1
+            cert = getattr(outcome, "certificate", None)
+            if cert is not None:
+                certified += 1
+                certify_s += cert.certify_s
+                worst_violation = max(worst_violation, cert.worst_violation)
+                worst_kkt = max(worst_kkt, cert.kkt_residual)
+                if not cert.ok:
+                    suspect.append(getattr(outcome, "index", cert.slot))
             if tele is None:
                 continue
             compile_s += tele.compile_s
@@ -128,6 +152,11 @@ class HorizonSummary:
             iterations_total=iterations,
             converged_slots=converged,
             error_types=error_types,
+            certified_slots=certified,
+            suspect_slots=tuple(suspect),
+            certify_s=certify_s,
+            worst_violation=worst_violation,
+            worst_kkt=worst_kkt,
         )
 
     # -- derived quantities ---------------------------------------------------
@@ -173,6 +202,16 @@ class HorizonSummary:
             "error_types": dict(self.error_types),
         }
         out.update(self.phase_dict())
+        if self.certified_slots:
+            out.update(
+                {
+                    "certified_slots": self.certified_slots,
+                    "suspect_slots": list(self.suspect_slots),
+                    "certify_s": round(self.certify_s, 4),
+                    "worst_violation": self.worst_violation,
+                    "worst_kkt": self.worst_kkt,
+                }
+            )
         return out
 
     def format_table(self) -> str:
@@ -198,6 +237,19 @@ class HorizonSummary:
             f"  iterations     : total {self.iterations_total}, "
             f"converged {self.converged_slots}/{self.slots}",
         ]
+        if self.certified_slots:
+            verdict = (
+                "all passed"
+                if not self.suspect_slots
+                else f"{len(self.suspect_slots)} suspect: "
+                + ", ".join(str(i) for i in self.suspect_slots[:8])
+                + ("..." if len(self.suspect_slots) > 8 else "")
+            )
+            lines.append(
+                f"  certification  : {self.certified_slots} slots in "
+                f"{self.certify_s:.3f} s  ({verdict}; worst violation "
+                f"{self.worst_violation:.2e}, worst KKT {self.worst_kkt:.2e})"
+            )
         if self.error_types:
             counts = ", ".join(
                 f"{name} x{count}" for name, count in sorted(self.error_types.items())

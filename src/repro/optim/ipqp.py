@@ -33,7 +33,9 @@ class IPQPTrace:
     (including the final, converged one), so their length equals the
     reported iteration count; the step-size series are recorded after
     the direction computation, so on a converged solve they are one
-    entry shorter.  On equilibrated solves the values are in the
+    entry shorter.  With ``trace_every=k > 1`` only every k-th
+    iteration is kept (same phase for all four series), bounding trace
+    memory on long horizons.  On equilibrated solves the values are in the
     scaled problem's units — shapes and trends are what matter.
 
     Attributes:
@@ -159,6 +161,24 @@ def _step_length(v: np.ndarray, dv: np.ndarray, fraction: float = 0.99) -> float
     return float(min(1.0, fraction * np.min(-v[neg] / dv[neg])))
 
 
+#: Matches repro.obs.metrics.DEFAULT_ITERATION_BUCKETS; kept literal so
+#: the optim layer stays import-free of obs.
+_ITERATION_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+def _record_metrics(metrics, iterations: int, converged: bool) -> None:
+    """Record one solve into a duck-typed metrics registry, if any."""
+    if metrics is None:
+        return
+    metrics.counter("repro_ipqp_solves_total").inc()
+    metrics.counter("repro_ipqp_iterations_total").inc(iterations)
+    if converged:
+        metrics.counter("repro_ipqp_converged_total").inc()
+    metrics.histogram(
+        "repro_ipqp_iterations", buckets=_ITERATION_BUCKETS
+    ).observe(iterations)
+
+
 def solve_qp(
     P: np.ndarray,
     q: np.ndarray,
@@ -170,6 +190,8 @@ def solve_qp(
     max_iter: int = 100,
     equilibrate: bool = True,
     trace: bool = False,
+    trace_every: int = 1,
+    metrics=None,
 ) -> IPQPResult:
     """Solve a dense convex QP with a Mehrotra predictor-corrector method.
 
@@ -181,7 +203,13 @@ def solve_qp(
     power variables ~1 and couplings ~1e-4).  With ``trace=True`` the
     result carries a per-iteration :class:`IPQPTrace` (duality gap,
     KKT residual, step lengths); the iterates themselves are identical
-    with tracing on or off.
+    with tracing on or off.  ``trace_every=k`` keeps only every k-th
+    iteration of the trace, bounding memory on long traced horizons.
+    ``metrics`` accepts a duck-typed
+    :class:`~repro.obs.metrics.MetricsRegistry` (anything with
+    ``counter``/``histogram``) and records solve counts, iteration
+    totals and an iteration histogram — once per outer solve, not per
+    equilibration retry.
 
     Raises:
         ValueError: on inconsistent shapes.
@@ -212,8 +240,12 @@ def solve_qp(
     if len(b) != p or len(h) != m:
         raise ValueError("rhs length mismatch")
 
+    if trace_every < 1:
+        raise ValueError(f"trace_every must be >= 1, got {trace_every}")
+
     if m == 0 and p == 0:
         x = np.linalg.solve(P + 1e-12 * np.eye(n), -q)
+        _record_metrics(metrics, 0, True)
         return IPQPResult(
             x=x,
             eq_dual=np.zeros(0),
@@ -231,6 +263,7 @@ def solve_qp(
         reg[n:, n:] *= -1.0
         sol = np.linalg.solve(kkt + reg, np.concatenate([-q, b]))
         x, y = sol[:n], sol[n:]
+        _record_metrics(metrics, 0, True)
         return IPQPResult(
             x=x,
             eq_dual=y,
@@ -249,6 +282,7 @@ def solve_qp(
         inner = solve_qp(
             P_s, q_s, A=A_s, b=b_s, G=G_s, h=h_s,
             tol=tol, max_iter=max_iter, equilibrate=False, trace=trace,
+            trace_every=trace_every,
         )
         if not inner.converged:
             # Equilibration helps badly scaled instances but can send
@@ -260,10 +294,13 @@ def solve_qp(
             raw = solve_qp(
                 P, q, A=A, b=b, G=G, h=h,
                 tol=tol, max_iter=max_iter, equilibrate=False, trace=trace,
+                trace_every=trace_every,
             )
             if raw.converged:
+                _record_metrics(metrics, raw.iterations, raw.converged)
                 return raw
         x = d * inner.x
+        _record_metrics(metrics, inner.iterations, inner.converged)
         return IPQPResult(
             x=x,
             eq_dual=gamma * r_a * inner.eq_dual,
@@ -292,7 +329,7 @@ def solve_qp(
         r_ineq = G @ x + s - h
         mu = float(s @ z) / m
 
-        if trace_rec is not None:
+        if trace_rec is not None and (it - 1) % trace_every == 0:
             trace_rec.gap.append(mu)
             trace_rec.residual.append(
                 max(
@@ -351,7 +388,7 @@ def solve_qp(
         dx, dy, ds, dz = solve_newton(r_comp)
         alpha = min(_step_length(s, ds), _step_length(z, dz))
 
-        if trace_rec is not None:
+        if trace_rec is not None and (it - 1) % trace_every == 0:
             trace_rec.alpha_affine.append(min(alpha_p, alpha_d))
             trace_rec.alpha.append(alpha)
 
@@ -360,6 +397,7 @@ def solve_qp(
         y = y + alpha * dy
         z = z + alpha * dz
 
+    _record_metrics(metrics, it, converged)
     return IPQPResult(
         x=x,
         eq_dual=y,

@@ -32,6 +32,9 @@ class SimulationResult:
             and executor decisions).  When several strategies share
             one engine pass (``compare_strategies``), they share one
             summary object covering the whole pass.
+        certificates: (T,) per-slot
+            :class:`~repro.obs.certify.Certificate` tuple when the run
+            was certified; None otherwise.
     """
 
     strategy: str
@@ -45,6 +48,7 @@ class SimulationResult:
     iterations: np.ndarray
     converged: np.ndarray
     horizon_summary: HorizonSummary | None = None
+    certificates: tuple | None = None
 
     @property
     def hours(self) -> int:

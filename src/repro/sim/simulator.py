@@ -87,6 +87,13 @@ class Simulator:
             run's engine events; None (default) disables telemetry.
         oversubscribe: let the engine run more workers than usable
             CPUs (measurement/testing aid; off by default).
+        certify: audit every slot's solution a posteriori (see
+            :class:`~repro.engine.horizon.HorizonEngine`); certificates
+            land on the result as ``certificates`` and aggregate into
+            ``horizon_summary``.  Off by default — solutions are
+            bit-identical either way.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` the
+            engine records every run into.
     """
 
     def __init__(
@@ -98,6 +105,8 @@ class Simulator:
         workers: int = 1,
         telemetry: Telemetry | None = None,
         oversubscribe: bool = False,
+        certify: bool | object = False,
+        metrics: object | None = None,
     ) -> None:
         if model.num_datacenters != bundle.num_datacenters:
             raise ValueError(
@@ -122,6 +131,8 @@ class Simulator:
         self.workers = int(workers)
         self.telemetry = telemetry
         self.oversubscribe = bool(oversubscribe)
+        self.certify = certify
+        self.metrics = metrics
 
     def problem_for_slot(self, t: int, strategy: Strategy) -> UFCProblem:
         """The slot-``t`` UFC problem under ``strategy``."""
@@ -147,6 +158,8 @@ class Simulator:
             workers=self.workers if workers is None else int(workers),
             telemetry=self.telemetry if telemetry is None else telemetry,
             oversubscribe=self.oversubscribe,
+            certify=self.certify,
+            metrics=self.metrics,
         )
 
     def _collect(
@@ -191,6 +204,7 @@ class Simulator:
             utility[t] = self.model.latency_weight * problem.utility(alloc)
             latency[t] = problem.average_latency_ms(alloc)
             utilization[t] = problem.fuel_cell_utilization(alloc)
+        certs = [o.certificate for o in outcomes]
         return SimulationResult(
             strategy=strategy.name,
             ufc=ufc,
@@ -202,6 +216,7 @@ class Simulator:
             utilization=utilization,
             iterations=iterations,
             converged=converged,
+            certificates=tuple(certs) if any(c is not None for c in certs) else None,
         )
 
     def run(

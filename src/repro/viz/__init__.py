@@ -6,5 +6,12 @@ labelled line charts.  Everything returns plain strings.
 """
 
 from repro.viz.ascii import bar_chart, line_chart, sparkline
+from repro.viz.health import health_dashboard, health_table
 
-__all__ = ["bar_chart", "line_chart", "sparkline"]
+__all__ = [
+    "bar_chart",
+    "health_dashboard",
+    "health_table",
+    "line_chart",
+    "sparkline",
+]

@@ -1,0 +1,205 @@
+"""Tests for a-posteriori solution certification (repro.obs.certify)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.admg.solver import DistributedUFCSolver
+from repro.cli import main
+from repro.core.centralized import CentralizedSolver
+from repro.core.strategies import ALL_STRATEGIES, GRID, HYBRID
+from repro.costs.carbon import SteppedCarbonTax
+from repro.obs import MetricsRegistry
+from repro.obs.certify import (
+    DEFAULT_FEAS_TOL,
+    DEFAULT_KKT_TOL,
+    Certificate,
+    CertificationContext,
+    certify_solution,
+)
+from repro.sim.simulator import Simulator, build_model
+
+
+@pytest.fixture()
+def slot_problem(small_model, small_bundle):
+    sim = Simulator(small_model, small_bundle)
+    return sim.problem_for_slot(0, HYBRID)
+
+
+class TestCertifySolution:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_centralized_optimum_passes(self, small_model, small_bundle, strategy):
+        sim = Simulator(small_model, small_bundle)
+        problem = sim.problem_for_slot(3, strategy)
+        res = CentralizedSolver().solve(problem)
+        cert = certify_solution(
+            problem, res.allocation, duals=(res.eq_dual, res.ineq_dual),
+            solver="centralized", slot=3,
+        )
+        assert cert.feasible and cert.stationary and cert.ok
+        assert cert.worst_violation <= DEFAULT_FEAS_TOL
+        assert cert.kkt_residual <= DEFAULT_KKT_TOL
+        assert cert.worst_constraint  # names the binding family
+
+    def test_infeasible_allocation_fails_feasibility(self, slot_problem):
+        res = CentralizedSolver().solve(slot_problem)
+        broken = dataclasses.replace(
+            res.allocation, lam=res.allocation.lam * 1.5
+        )
+        cert = certify_solution(slot_problem, broken)
+        assert not cert.feasible
+        assert not cert.ok
+        assert cert.feasibility["load_balance"] > cert.feas_tol
+        assert "[" in cert.worst_constraint  # names the worst index
+
+    def test_suboptimal_allocation_fails_kkt(self, slot_problem):
+        # Feasible but far from optimal: route everything proportionally
+        # to capacity, then keep the polished power split.
+        from repro.baselines.heuristics import (
+            proportional_routing,
+            solve_heuristic,
+        )
+
+        res = solve_heuristic(slot_problem, proportional_routing, name="prop")
+        cert = certify_solution(slot_problem, res.allocation)
+        assert cert.feasible
+        assert not cert.stationary
+        assert not cert.ok
+
+    def test_admg_default_tolerance_fails_but_tight_passes(self, slot_problem):
+        loose = DistributedUFCSolver(tol=1e-3, max_iter=600).solve(slot_problem)
+        cert_loose = certify_solution(slot_problem, loose.allocation)
+        assert not cert_loose.stationary  # honest: 1e-3 stops early
+        tight = DistributedUFCSolver(tol=1e-6, max_iter=5000).solve(slot_problem)
+        cert_tight = certify_solution(slot_problem, tight.allocation)
+        assert cert_tight.ok
+
+    def test_epigraph_slots_certify(self, small_bundle):
+        # A stepped carbon tax needs epigraph variables in the QP.
+        model = build_model(
+            small_bundle,
+            emission_costs=SteppedCarbonTax(
+                thresholds_kg=[0.0, 500.0], rates_per_tonne=[25.0, 60.0]
+            ),
+        )
+        sim = Simulator(model, small_bundle)
+        problem = sim.problem_for_slot(0, HYBRID)
+        qp = problem.to_qp()
+        n = qp.num_datacenters
+        assert qp.P.shape[0] > qp.nu_offset + n  # u columns present
+        res = CentralizedSolver().solve(problem)
+        cert = certify_solution(problem, res.allocation)
+        assert cert.ok
+
+    def test_certificate_to_dict_is_json_ready(self, slot_problem):
+        res = CentralizedSolver().solve(slot_problem)
+        cert = certify_solution(slot_problem, res.allocation, slot=5)
+        payload = json.loads(json.dumps(cert.to_dict()))
+        assert payload["slot"] == 5
+        assert payload["ok"] is True
+        assert set(payload["feasibility"]) >= {"load_balance", "capacity"}
+
+    def test_context_caches_structures(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle)
+        ctx = CertificationContext()
+        certs = []
+        for t in range(3):
+            problem = sim.problem_for_slot(t, HYBRID)
+            res = CentralizedSolver().solve(problem)
+            certs.append(ctx.certify(problem, res.allocation, slot=t))
+        assert all(isinstance(c, Certificate) and c.ok for c in certs)
+        assert len(ctx._structures) == 1  # one strategy → one compiled QP
+
+
+class TestEngineCertification:
+    def test_certificates_attach_and_solutions_unchanged(
+        self, small_model, small_bundle
+    ):
+        sim_plain = Simulator(small_model, small_bundle)
+        sim_cert = Simulator(small_model, small_bundle, certify=True)
+        plain = sim_plain.run(HYBRID, hours=6)
+        certified = sim_cert.run(HYBRID, hours=6)
+        assert plain.certificates is None
+        assert len(certified.certificates) == 6
+        assert all(c.ok for c in certified.certificates)
+        np.testing.assert_array_equal(plain.ufc, certified.ufc)
+        summary = certified.horizon_summary
+        assert summary.certified_slots == 6
+        assert summary.suspect_slots == ()
+        assert summary.worst_kkt <= DEFAULT_KKT_TOL
+        assert "certification" in summary.format_table()
+
+    def test_serial_and_pool_certificates_agree(self, small_model, small_bundle):
+        sim = Simulator(small_model, small_bundle, certify=True)
+        serial = sim.run(GRID, hours=6, workers=1)
+        sim_pool = Simulator(
+            small_model, small_bundle, certify=True, oversubscribe=True
+        )
+        pooled = sim_pool.run(GRID, hours=6, workers=2)
+        for a, b in zip(serial.certificates, pooled.certificates):
+            assert a.kkt_residual == b.kkt_residual
+            assert a.worst_violation == b.worst_violation
+            assert a.ok and b.ok
+
+    def test_suspect_slots_are_flagged(self, small_model, small_bundle):
+        # An impossible KKT gate marks every slot suspect.
+        certifier = CertificationContext(kkt_tol=1e-18)
+        sim = Simulator(small_model, small_bundle, certify=certifier)
+        result = sim.run(HYBRID, hours=4)
+        assert all(not c.ok for c in result.certificates)
+        summary = result.horizon_summary
+        assert summary.suspect_slots == (0, 1, 2, 3)
+        assert "suspect" in summary.format_table()
+
+    def test_engine_records_metrics(self, small_model, small_bundle):
+        metrics = MetricsRegistry()
+        sim = Simulator(small_model, small_bundle, certify=True, metrics=metrics)
+        sim.run(HYBRID, hours=4)
+        by_name = {}
+        for name, labels, value in metrics.samples():
+            by_name[name] = by_name.get(name, 0.0) + value
+        assert by_name["repro_engine_runs_total"] == 1
+        assert by_name["repro_engine_slots_total"] == 4
+        assert by_name["repro_cert_kkt_residual_count"] == 4
+        assert "repro_engine_slot_solve_seconds_sum" in by_name
+
+    def test_warm_path_certifies(self, small_model, small_bundle):
+        sim = Simulator(
+            small_model, small_bundle, solver="distributed",
+            warm_start=True, certify=True,
+        )
+        result = sim.run(HYBRID, hours=3)
+        assert len(result.certificates) == 3
+        assert all(c.solver == "distributed" for c in result.certificates)
+
+
+class TestDoctorCli:
+    def test_doctor_passes_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "doctor.json"
+        code = main(
+            ["--seed", "2014", "doctor", "--horizon", "3", "--json", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "horizon health      : HEALTHY" in captured
+        assert "PASS" in captured
+        payload = json.loads(out.read_text())
+        assert payload["slots"] == 3
+        assert payload["failing_slots"] == []
+        assert len(payload["certificates"]) == 3
+        assert payload["metrics"]["families"]
+
+    def test_doctor_fails_nonzero_on_bad_gate(self, capsys):
+        code = main(["doctor", "--horizon", "2", "--kkt-tol", "1e-18"])
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in captured
+        assert "SUSPECT" in captured
+
+    def test_doctor_horizon_aliases_hours(self, capsys):
+        assert main(["--hours", "2", "doctor"]) == 0
+        assert "certifying 2 slots" in capsys.readouterr().out

@@ -120,6 +120,30 @@ class TestSinks:
         assert isinstance(second["tags"]["odd_tag"], str)
         sink.close()  # idempotent
 
+    def test_jsonl_sink_is_crash_safe_by_default(self, tmp_path):
+        # flush_every=1: every event is on disk before close() runs, so
+        # a crashed process loses nothing.
+        path = tmp_path / "crash.jsonl"
+        sink = JsonlTelemetry(str(path))
+        sink.counter("a", 1)
+        sink.counter("b", 2)
+        assert len(path.read_text().splitlines()) == 2  # never closed
+        sink.close()
+
+    def test_jsonl_flush_every_batches(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        sink = JsonlTelemetry(str(path), flush_every=3)
+        sink.counter("a", 1)
+        sink.counter("b", 2)
+        assert path.read_text() == ""  # below the batch threshold
+        sink.counter("c", 3)
+        assert len(path.read_text().splitlines()) == 3  # batch flushed
+        sink.close()
+
+    def test_jsonl_flush_every_validates(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTelemetry(str(tmp_path / "x.jsonl"), flush_every=0)
+
 
 def _slot_essentials(events):
     """The machine-independent view of an engine.slot event stream."""
@@ -338,3 +362,34 @@ class TestHorizonSummary:
         assert summary.failed_slots == 2
         assert summary.error_types == {"ValueError": 1, "Exception": 1}
         assert "failures" in summary.format_table()
+
+
+class TestTraceDownsampling:
+    """``trace_every=`` records every k-th iteration only."""
+
+    def test_admg_trace_every(self, slot_problem):
+        full = DistributedUFCSolver(max_iter=40, trace=True).solve(slot_problem)
+        sampled = DistributedUFCSolver(
+            max_iter=40, trace=True, trace_every=5
+        ).solve(slot_problem)
+        assert sampled.iterations == full.iterations
+        expected = -(-full.iterations // 5)  # ceil: iterations 1, 6, 11, ...
+        assert len(sampled.trace) == expected
+        # Downsampling keeps the rows it does record identical.
+        assert sampled.trace.primal == full.trace.primal[::5]
+        # And never perturbs the iterates.
+        assert (sampled.allocation.lam == full.allocation.lam).all()
+
+    def test_ipqp_trace_every(self, slot_problem):
+        full = CentralizedSolver(trace=True).solve(slot_problem)
+        sampled = CentralizedSolver(trace=True, trace_every=3).solve(slot_problem)
+        assert sampled.iterations == full.iterations
+        assert len(sampled.trace) == -(-full.iterations // 3)
+        assert sampled.trace.gap == full.trace.gap[::3]
+        assert (sampled.allocation.lam == full.allocation.lam).all()
+
+    def test_trace_every_validates(self, slot_problem):
+        with pytest.raises(ValueError):
+            DistributedUFCSolver(trace_every=0)
+        with pytest.raises(ValueError):
+            CentralizedSolver(trace_every=-1).solve(slot_problem)
