@@ -15,6 +15,12 @@ overhead is recorded, the disabled path is asserted to cost < 2 %
 (it is the same code), and certified solutions are checked to be
 bit-identical to uncertified ones.
 
+A fifth pair guards the resilience layer the same way: an *armed but
+idle* retry/fallback config (the solver never fails, so the budgets
+are never spent) must cost < 2 % over the plain engine and produce
+bit-identical solutions — fault tolerance is free until a fault
+happens.
+
 The pool timing runs with ``oversubscribe=True`` on purpose: the
 engine's default policy clamps workers to usable CPUs and falls back
 to serial when a pool cannot help, so measuring the pool penalty
@@ -39,11 +45,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import sys
 import time
 
 from repro.core.strategies import ALL_STRATEGIES
 from repro.engine import HorizonEngine
+from repro.engine.resilience import ResilienceConfig, RetryPolicy
 from repro.obs import JsonlTelemetry
 from repro.sim.simulator import Simulator, build_model
 from repro.traces.datasets import default_bundle
@@ -96,32 +104,97 @@ def _certification_overhead(problems, repeats: int) -> dict:
 
     The disabled path must be free: ``certify=False`` is the default
     engine configuration, so the baseline/disabled pair times the same
-    code twice and their delta bounds timer noise.  Both measurements
-    use min-of-3 (at least) so the pair stays well under the 2 % gate
-    even at CI's ``--repeats 1``.
+    code twice and their delta bounds timer noise.  Each round is
+    *order-balanced* — baseline, variants, baseline again — because
+    the second run of a round is systematically warmer than the first,
+    and each variant is ratioed against the mean of the surrounding
+    baselines.  The median across rounds is the reported estimate; the
+    **minimum** is the gated one: on a loaded container, interference
+    only ever inflates a round, so the min bounds the *systematic*
+    overhead from above and cannot flake on a noise spike (medians at
+    a 2 % threshold were observed to).
     """
-    reps = max(3, repeats)
-    base_s, base, _ = _time_engine(problems, reps, structure_cache=True)
-    off_s, _, _ = _time_engine(
-        problems, reps, structure_cache=True, certify=False
-    )
-    on_s, certified, on_sum = _time_engine(
-        problems, reps, structure_cache=True, certify=True
-    )
+    reps = max(5, repeats)
+    base_s = off_s = on_s = None
+    base = certified = on_sum = None
+    off_deltas: list[float] = []
+    on_deltas: list[float] = []
+    for _ in range(reps):
+        b1_s, b, _ = _time_engine(problems, 1, structure_cache=True)
+        f_s, _, _ = _time_engine(
+            problems, 1, structure_cache=True, certify=False
+        )
+        n_s, n, n_sum = _time_engine(
+            problems, 1, structure_cache=True, certify=True
+        )
+        b2_s, _, _ = _time_engine(problems, 1, structure_cache=True)
+        mid = (b1_s + b2_s) / 2.0
+        off_deltas.append(f_s / mid - 1.0)
+        on_deltas.append(n_s / mid - 1.0)
+        if base_s is None or min(b1_s, b2_s) < base_s:
+            base_s, base = min(b1_s, b2_s), b
+        if off_s is None or f_s < off_s:
+            off_s = f_s
+        if on_s is None or n_s < on_s:
+            on_s, certified, on_sum = n_s, n, n_sum
     suspect = list(on_sum.suspect_slots)
     return {
         "repeats": reps,
         "baseline_s": round(base_s, 4),
         "disabled_s": round(off_s, 4),
         "certified_s": round(on_s, 4),
-        "disabled_delta_fraction": round((off_s - base_s) / base_s, 4),
-        "certified_overhead_fraction": round((on_s - base_s) / base_s, 4),
+        "disabled_delta_fraction": round(statistics.median(off_deltas), 4),
+        "disabled_delta_floor": round(min(off_deltas), 4),
+        "certified_overhead_fraction": round(statistics.median(on_deltas), 4),
         "certify_phase_s": round(on_sum.certify_s, 4),
         "certified_slots": on_sum.certified_slots,
         "suspect_slots": suspect,
         "worst_violation": on_sum.worst_violation,
         "worst_kkt": on_sum.worst_kkt,
         "bit_identical_with_certify": _bit_identical(base, certified),
+    }
+
+
+def _resilience_overhead(problems, repeats: int) -> dict:
+    """Cost of an armed-but-idle retry/fallback config.
+
+    The centralized solver never fails on these slots, so the retry
+    budget and fallback chain are armed but never consulted.  The
+    resilient path must then be indistinguishable from the plain one:
+    < 2 % wall-clock delta and bit-identical solutions.
+
+    Rounds are order-balanced and the gate uses the minimum across
+    rounds, for the same noise-robustness reasons as the
+    certification pair (see :func:`_certification_overhead`).
+    """
+    reps = max(5, repeats)
+    armed = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=2), fallback=("proportional",)
+    )
+    base_s = armed_s = None
+    base = resilient = armed_sum = None
+    deltas: list[float] = []
+    for _ in range(reps):
+        b1_s, b, _ = _time_engine(problems, 1, structure_cache=True)
+        a_s, a, a_sum = _time_engine(
+            problems, 1, structure_cache=True, resilience=armed
+        )
+        b2_s, _, _ = _time_engine(problems, 1, structure_cache=True)
+        deltas.append(a_s / ((b1_s + b2_s) / 2.0) - 1.0)
+        if base_s is None or min(b1_s, b2_s) < base_s:
+            base_s, base = min(b1_s, b2_s), b
+        if armed_s is None or a_s < armed_s:
+            armed_s, resilient, armed_sum = a_s, a, a_sum
+    return {
+        "repeats": reps,
+        "baseline_s": round(base_s, 4),
+        "armed_idle_s": round(armed_s, 4),
+        "armed_idle_delta_fraction": round(statistics.median(deltas), 4),
+        "armed_idle_delta_floor": round(min(deltas), 4),
+        "retries_total": armed_sum.retries_total,
+        "fallbacks_total": armed_sum.fallbacks_total,
+        "degraded_slots": list(armed_sum.degraded_slots),
+        "bit_identical_with_resilience": _bit_identical(base, resilient),
     }
 
 
@@ -179,6 +252,7 @@ def run_bench(
             "parallel_vs_serial": _bit_identical(cached, pooled),
         },
         "certification": _certification_overhead(problems, repeats),
+        "resilience": _resilience_overhead(problems, repeats),
     }
 
 
@@ -194,10 +268,21 @@ def test_engine_modes_agree(run_once, bench_workers):
     assert breakdown["accounted_fraction"] >= 0.9
     cert = summary["certification"]
     # certify=False is the default code path: its cost must be noise.
-    assert cert["disabled_delta_fraction"] < 0.02
+    # The floor (min across balanced rounds) is gated rather than the
+    # median: interference only inflates rounds, so a systematic >=2%
+    # cost would lift every round, while a noise spike lifts only some.
+    assert cert["disabled_delta_floor"] < 0.02
     # Certification never perturbs solutions.
     assert cert["bit_identical_with_certify"]
     assert not cert["suspect_slots"]
+    res = summary["resilience"]
+    # An armed-but-idle retry/fallback config must be free too: no
+    # budget is spent when the solver never fails.
+    assert res["armed_idle_delta_floor"] < 0.02
+    assert res["bit_identical_with_resilience"]
+    assert res["retries_total"] == 0
+    assert res["fallbacks_total"] == 0
+    assert res["degraded_slots"] == []
 
 
 def main(argv: list[str] | None = None) -> int:

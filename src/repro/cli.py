@@ -15,6 +15,9 @@ Installed as ``python -m repro``::
     python -m repro validate
     python -m repro doctor --horizon 24
     python -m repro doctor --solver distributed --json doctor.json
+    python -m repro chaos --list
+    python -m repro chaos --scenario dc-crash --horizon 24
+    python -m repro chaos --spec my_scenario.json --json chaos.json
 """
 
 from __future__ import annotations
@@ -160,6 +163,60 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the certificate summary (per-slot verdicts "
         "plus the metrics registry) as JSON to PATH",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection scenario over a horizon and print "
+        "the resilience report (exit 1 unless every slot's allocation "
+        "certifies feasible)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        default="flaky-net",
+        metavar="NAME",
+        help="shipped scenario name (see --list); ignored with --spec",
+    )
+    chaos.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="JSON fault-plan spec file (overrides --scenario)",
+    )
+    chaos.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        metavar="SLOTS",
+        help="slots to run (alias for the global --hours; chaos "
+        "defaults to 24 rather than the global 168)",
+    )
+    chaos.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="hybrid"
+    )
+    chaos.add_argument(
+        "--fallback",
+        default="centralized,proportional",
+        metavar="CHAIN",
+        help="comma-separated engine fallback chain for degraded slots "
+        "('' disables escalation and keeps degraded distributed results)",
+    )
+    chaos.add_argument(
+        "--events",
+        type=int,
+        default=12,
+        metavar="N",
+        help="notable fault/recovery events to print",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list shipped scenarios and exit"
+    )
+    chaos.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full report (slots, events, metrics) as "
+        "JSON to PATH",
     )
     return parser
 
@@ -362,6 +419,62 @@ def _cmd_doctor(args) -> int:
     return 1 if failing else 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import FaultPlan, available_scenarios, scenario_spec
+    from repro.faults.chaos import run_chaos
+
+    if args.list:
+        for name in available_scenarios():
+            spec = scenario_spec(name)
+            active = ", ".join(
+                key.replace("_probability", "")
+                for key, value in spec.items()
+                if key.endswith("_probability") and value
+            )
+            extras = [
+                f"{len(spec['crashes'])} crash(es)" if spec.get("crashes") else "",
+                f"{len(spec['partitions'])} partition(s)"
+                if spec.get("partitions")
+                else "",
+            ]
+            detail = ", ".join(x for x in (active, *extras) if x)
+            print(f"{name:<14} {detail}")
+        return 0
+    if args.spec:
+        import json
+
+        with open(args.spec, encoding="utf-8") as fh:
+            plan = FaultPlan.from_spec(json.load(fh))
+    else:
+        plan = FaultPlan.from_spec(args.scenario)
+    if args.horizon is not None:
+        hours = args.horizon
+    else:
+        # The global --hours default (168) is a full week — heavy for a
+        # chaos run that also solves a fault-free baseline.
+        hours = 24 if args.hours == 168 else args.hours
+    fallback = tuple(
+        name.strip() for name in args.fallback.split(",") if name.strip()
+    )
+    report = run_chaos(
+        plan,
+        hours=hours,
+        seed=args.seed,
+        strategy=_STRATEGIES[args.strategy],
+        fallback=fallback,
+    )
+    print(report.render(max_events=args.events))
+    if args.json:
+        import json
+
+        payload = report.to_dict()
+        payload["metrics"] = report.metrics.to_dict()
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if report.passed else 1
+
+
 def _cmd_validate(args) -> int:
     from repro.experiments.validation import render_scorecard, run_validation
 
@@ -380,6 +493,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "validate": _cmd_validate,
     "doctor": _cmd_doctor,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -12,7 +12,12 @@ simulates that deployment faithfully:
   prediction step plus its share of the Gaussian back-substitution
   correction using local state only;
 - :mod:`repro.distributed.coordinator` — a synchronous round driver
-  that moves messages and detects convergence.
+  that moves messages and detects convergence, plus the self-healing
+  round loop used under an injected
+  :class:`~repro.faults.plan.FaultPlan` (checkpoint/restore,
+  divergence watchdog, graceful degradation);
+- :mod:`repro.distributed.runs` — the :class:`RunRecord` protocol both
+  run records satisfy, so reporting code stops special-casing.
 
 The agents call the exact row/column subproblem functions the
 matrix-form solver uses, so the two deployments produce bit-identical
@@ -21,6 +26,7 @@ iterates (asserted in the test suite).
 
 from repro.distributed.agents import DatacenterAgent, FrontEndAgent
 from repro.distributed.coordinator import DistributedRun, DistributedRuntime
+from repro.distributed.runs import RunRecord
 from repro.distributed.staleness import StaleRun, StalenessRuntime
 from repro.distributed.messages import (
     LossyNetwork,
@@ -39,6 +45,7 @@ __all__ = [
     "Message",
     "RoutingAssignment",
     "RoutingProposal",
+    "RunRecord",
     "SimulatedNetwork",
     "StaleRun",
     "StalenessRuntime",

@@ -116,8 +116,20 @@ class LossyNetwork(SimulatedNetwork):
     proposal or assignment just overwrites the same slot with the same
     value — so correctness is unaffected by design.
 
+    Accounting is exactly-once per transmission attempt: every dropped
+    attempt, the attempt that finally lands, and every duplicate copy
+    each bill ``messages_sent``/``floats_sent`` (and therefore
+    ``bytes_sent``) exactly once.  For a message dropped ``d`` times
+    then delivered with one duplicate, the bill is ``d + 2`` messages.
+
+    For a *budgeted* retry loop whose sends can fail (and simulated
+    backoff accounting), see
+    :class:`~repro.faults.network.FaultyNetwork`.
+
     Attributes:
-        retransmissions: dropped first attempts that had to be resent.
+        dropped_attempts: transmission attempts the network dropped,
+            each of which triggered a retransmission.  (Not just first
+            attempts: a message dropped three times counts three.)
         duplicates_delivered: extra copies delivered.
     """
 
@@ -139,16 +151,27 @@ class LossyNetwork(SimulatedNetwork):
         super().__init__()
         self.loss_probability = float(loss_probability)
         self.duplicate_probability = float(duplicate_probability)
-        self.retransmissions = 0
+        self.dropped_attempts = 0
         self.duplicates_delivered = 0
         self._rng = __import__("numpy").random.default_rng(seed)
 
+    @property
+    def retransmissions(self) -> int:
+        """Deprecated alias for :attr:`dropped_attempts`.
+
+        The old name suggested only *first* attempts were counted;
+        every dropped attempt is.
+        """
+        return self.dropped_attempts
+
     def send(self, message: Message) -> None:
-        # Retransmit until the copy lands (at-least-once).
+        # Retransmit until the copy lands (at-least-once).  Each
+        # dropped attempt is billed exactly once here; the landing
+        # copy is billed exactly once by super().send.
         while self._rng.random() < self.loss_probability:
             self.messages_sent += 1
             self.floats_sent += message.payload_floats()
-            self.retransmissions += 1
+            self.dropped_attempts += 1
         super().send(message)
         if self._rng.random() < self.duplicate_probability:
             super().send(message)

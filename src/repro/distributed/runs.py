@@ -1,0 +1,44 @@
+"""The common shape every distributed-execution run record shares.
+
+:class:`~repro.distributed.coordinator.DistributedRun` and
+:class:`~repro.distributed.staleness.StaleRun` grew up separately;
+reporting code (the chaos report, metrics recording, benchmarks) kept
+special-casing which fields exist on which.  :class:`RunRecord` is the
+lightweight structural protocol both satisfy: the allocation, its UFC,
+convergence bookkeeping, and the communication/wall-time bill.  Code
+that aggregates runs should accept ``RunRecord`` and stop caring which
+runtime produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.solution import Allocation
+
+__all__ = ["RunRecord"]
+
+
+@runtime_checkable
+class RunRecord(Protocol):
+    """What every distributed run record exposes.
+
+    Attributes:
+        allocation: the polished, feasible allocation.
+        ufc: UFC value of that allocation.
+        iterations: rounds executed.
+        converged: whether the runtime's stopping rule was met.
+        messages_sent: total messages transmitted over the run.
+        floats_sent: total payload scalars transmitted.
+        bytes_sent: total payload bytes (8 per float).
+        wall_s: end-to-end wall seconds of the run.
+    """
+
+    allocation: Allocation
+    ufc: float
+    iterations: int
+    converged: bool
+    messages_sent: int
+    floats_sent: int
+    bytes_sent: int
+    wall_s: float

@@ -18,6 +18,7 @@ rounds, guarding against transient dips caused by stale reads.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +37,10 @@ __all__ = ["StaleRun", "StalenessRuntime"]
 class StaleRun:
     """Outcome of a bounded-staleness run.
 
+    Satisfies the :class:`~repro.distributed.runs.RunRecord` protocol,
+    so report/metrics code handles it and
+    :class:`~repro.distributed.coordinator.DistributedRun` uniformly.
+
     Attributes:
         allocation: polished allocation from the final front-end state.
         ufc: UFC of that allocation.
@@ -43,7 +48,13 @@ class StaleRun:
         converged: residuals stayed below tolerance for the required
             consecutive rounds.
         delayed_messages: messages that arrived one round late.
-        total_messages: all messages sent.
+        total_messages: all messages sent (same as ``messages_sent``;
+            kept for backward compatibility).
+        messages_sent: all messages sent.
+        floats_sent: payload scalars sent (2 per proposal, 1 per
+            assignment).
+        bytes_sent: payload bytes (8 per float).
+        wall_s: end-to-end wall seconds of :meth:`StalenessRuntime.run`.
     """
 
     allocation: Allocation
@@ -53,6 +64,10 @@ class StaleRun:
     delayed_messages: int
     total_messages: int
     coupling_residuals: list[float] = field(default_factory=list)
+    messages_sent: int = 0
+    floats_sent: int = 0
+    bytes_sent: int = 0
+    wall_s: float = 0.0
 
 
 class StalenessRuntime:
@@ -135,11 +150,13 @@ class StalenessRuntime:
         self._pending: list[tuple[str, int, int, float, float]] = []
         self.delayed_messages = 0
         self.total_messages = 0
+        self.floats_sent = 0
         self.tracer = as_tracer(tracer)
 
     def _transmit(self, kind: str, i: int, j: int, v1: float, v2: float = 0.0) -> bool:
         """Send one logical message; returns False when delayed."""
         self.total_messages += 1
+        self.floats_sent += 2 if kind == "proposal" else 1
         if self._rng.random() < self.delay_probability:
             self._pending.append((kind, i, j, v1, v2))
             self.delayed_messages += 1
@@ -156,6 +173,7 @@ class StalenessRuntime:
 
     def run(self) -> StaleRun:
         """Execute rounds until stable convergence or the cap."""
+        run_start = time.perf_counter()
         view, inputs = self.view, self.scaled_inputs
         arrival_scale = max(1.0, float(inputs.arrivals.max(initial=0.0)))
         power_scale = max(
@@ -267,4 +285,8 @@ class StalenessRuntime:
             delayed_messages=self.delayed_messages,
             total_messages=self.total_messages,
             coupling_residuals=coupling_hist,
+            messages_sent=self.total_messages,
+            floats_sent=self.floats_sent,
+            bytes_sent=8 * self.floats_sent,
+            wall_s=time.perf_counter() - run_start,
         )

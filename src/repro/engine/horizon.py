@@ -49,6 +49,7 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 from repro.core.problem import UFCProblem
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import create_solver
+from repro.engine.resilience import ResilienceConfig
 from repro.obs import (
     HorizonSummary,
     SlotTelemetry,
@@ -58,11 +59,21 @@ from repro.obs import (
 
 __all__ = [
     "SlotOutcome",
+    "SlotTimeoutError",
     "CompileCache",
     "HorizonEngine",
     "parallel_map",
     "usable_cpu_count",
 ]
+
+
+class SlotTimeoutError(RuntimeError):
+    """An attempt exceeded the per-slot wall-clock budget.
+
+    In-process solvers cannot be preempted, so the budget is enforced
+    after the attempt returns; the late result is discarded and the
+    fallback chain escalates.
+    """
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -116,6 +127,15 @@ class SlotOutcome:
         certificate: the slot's numerical-health
             :class:`~repro.obs.certify.Certificate` when the engine ran
             with certification on; None otherwise.
+        attempts: total solve attempts this slot consumed (1 on the
+            non-resilient path; retries and fallbacks each add one).
+        degraded: the result came from a fallback solver or the solver
+            itself reported a degraded completion — flagged, never
+            hidden.
+        fallback_solver: name of the fallback solver that produced the
+            result; None when the primary did.
+        chain_errors: one ``"solver[attempt k]: ErrType: message"``
+            entry per failed attempt along the retry/fallback chain.
     """
 
     index: int
@@ -125,6 +145,10 @@ class SlotOutcome:
     error_message: str | None = None
     telemetry: SlotTelemetry | None = None
     certificate: Any | None = None
+    attempts: int = 1
+    degraded: bool = False
+    fallback_solver: str | None = None
+    chain_errors: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -231,6 +255,7 @@ def _solve_chunk(
     chunk: _Chunk,
     structure_cache: bool,
     certifier: Any | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> list[SlotOutcome]:
     """Solve a contiguous chunk serially with a per-chunk compile cache.
 
@@ -239,7 +264,15 @@ def _solve_chunk(
     Per-slot telemetry (and, with ``certifier``, each slot's
     certificate) travels back attached to the outcomes, which is what
     lets the parent aggregate pool runs without a second channel.
+
+    With ``resilience`` attached the chunk runs through
+    :func:`_solve_chunk_resilient` instead; with None this original
+    path runs untouched (bit-identical outputs).
     """
+    if resilience is not None:
+        return _solve_chunk_resilient(
+            solver, chunk, structure_cache, certifier, resilience
+        )
     cache = CompileCache(solver)
     pid = os.getpid()
     outcomes: list[SlotOutcome] = []
@@ -296,6 +329,150 @@ def _solve_chunk(
     return outcomes
 
 
+def _solve_chunk_resilient(
+    solver: SlotSolver,
+    chunk: _Chunk,
+    structure_cache: bool,
+    certifier: Any | None,
+    resilience: ResilienceConfig,
+) -> list[SlotOutcome]:
+    """Solve a chunk under a retry/fallback-chain/quarantine policy.
+
+    Per slot: the primary solver gets ``retry.max_attempts`` tries,
+    then each fallback (instantiated once per chunk, with its own
+    compile cache) gets one.  Any attempt exceeding ``slot_timeout_s``
+    is discarded as a :class:`SlotTimeoutError`.  After
+    ``quarantine_after`` consecutive slots where the primary's whole
+    budget failed, the primary is skipped for the rest of the chunk
+    and slots go straight to the fallback chain.  A slot only becomes
+    a failed outcome when *every* solver in the chain failed.
+    """
+    pid = os.getpid()
+    lanes: list[tuple[SlotSolver, CompileCache, int, bool]] = [
+        (solver, CompileCache(solver), resilience.retry.max_attempts, True)
+    ]
+    for name in resilience.fallback:
+        fallback = create_solver(name)
+        lanes.append((fallback, CompileCache(fallback), 1, False))
+    consecutive_primary_failures = 0
+    quarantined = False
+    outcomes: list[SlotOutcome] = []
+    for offset, problem in enumerate(chunk.problems):
+        index = chunk.start + offset
+        chain_errors: list[str] = []
+        attempts = 0
+        outcome: SlotOutcome | None = None
+        primary_failed = False
+        last_exc: Exception | None = None
+        last_tb = ""
+        last_compile_s = 0.0
+        last_cache_hit: bool | None = None
+        slot_start = time.perf_counter()
+        if quarantined:
+            chain_errors.append(
+                f"{solver.name}: quarantined after "
+                f"{consecutive_primary_failures} consecutive slot failures"
+            )
+        for lane_solver, cache, budget, is_primary in lanes:
+            if is_primary and quarantined:
+                continue
+            for attempt in range(1, budget + 1):
+                attempts += 1
+                compiled = None
+                cache_hit: bool | None = None
+                compile_s = 0.0
+                try:
+                    if structure_cache:
+                        compiled, cache_hit, compile_s = cache.lookup(
+                            problem.model, problem.strategy
+                        )
+                    solve_start = time.perf_counter()
+                    result = lane_solver.solve(problem, compiled=compiled)
+                    wall_s = time.perf_counter() - solve_start
+                    budget_s = resilience.slot_timeout_s
+                    if budget_s is not None and wall_s > budget_s:
+                        raise SlotTimeoutError(
+                            f"slot {index}: {lane_solver.name} attempt took "
+                            f"{wall_s:.3f}s > budget {budget_s:.3f}s"
+                        )
+                except Exception as exc:
+                    last_exc = exc
+                    last_tb = traceback.format_exc()
+                    last_compile_s = compile_s
+                    last_cache_hit = cache_hit
+                    chain_errors.append(
+                        f"{lane_solver.name}[attempt {attempt}]: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                degraded_result = bool(result.extras.get("degraded"))
+                certificate = (
+                    _certify_result(
+                        certifier, problem, result, lane_solver.name, index
+                    )
+                    if certifier is not None
+                    else None
+                )
+                outcome = SlotOutcome(
+                    index=index,
+                    result=result,
+                    certificate=certificate,
+                    attempts=attempts,
+                    degraded=degraded_result or not is_primary,
+                    fallback_solver=None if is_primary else lane_solver.name,
+                    chain_errors=tuple(chain_errors),
+                    telemetry=SlotTelemetry(
+                        solver=lane_solver.name,
+                        wall_s=wall_s,
+                        compile_s=compile_s,
+                        iterations=result.iterations,
+                        converged=result.converged,
+                        cache_hit=cache_hit,
+                        worker=pid,
+                        warm_start=False,
+                        certify_s=(
+                            certificate.certify_s if certificate is not None else 0.0
+                        ),
+                    ),
+                )
+                break
+            if outcome is not None:
+                if is_primary:
+                    consecutive_primary_failures = 0
+                break
+            if is_primary:
+                primary_failed = True
+        if outcome is None:
+            outcome = SlotOutcome(
+                index=index,
+                error=last_tb,
+                error_type=type(last_exc).__name__,
+                error_message=str(last_exc),
+                attempts=attempts,
+                chain_errors=tuple(chain_errors),
+                telemetry=SlotTelemetry(
+                    solver=solver.name,
+                    wall_s=time.perf_counter() - slot_start,
+                    compile_s=last_compile_s,
+                    iterations=0,
+                    converged=False,
+                    cache_hit=last_cache_hit,
+                    worker=pid,
+                    warm_start=False,
+                    error_type=type(last_exc).__name__,
+                ),
+            )
+        if primary_failed:
+            consecutive_primary_failures += 1
+            if (
+                resilience.quarantine_after
+                and consecutive_primary_failures >= resilience.quarantine_after
+            ):
+                quarantined = True
+        outcomes.append(outcome)
+    return outcomes
+
+
 class HorizonEngine:
     """Run a sequence of slot problems through one solver.
 
@@ -331,6 +508,14 @@ class HorizonEngine:
             with ``certify`` on — certificate residual histograms.
             Process-local: pool-run metrics are recorded in the parent
             from the shipped-back outcomes.
+        resilience: optional
+            :class:`~repro.engine.resilience.ResilienceConfig` giving
+            every slot a retry budget, a solver fallback chain, a
+            per-attempt wall-clock budget, and quarantine for a
+            repeatedly-failing primary.  None (default) keeps the
+            original single-attempt path bit-identical.  Incompatible
+            with ``warm_start`` runs (a fallback breaks the chain's
+            state contract).
 
     After each :meth:`run`, :attr:`last_summary` holds the run's
     :class:`~repro.obs.HorizonSummary` (phase breakdown, executor
@@ -347,6 +532,7 @@ class HorizonEngine:
         oversubscribe: bool = False,
         certify: bool | Any = False,
         metrics: Any | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -367,6 +553,7 @@ class HorizonEngine:
         else:
             self.certifier = None
         self.metrics = metrics
+        self.resilience = resilience
         self.last_summary: HorizonSummary | None = None
 
     def plan_workers(self, n_items: int) -> tuple[int, str, int]:
@@ -416,6 +603,12 @@ class HorizonEngine:
                     f"solver {self.solver.name!r} does not support warm "
                     "starts; run with warm_start=False"
                 )
+            if self.resilience is not None:
+                raise ValueError(
+                    "warm-start chaining cannot combine with a resilience "
+                    "config: a fallback solver would break the chain's "
+                    "warm-state contract"
+                )
             if self.workers > 1:
                 raise ValueError(
                     "warm-start chaining is sequential; use workers=1 "
@@ -432,6 +625,7 @@ class HorizonEngine:
                     _Chunk(start=0, problems=problems),
                     self.structure_cache,
                     self.certifier,
+                    self.resilience,
                 )
                 executor, start_method = "serial", None
             else:
@@ -484,6 +678,9 @@ class HorizonEngine:
                 warm_start=tele.warm_start,
                 ok=outcome.ok,
                 error_type=outcome.error_type,
+                attempts=outcome.attempts,
+                degraded=outcome.degraded,
+                fallback_solver=outcome.fallback_solver,
             )
         sink.timer(
             "engine.compile",
@@ -544,6 +741,20 @@ class HorizonEngine:
             reg.counter("repro_engine_slots_total", solver=solver).inc()
             if not outcome.ok:
                 reg.counter("repro_engine_slot_failures_total", solver=solver).inc()
+            if outcome.attempts > 1:
+                reg.counter("repro_engine_slot_retries_total", solver=solver).inc(
+                    outcome.attempts - 1
+                )
+            if outcome.fallback_solver:
+                reg.counter(
+                    "repro_engine_slot_fallbacks_total",
+                    solver=solver,
+                    fallback=outcome.fallback_solver,
+                ).inc()
+            if outcome.degraded:
+                reg.counter(
+                    "repro_engine_degraded_slots_total", solver=solver
+                ).inc()
             tele = outcome.telemetry
             if tele is not None:
                 solve_hist.observe(tele.wall_s)
@@ -651,6 +862,7 @@ class HorizonEngine:
                 chunks,
                 (self.structure_cache for _ in chunks),
                 (self.certifier for _ in chunks),
+                (self.resilience for _ in chunks),
             ):
                 outcomes.extend(chunk_outcomes)
         outcomes.sort(key=lambda o: o.index)

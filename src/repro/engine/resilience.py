@@ -1,0 +1,82 @@
+"""Per-slot retry, fallback-chain and quarantine policy for the engine.
+
+A production horizon cannot afford one slot's solver failure to
+propagate: the engine already *captures* per-slot exceptions, but a
+captured failure still means an hour with no allocation.
+:class:`ResilienceConfig` upgrades capture to recovery: retry the
+primary solver under a budget, then walk a fallback chain of
+strictly-simpler solvers (e.g. ``distributed`` → ``centralized`` →
+``proportional``), optionally bounded by a per-attempt wall-clock
+budget, with quarantine for a primary that keeps failing.  Every
+rescued slot is *flagged* — ``degraded`` / ``fallback_solver`` on the
+:class:`~repro.engine.horizon.SlotOutcome` — and still flows through
+certification, so recovery never hides behind a clean-looking result.
+
+With no config attached (the default) the engine's original code path
+runs unchanged and outputs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RetryPolicy", "ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget for the *primary* solver on one slot.
+
+    Fallback solvers get one attempt each: they are deterministic
+    simplifications, so a retry would recompute the identical failure.
+    Retrying the primary is useful precisely when its failures are not
+    deterministic — fault-injected runs, timeouts, resource pressure.
+    """
+
+    max_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How the engine rescues a failing slot.
+
+    Attributes:
+        retry: attempt budget for the primary solver.
+        fallback: registry names tried in order once the primary's
+            budget is spent.  Each fallback result marks the outcome
+            ``degraded`` with ``fallback_solver`` set.
+        slot_timeout_s: per-attempt wall-clock budget.  In-process
+            solvers cannot be preempted, so this is enforced *post
+            hoc*: an attempt that returns after the budget is treated
+            as failed and the chain escalates.  None disables.
+        quarantine_after: consecutive primary failures (across a
+            chunk's slots) after which the primary is skipped and
+            slots go straight to the fallback chain.  Quarantine is
+            per worker process — pool chunks track it independently.
+            0 disables.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fallback: tuple[str, ...] = ()
+    slot_timeout_s: float | None = None
+    quarantine_after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.slot_timeout_s is not None and self.slot_timeout_s <= 0:
+            raise ValueError(
+                f"slot_timeout_s must be positive, got {self.slot_timeout_s}"
+            )
+        if self.quarantine_after < 0:
+            raise ValueError(
+                f"quarantine_after must be >= 0, got {self.quarantine_after}"
+            )
+        object.__setattr__(self, "fallback", tuple(self.fallback))
+        if self.quarantine_after and not self.fallback:
+            raise ValueError(
+                "quarantine_after needs a fallback chain: a quarantined "
+                "primary with no fallback would leave slots unsolvable"
+            )

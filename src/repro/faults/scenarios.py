@@ -1,0 +1,85 @@
+"""Shipped chaos scenarios, by name.
+
+Each entry is a plain spec dict (exactly what
+:meth:`~repro.faults.plan.FaultPlan.from_spec` accepts), so ``repro
+chaos --scenario dc-crash`` and a hand-written ``--spec file.json``
+travel the same path.  Rounds are ADM-G rounds within each slot; the
+same schedule replays in every slot with a slot-derived RNG stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["SCENARIOS", "available_scenarios", "scenario_spec"]
+
+SCENARIOS: dict[str, Mapping[str, Any]] = {
+    # A WAN having a bad day: heavy loss, some reordering-by-delay,
+    # the odd duplicate.  Exercises the budgeted retransmit path.
+    "flaky-net": {
+        "name": "flaky-net",
+        "seed": 0,
+        "drop_probability": 0.2,
+        "delay_probability": 0.05,
+        "duplicate_probability": 0.02,
+    },
+    # The acceptance scenario: one datacenter subproblem owner dies
+    # mid-run and rejoins from its checkpoint while 20% of messages
+    # drop.  Exercises crash/revive + checkpoint restore + retransmit.
+    "dc-crash": {
+        "name": "dc-crash",
+        "seed": 0,
+        "drop_probability": 0.2,
+        "crashes": [{"agent": "dc0", "round": 8, "revive_round": 16}],
+    },
+    # A front-end region is cut off for a span of rounds; everyone
+    # else keeps iterating on stale views of it.
+    "partition": {
+        "name": "partition",
+        "seed": 0,
+        "delay_probability": 0.05,
+        "partitions": [{"start": 6, "stop": 12, "isolate": ["fe0", "fe1"]}],
+    },
+    # Rare payload corruption, frequently NaN: the divergence watchdog
+    # must catch the blow-up and restart from a healthy checkpoint.
+    "bit-rot": {
+        "name": "bit-rot",
+        "seed": 0,
+        "corrupt_probability": 0.004,
+        "corrupt_scale": 200.0,
+        "corrupt_nan_probability": 0.5,
+    },
+    # Everything at once, at lower intensity.
+    "chaos-monkey": {
+        "name": "chaos-monkey",
+        "seed": 0,
+        "drop_probability": 0.1,
+        "delay_probability": 0.05,
+        "duplicate_probability": 0.02,
+        "corrupt_probability": 0.002,
+        "corrupt_scale": 100.0,
+        "corrupt_nan_probability": 0.25,
+        "crashes": [{"agent": "dc1", "round": 12, "revive_round": 20}],
+        "partitions": [{"start": 30, "stop": 36, "isolate": ["fe0"]}],
+    },
+}
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Shipped scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def scenario_spec(name: str) -> Mapping[str, Any]:
+    """The spec dict for a shipped scenario.
+
+    Raises:
+        KeyError: for an unknown name, listing what ships.
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; shipped: "
+            f"{', '.join(available_scenarios())}"
+        ) from None

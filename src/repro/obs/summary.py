@@ -55,6 +55,11 @@ class HorizonSummary:
         worst_violation: max relative feasibility violation over all
             certified slots.
         worst_kkt: max relative KKT residual over all certified slots.
+        degraded_slots: indices of slots whose result was flagged
+            degraded (fallback solver or degraded solver completion).
+        retries_total: extra solve attempts beyond the first, summed
+            over all slots (0 on the non-resilient path).
+        fallbacks_total: slots rescued by a fallback solver.
     """
 
     solver: str
@@ -81,6 +86,9 @@ class HorizonSummary:
     certify_s: float = 0.0
     worst_violation: float = 0.0
     worst_kkt: float = 0.0
+    degraded_slots: tuple[int, ...] = ()
+    retries_total: int = 0
+    fallbacks_total: int = 0
 
     @classmethod
     def from_outcomes(
@@ -101,7 +109,9 @@ class HorizonSummary:
         compile_s = solve_s = certify_s = 0.0
         hits = misses = iterations = converged = failed = certified = 0
         worst_violation = worst_kkt = 0.0
+        retries = fallbacks = 0
         suspect: list[int] = []
+        degraded: list[int] = []
         error_types: dict[str, int] = {}
         for outcome in outcomes:
             tele = getattr(outcome, "telemetry", None)
@@ -109,6 +119,11 @@ class HorizonSummary:
                 failed += 1
                 name = getattr(outcome, "error_type", None) or "Exception"
                 error_types[name] = error_types.get(name, 0) + 1
+            retries += max(0, getattr(outcome, "attempts", 1) - 1)
+            if getattr(outcome, "fallback_solver", None):
+                fallbacks += 1
+            if getattr(outcome, "degraded", False):
+                degraded.append(getattr(outcome, "index", len(degraded)))
             cert = getattr(outcome, "certificate", None)
             if cert is not None:
                 certified += 1
@@ -157,6 +172,9 @@ class HorizonSummary:
             certify_s=certify_s,
             worst_violation=worst_violation,
             worst_kkt=worst_kkt,
+            degraded_slots=tuple(degraded),
+            retries_total=retries,
+            fallbacks_total=fallbacks,
         )
 
     # -- derived quantities ---------------------------------------------------
@@ -202,6 +220,14 @@ class HorizonSummary:
             "error_types": dict(self.error_types),
         }
         out.update(self.phase_dict())
+        if self.retries_total or self.fallbacks_total or self.degraded_slots:
+            out.update(
+                {
+                    "retries_total": self.retries_total,
+                    "fallbacks_total": self.fallbacks_total,
+                    "degraded_slots": list(self.degraded_slots),
+                }
+            )
         if self.certified_slots:
             out.update(
                 {
@@ -249,6 +275,16 @@ class HorizonSummary:
                 f"  certification  : {self.certified_slots} slots in "
                 f"{self.certify_s:.3f} s  ({verdict}; worst violation "
                 f"{self.worst_violation:.2e}, worst KKT {self.worst_kkt:.2e})"
+            )
+        if self.retries_total or self.fallbacks_total or self.degraded_slots:
+            shown = ", ".join(str(i) for i in self.degraded_slots[:8])
+            if len(self.degraded_slots) > 8:
+                shown += "..."
+            lines.append(
+                f"  resilience     : {self.retries_total} retries, "
+                f"{self.fallbacks_total} fallbacks, "
+                f"{len(self.degraded_slots)} degraded slots"
+                + (f" ({shown})" if shown else "")
             )
         if self.error_types:
             counts = ", ".join(

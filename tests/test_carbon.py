@@ -121,7 +121,12 @@ class TestLinearCarbonTax:
         tax = LinearCarbonTax(rate)
         exact = tax.prox_nu(c_rate=c, linear=linear, d=d, rho=rho)
         ref = prox_reference(tax, c, linear, d, rho)
-        assert exact == pytest.approx(ref, abs=1e-5)
+        # A value-based minimizer can only locate a minimum to about
+        # sqrt(eps * |f*| / rho); small rho with a large |linear| makes
+        # the objective flat enough that a fixed abs=1e-5 flakes
+        # (e.g. linear=-43.46, rho=0.0625 -> minimizer ~695, noise
+        # floor ~2e-5).  rel=1e-7 covers that regime.
+        assert exact == pytest.approx(ref, abs=1e-5, rel=1e-7)
 
 
 class TestSteppedCarbonTax:

@@ -87,7 +87,7 @@ class TestLossyNetwork:
         run = DistributedRuntime(problem, solver, network=net).run()
         clean = DistributedRuntime(problem, solver).run()
         assert run.messages_sent == clean.messages_sent
-        assert net.retransmissions == 0
+        assert net.dropped_attempts == 0
 
     def test_loss_and_duplication_do_not_change_result(
         self, small_model, small_bundle
@@ -107,7 +107,7 @@ class TestLossyNetwork:
         )
         # Retransmissions inflate the traffic bill, roughly by
         # p/(1-p) + dup for independent drops.
-        assert net.retransmissions > 0
+        assert net.dropped_attempts > 0
         assert net.duplicates_delivered > 0
         assert lossy.messages_sent > clean.messages_sent
 
@@ -119,6 +119,39 @@ class TestLossyNetwork:
             net.send(RoutingAssignment(sender="a", receiver="b", a=1.0))
         # With p = 0.5 the expected attempts per message is 2.
         assert 1.7 < net.messages_sent / 2000 < 2.3
+
+    def test_exactly_once_accounting(self):
+        """A scripted RNG pins the bill: d drops + landing + duplicate."""
+        from repro.distributed.messages import RoutingProposal
+
+        class ScriptedRNG:
+            def __init__(self, draws):
+                self._draws = iter(draws)
+
+            def random(self):
+                return next(self._draws)
+
+        net = LossyNetwork(loss_probability=0.5, duplicate_probability=0.5)
+        # Draws: drop, drop, drop, land; then duplicate.
+        net._rng = ScriptedRNG([0.4, 0.4, 0.4, 0.9, 0.1])
+        msg = RoutingProposal(sender="fe0", receiver="dc0", lam=1.0, varphi=2.0)
+        net.send(msg)
+        # 3 dropped attempts + 1 landing + 1 duplicate = 5 billed sends.
+        assert net.messages_sent == 5
+        assert net.dropped_attempts == 3
+        assert net.duplicates_delivered == 1
+        assert net.floats_sent == 5 * msg.payload_floats()
+        assert net.bytes_sent == 8 * net.floats_sent
+        # Exactly one logical message (plus its duplicate) was delivered.
+        assert len(net.deliver("dc0")) == 2
+
+    def test_retransmissions_alias(self):
+        net = LossyNetwork(loss_probability=0.5, seed=1)
+        from repro.distributed.messages import RoutingAssignment
+
+        for _ in range(100):
+            net.send(RoutingAssignment(sender="a", receiver="b", a=1.0))
+        assert net.retransmissions == net.dropped_attempts > 0
 
 
 class TestTraceIO:
