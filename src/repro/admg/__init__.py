@@ -11,6 +11,13 @@ message-passing deployment over simulated agents lives in
 :mod:`repro.distributed` and reproduces this solver's iterates exactly.
 """
 
+from repro.admg.batch import (
+    a_minimization_batch,
+    correction_step_batch,
+    dual_updates_batch,
+    mu_minimization_batch,
+    nu_minimization_batch,
+)
 from repro.admg.solver import ADMGState, DistributedUFCSolver, UFCADMGResult
 from repro.admg.subproblems import (
     a_minimization,
@@ -26,9 +33,14 @@ __all__ = [
     "DistributedUFCSolver",
     "UFCADMGResult",
     "a_minimization",
+    "a_minimization_batch",
     "correction_step",
+    "correction_step_batch",
     "dual_updates",
+    "dual_updates_batch",
     "lambda_minimization",
     "mu_minimization",
+    "mu_minimization_batch",
     "nu_minimization",
+    "nu_minimization_batch",
 ]

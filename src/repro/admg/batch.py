@@ -1,0 +1,171 @@
+"""Cross-slot batched kernels for the ADM-G prediction/correction step.
+
+The horizon's T slots run the same ADM-G iteration against the same
+(scaled) model; only the inputs (arrivals, prices, carbon rates) and
+the iterates differ.  These kernels stack the per-slot block updates of
+:mod:`repro.admg.subproblems` into ``(T, ...)`` arrays so one numpy
+call advances a whole horizon's worth of a block:
+
+- :func:`mu_minimization_batch` — the closed-form fuel-cell update
+  (18), a single vectorized clip;
+- :func:`nu_minimization_batch` — the grid-draw prox (19), vectorized
+  per datacenter through ``EmissionCostFunction.prox_nu_batch`` (the
+  closed-form costs batch elementwise; exotic costs fall back to a
+  per-slot loop inside the cost object);
+- :func:`a_minimization_batch` — the capacitated rank-one QPs (20) via
+  :func:`~repro.optim.batch.solve_capped_rank_one_qp_batch`;
+- :func:`dual_updates_batch` / :func:`correction_step_batch` — the dual
+  predictions and the Gaussian back-substitution, vectorized.
+
+Every kernel is elementwise-identical to mapping the matrix-level
+wrapper in :mod:`repro.admg.subproblems` over the T slots (the test
+suite asserts exact equality), so a batched horizon iteration produces
+the same iterates slot for slot.  The ``lambda``-minimization (17) is
+deliberately *not* batched here: it is an iterative FISTA solve whose
+per-slot iteration counts diverge quickly, so a masked batch wins
+little — see docs/performance.md.
+
+Shapes: ``lam``/``a``/``varphi`` are (T, M, N); ``mu``/``nu``/``phi``
+are (T, N); ``prices``/``carbon_rates`` are (T, N).  ``model`` may be
+a :class:`~repro.core.model.CloudModel` or a
+:class:`~repro.admg.solver.ScaledView`, exactly like the scalar
+wrappers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies import Strategy
+from repro.optim.batch import solve_capped_rank_one_qp_batch
+
+__all__ = [
+    "mu_minimization_batch",
+    "nu_minimization_batch",
+    "a_minimization_batch",
+    "dual_updates_batch",
+    "correction_step_batch",
+]
+
+
+def mu_minimization_batch(
+    model,
+    strategy: Strategy,
+    a: np.ndarray,
+    nu: np.ndarray,
+    phi: np.ndarray,
+    rho: float,
+) -> np.ndarray:
+    """Procedure 1.2 (18) for T slots at once: one vectorized clip."""
+    load = a.sum(axis=1)
+    mu_caps = strategy.effective_mu_max(model.mu_max)
+    return np.clip(
+        model.alphas + model.betas * load - nu
+        - (phi + model.fuel_cell_price) / rho,
+        0.0,
+        mu_caps,
+    )
+
+
+def nu_minimization_batch(
+    model,
+    strategy: Strategy,
+    prices: np.ndarray,
+    carbon_rates: np.ndarray,
+    a: np.ndarray,
+    mu_pred: np.ndarray,
+    phi: np.ndarray,
+    rho: float,
+) -> np.ndarray:
+    """Procedure 1.3 (19) for T slots: per-datacenter vectorized prox.
+
+    Each datacenter's emission cost object is shared across slots, so
+    its :meth:`~repro.costs.carbon.EmissionCostFunction.prox_nu_batch`
+    sweeps that datacenter's column over the whole horizon in one call.
+    """
+    load = a.sum(axis=1)
+    d = model.alphas + model.betas * load - mu_pred
+    if not strategy.grid_enabled:
+        return np.zeros_like(d)
+    nu = np.empty_like(d)
+    for j in range(model.num_datacenters):
+        nu[:, j] = model.emission_costs[j].prox_nu_batch(
+            c_rates=carbon_rates[:, j],
+            linear=prices[:, j] + phi[:, j],
+            d=d[:, j],
+            rho=rho,
+        )
+    return nu
+
+
+def a_minimization_batch(
+    model,
+    lam_pred: np.ndarray,
+    mu_pred: np.ndarray,
+    nu_pred: np.ndarray,
+    phi: np.ndarray,
+    varphi: np.ndarray,
+    rho: float,
+) -> np.ndarray:
+    """Procedure 1.4 (20) for T slots: per-datacenter batched rank-one
+    QPs, each datacenter's T columns solved in one vectorized sweep."""
+    batch, m, n = lam_pred.shape
+    a = np.empty((batch, m, n))
+    for j in range(n):
+        beta = float(model.betas[j])
+        c = (
+            varphi[:, :, j]
+            + beta * phi[:, j, None]
+            + rho * lam_pred[:, :, j]
+            - rho * beta * (
+                float(model.alphas[j]) - mu_pred[:, j, None] - nu_pred[:, j, None]
+            )
+        )
+        a[:, :, j] = solve_capped_rank_one_qp_batch(
+            c, rho=rho, beta=beta, cap=float(model.capacities[j])
+        )
+    return a
+
+
+def dual_updates_batch(
+    model,
+    lam_pred: np.ndarray,
+    mu_pred: np.ndarray,
+    nu_pred: np.ndarray,
+    a_pred: np.ndarray,
+    phi: np.ndarray,
+    varphi: np.ndarray,
+    rho: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Procedure 1.5 for T slots: stacked predicted duals."""
+    balance = (
+        model.alphas + model.betas * a_pred.sum(axis=1) - mu_pred - nu_pred
+    )
+    phi_pred = phi - rho * balance
+    varphi_pred = varphi - rho * (a_pred - lam_pred)
+    return phi_pred, varphi_pred
+
+
+def correction_step_batch(
+    model,
+    eps: float,
+    lam_pred: np.ndarray,
+    mu: np.ndarray,
+    mu_pred: np.ndarray,
+    nu: np.ndarray,
+    nu_pred: np.ndarray,
+    a: np.ndarray,
+    a_pred: np.ndarray,
+    phi: np.ndarray,
+    phi_pred: np.ndarray,
+    varphi: np.ndarray,
+    varphi_pred: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Step 2 (Gaussian back-substitution) for T slots, stacked."""
+    phi_new = phi + eps * (phi_pred - phi)
+    varphi_new = varphi + eps * (varphi_pred - varphi)
+    a_new = a + eps * (a_pred - a)
+    coupling = model.betas * (a_new - a).sum(axis=1)
+    nu_new = nu + eps * (nu_pred - nu) + coupling
+    mu_new = mu + eps * (mu_pred - mu) - (nu_new - nu) + coupling
+    return lam_pred.copy(), mu_new, nu_new, a_new, phi_new, varphi_new

@@ -15,6 +15,8 @@ Installed as ``python -m repro``::
     python -m repro validate
     python -m repro doctor --horizon 24
     python -m repro doctor --solver distributed --json doctor.json
+    python -m repro bench --quick
+    python -m repro bench --quick --json BENCH_quick.json
     python -m repro chaos --list
     python -m repro chaos --scenario dc-crash --horizon 24
     python -m repro chaos --spec my_scenario.json --json chaos.json
@@ -163,6 +165,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the certificate summary (per-slot verdicts "
         "plus the metrics registry) as JSON to PATH",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the batched solve lane against the serial cached "
+        "path and check certification-grade parity (exit 1 on a "
+        "parity failure, or on a speedup-floor regression when a "
+        "floor is gated)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 24 slots, 3 order-balanced rounds, gate the "
+        "worst round's speedup at the 1.5x floor",
+    )
+    bench.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="order-balanced timing rounds (serial / batched / serial)",
+    )
+    bench.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless every round's batched speedup reaches X "
+        "(default: 1.5 with --quick, ungated otherwise)",
+    )
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the timing/parity summary as JSON to PATH",
     )
 
     chaos = sub.add_parser(
@@ -475,6 +511,103 @@ def _cmd_chaos(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_bench(args) -> int:
+    import json
+    import time
+
+    from repro.core.strategies import ALL_STRATEGIES
+    from repro.engine import HorizonEngine
+
+    # --quick drops the global week default to a 24-slot smoke; an
+    # explicit non-default --hours wins either way.
+    hours = 24 if (args.quick and args.hours == 168) else args.hours
+    floor = args.floor
+    if floor is None and args.quick:
+        floor = 1.5
+    rounds = max(1, args.rounds)
+
+    bundle = default_bundle(hours=hours, seed=args.seed)
+    model = build_model(bundle)
+    sim = Simulator(model, bundle)
+    problems = [
+        sim.problem_for_slot(t, strategy)
+        for strategy in ALL_STRATEGIES
+        for t in range(hours)
+    ]
+
+    def timed(solver):
+        engine = HorizonEngine(solver)
+        start = time.perf_counter()
+        engine.run(problems)
+        return time.perf_counter() - start
+
+    timed("centralized-batch")  # warm numpy/BLAS before the first round
+    serial_best = batched_best = None
+    round_speedups = []
+    for _ in range(rounds):
+        b1 = timed("centralized")
+        bat = timed("centralized-batch")
+        b2 = timed("centralized")
+        round_speedups.append((b1 + b2) / 2.0 / bat)
+        serial_best = min(b1, b2, serial_best or b1)
+        batched_best = min(bat, batched_best or bat)
+
+    certified = HorizonEngine("centralized-batch", certify=True).run(problems)
+    scalar = HorizonEngine("centralized").run(problems)
+    converged_all = all(o.ok and o.result.converged for o in certified)
+    certified_all = all(
+        o.ok and o.certificate is not None and o.certificate.ok
+        for o in certified
+    )
+    max_ufc_delta = max(
+        abs(x.result.ufc - y.result.ufc)
+        for x, y in zip(certified, scalar)
+    )
+    parity_ok = converged_all and certified_all and max_ufc_delta < 1e-2
+    speedup = serial_best / batched_best
+    speedup_floor = min(round_speedups)
+    floor_ok = floor is None or speedup_floor >= floor
+
+    print(f"slots               : {len(problems)} ({hours}h x 3 strategies)")
+    print(f"serial cached       : {serial_best * 1000:,.0f} ms")
+    print(f"batched lane        : {batched_best * 1000:,.0f} ms")
+    print(f"speedup (best/best) : {speedup:.2f}x")
+    print(
+        "speedup per round   : "
+        + ", ".join(f"{s:.2f}x" for s in round_speedups)
+    )
+    print(f"converged           : {'all' if converged_all else 'NOT ALL'}")
+    print(f"certified           : {'all' if certified_all else 'NOT ALL'}")
+    print(f"max UFC delta       : {max_ufc_delta:.2e}")
+    if floor is not None:
+        verdict = "ok" if floor_ok else "REGRESSED"
+        print(f"floor {floor:.1f}x          : {verdict} "
+              f"(worst round {speedup_floor:.2f}x)")
+    if not parity_ok:
+        print("PARITY FAILURE: batched lane disagrees with the scalar path")
+
+    if args.json:
+        payload = {
+            "hours": hours,
+            "slots": len(problems),
+            "rounds": rounds,
+            "serial_cached_s": round(serial_best, 4),
+            "batched_s": round(batched_best, 4),
+            "batch_speedup_vs_serial_cached": round(speedup, 4),
+            "round_speedups": [round(s, 4) for s in round_speedups],
+            "speedup_floor": round(speedup_floor, 4),
+            "floor_gate": floor,
+            "converged_all": converged_all,
+            "certified_all": certified_all,
+            "max_ufc_delta_vs_serial": max_ufc_delta,
+            "passed": bool(parity_ok and floor_ok),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if (parity_ok and floor_ok) else 1
+
+
 def _cmd_validate(args) -> int:
     from repro.experiments.validation import render_scorecard, run_validation
 
@@ -493,6 +626,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "validate": _cmd_validate,
     "doctor": _cmd_doctor,
+    "bench": _cmd_bench,
     "chaos": _cmd_chaos,
 }
 

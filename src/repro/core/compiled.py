@@ -20,6 +20,8 @@ to the generic assembly path transparently.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.model import CloudModel
@@ -240,3 +242,92 @@ class CompiledQPStructure:
             nu_offset=self.nu_offset,
             lam_scale=self.scale,
         )
+
+    def qp_for_batch(self, inputs_list: "Sequence[SlotInputs]") -> list[QPForm]:
+        """Many slots' QPs assembled in one vectorized pass.
+
+        Elementwise identical to ``[self.qp_for(inp) for inp in
+        inputs_list]``: the utility blocks go through the utility's
+        vectorized ``neg_quad_form_batch`` (bit-identical to the scalar
+        form), the constraint arrays are the same shared ``A``/``G``/
+        ``h`` objects every ``qp_for`` call hands out, and ``P``/``q``/
+        ``b`` are per-slot views into stacked arrays.  Slots needing
+        epigraph variables rebuild through the generic scalar path,
+        exactly like :meth:`qp_for`.
+
+        Raises:
+            NotImplementedError: for emission costs that are neither
+                quadratic nor piecewise linear (not QP-representable).
+        """
+        inputs_list = list(inputs_list)
+        if not inputs_list:
+            return []
+        model, m, n = self.model, self.m, self.n
+        batch = len(inputs_list)
+        generic: dict[int, QPForm] = {}
+        nu_quads: list[list[tuple[float, float]] | None] = [None] * batch
+        if self.include_nu:
+            for t, inputs in enumerate(inputs_list):
+                terms = self._nu_cost_terms(inputs)
+                if terms is None:
+                    raise NotImplementedError(
+                        "an emission cost is neither quadratic nor piecewise "
+                        "linear; use the distributed solver"
+                    )
+                quad_terms, _segments, num_u = terms
+                if num_u:
+                    generic[t] = self.qp_for(inputs)
+                else:
+                    nu_quads[t] = quad_terms
+
+        dim = self.dim
+        arrivals = np.stack([inp.arrivals for inp in inputs_list]) / self.scale
+        p_stack = np.zeros((batch, dim, dim))
+        q_stack = np.tile(self._q_template, (batch, 1))
+        h_blocks, g_blocks = model.utility.neg_quad_form_batch(
+            model.latency_ms, arrivals, self.weight
+        )
+        for i in range(m):
+            sl = slice(i * n, (i + 1) * n)
+            p_stack[:, sl, sl] += h_blocks[:, i]
+            q_stack[:, sl] += g_blocks[:, i]
+        if self.include_nu:
+            off = self.nu_offset
+            prices = np.stack([inp.prices for inp in inputs_list])
+            quad_a = np.array(
+                [[q[j][0] if q is not None else 0.0 for j in range(n)]
+                 for q in nu_quads]
+            )
+            quad_b = np.array(
+                [[q[j][1] if q is not None else 0.0 for j in range(n)]
+                 for q in nu_quads]
+            )
+            q_stack[:, off : off + n] += prices
+            diag = np.arange(off, off + n)
+            p_stack[:, diag, diag] += 2.0 * quad_a
+            q_stack[:, off : off + n] += quad_b
+
+        b_stack = np.tile(self._b_template, (batch, 1))
+        b_stack[:, :m] = arrivals
+
+        forms: list[QPForm] = []
+        for t in range(batch):
+            if t in generic:
+                forms.append(generic[t])
+                continue
+            forms.append(
+                QPForm(
+                    P=p_stack[t],
+                    q=q_stack[t],
+                    A=self._A,
+                    b=b_stack[t],
+                    G=self._G,
+                    h=self._h,
+                    num_frontends=m,
+                    num_datacenters=n,
+                    mu_offset=self.mu_offset,
+                    nu_offset=self.nu_offset,
+                    lam_scale=self.scale,
+                )
+            )
+        return forms

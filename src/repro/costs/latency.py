@@ -67,6 +67,31 @@ class LatencyUtility(ABC):
             return 0.0
         return float(lam_row @ latency_ms) / arrival
 
+    def neg_quad_form_batch(
+        self, latency_ms: np.ndarray, arrivals: np.ndarray, weight: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(H, g)`` for T slots of M front-ends at once.
+
+        ``latency_ms`` is the (M, N) latency matrix, ``arrivals`` a
+        (T, M) stack of per-slot arrival rates.  Returns
+        ``H`` of shape (T, M, N, N) and ``g`` of shape (T, M, N),
+        elementwise identical to calling :meth:`neg_quad_form` per
+        (slot, front-end).  This default loops; the closed-form
+        utilities override it with one vectorized expression.
+        """
+        latency_ms = np.asarray(latency_ms, dtype=float)
+        arrivals = np.asarray(arrivals, dtype=float)
+        batch, m = arrivals.shape
+        n = latency_ms.shape[1]
+        h = np.empty((batch, m, n, n))
+        g = np.empty((batch, m, n))
+        for t in range(batch):
+            for i in range(m):
+                h[t, i], g[t, i] = self.neg_quad_form(
+                    latency_ms[i], arrivals[t, i], weight
+                )
+        return h, g
+
 
 class QuadraticLatencyUtility(LatencyUtility):
     """Paper Eq. (2): ``U = -A_i (avg latency in s)^2``.
@@ -93,6 +118,21 @@ class QuadraticLatencyUtility(LatencyUtility):
         h = (2.0 * weight / arrival) * np.outer(l_s, l_s)
         return h, np.zeros(n)
 
+    def neg_quad_form_batch(
+        self, latency_ms: np.ndarray, arrivals: np.ndarray, weight: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized Eq. (2) blocks, bit-identical to the scalar form."""
+        latency_ms = np.asarray(latency_ms, dtype=float)
+        arrivals = np.asarray(arrivals, dtype=float)
+        l_s = latency_ms * _SECONDS_PER_MS
+        outer = l_s[:, :, None] * l_s[:, None, :]
+        positive = arrivals > 0
+        coeff = np.zeros_like(arrivals)
+        np.divide(2.0 * weight, arrivals, out=coeff, where=positive)
+        h = coeff[:, :, None, None] * outer[None, :, :, :]
+        g = np.zeros((*arrivals.shape, l_s.shape[1]))
+        return h, g
+
 
 class LinearLatencyUtility(LatencyUtility):
     """Linear utility ``U = -A_i * (avg latency in s) = -(sum lambda L) in s``.
@@ -110,3 +150,16 @@ class LinearLatencyUtility(LatencyUtility):
         n = len(latency_ms)
         l_s = np.asarray(latency_ms, dtype=float) * _SECONDS_PER_MS
         return np.zeros((n, n)), weight * l_s
+
+    def neg_quad_form_batch(
+        self, latency_ms: np.ndarray, arrivals: np.ndarray, weight: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized linear blocks, bit-identical to the scalar form."""
+        latency_ms = np.asarray(latency_ms, dtype=float)
+        arrivals = np.asarray(arrivals, dtype=float)
+        batch, m = arrivals.shape
+        n = latency_ms.shape[1]
+        g = np.broadcast_to(
+            weight * (latency_ms * _SECONDS_PER_MS), (batch, m, n)
+        ).copy()
+        return np.zeros((batch, m, n, n)), g

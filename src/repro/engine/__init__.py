@@ -16,6 +16,7 @@ from repro.engine.adapters import (
     DualSubgradientSlotSolver,
     HeuristicSlotSolver,
 )
+from repro.engine.batch import CentralizedBatchSlotSolver
 from repro.engine.horizon import (
     CompileCache,
     HorizonEngine,
@@ -34,6 +35,7 @@ __all__ = [
     "HorizonEngine",
     "parallel_map",
     "usable_cpu_count",
+    "CentralizedBatchSlotSolver",
     "CentralizedSlotSolver",
     "DistributedSlotSolver",
     "DualSubgradientSlotSolver",

@@ -250,12 +250,69 @@ def _certify_result(
     )
 
 
+def _solve_one(
+    solver: SlotSolver,
+    index: int,
+    problem: UFCProblem,
+    cache: CompileCache,
+    structure_cache: bool,
+    certifier: Any | None,
+    pid: int,
+) -> SlotOutcome:
+    """Solve one slot through the scalar path, capturing any failure."""
+    compiled = None
+    cache_hit: bool | None = None
+    compile_s = 0.0
+    start = time.perf_counter()
+    try:
+        if structure_cache:
+            compiled, cache_hit, compile_s = cache.lookup(
+                problem.model, problem.strategy
+            )
+        solve_start = time.perf_counter()
+        result = solver.solve(problem, compiled=compiled)
+        wall_s = time.perf_counter() - solve_start
+        certificate = (
+            _certify_result(certifier, problem, result, solver.name, index)
+            if certifier is not None
+            else None
+        )
+        return SlotOutcome(
+            index=index,
+            result=result,
+            certificate=certificate,
+            telemetry=SlotTelemetry(
+                solver=solver.name,
+                wall_s=wall_s,
+                compile_s=compile_s,
+                iterations=result.iterations,
+                converged=result.converged,
+                cache_hit=cache_hit,
+                worker=pid,
+                warm_start=False,
+                certify_s=(
+                    certificate.certify_s if certificate is not None else 0.0
+                ),
+            ),
+        )
+    except Exception as exc:
+        return _failed_outcome(
+            index,
+            exc,
+            solver.name,
+            wall_s=time.perf_counter() - start,
+            compile_s=compile_s,
+            cache_hit=cache_hit,
+        )
+
+
 def _solve_chunk(
     solver: SlotSolver,
     chunk: _Chunk,
     structure_cache: bool,
     certifier: Any | None = None,
     resilience: ResilienceConfig | None = None,
+    batched: bool = False,
 ) -> list[SlotOutcome]:
     """Solve a contiguous chunk serially with a per-chunk compile cache.
 
@@ -266,67 +323,116 @@ def _solve_chunk(
     lets the parent aggregate pool runs without a second channel.
 
     With ``resilience`` attached the chunk runs through
-    :func:`_solve_chunk_resilient` instead; with None this original
-    path runs untouched (bit-identical outputs).
+    :func:`_solve_chunk_resilient` instead, and with ``batched`` set
+    through :func:`_solve_chunk_batched`; with the defaults this
+    original scalar path runs untouched (bit-identical outputs).
     """
+    if batched:
+        return _solve_chunk_batched(solver, chunk, structure_cache, certifier)
     if resilience is not None:
         return _solve_chunk_resilient(
             solver, chunk, structure_cache, certifier, resilience
         )
     cache = CompileCache(solver)
     pid = os.getpid()
-    outcomes: list[SlotOutcome] = []
+    return [
+        _solve_one(
+            solver, chunk.start + offset, problem, cache, structure_cache,
+            certifier, pid,
+        )
+        for offset, problem in enumerate(chunk.problems)
+    ]
+
+
+def _solve_chunk_batched(
+    solver: SlotSolver,
+    chunk: _Chunk,
+    structure_cache: bool,
+    certifier: Any | None = None,
+) -> list[SlotOutcome]:
+    """Solve a chunk through the solver's vectorized ``solve_batch``.
+
+    Slots are grouped by (model, strategy) — the unit the compile
+    cache keys on — and each group goes to ``solver.solve_batch`` as
+    one stacked solve.  Every slot still yields its own
+    :class:`SlotOutcome` with telemetry (the batch wall clock is
+    apportioned evenly across the group; the group's single compile
+    cost lands on its first slot, mirroring the scalar path where the
+    first slot misses and the rest hit) and, when a certifier is
+    attached, its own certificate.
+
+    A group-level failure (compile error, non-representable cost, ...)
+    degrades gracefully: each slot of the group is re-solved through
+    the scalar :func:`_solve_one` path, which captures per-slot errors
+    as failed outcomes exactly like the serial executor.
+    """
+    cache = CompileCache(solver)
+    pid = os.getpid()
+    outcomes: dict[int, SlotOutcome] = {}
+    groups: list[tuple[Any, Any, list[int]]] = []
     for offset, problem in enumerate(chunk.problems):
-        index = chunk.start + offset
+        for model, strategy, offsets in groups:
+            if problem.model is model and problem.strategy == strategy:
+                offsets.append(offset)
+                break
+        else:
+            groups.append((problem.model, problem.strategy, [offset]))
+    for model, strategy, offsets in groups:
+        group = [chunk.problems[offset] for offset in offsets]
         compiled = None
         cache_hit: bool | None = None
         compile_s = 0.0
-        start = time.perf_counter()
         try:
             if structure_cache:
-                compiled, cache_hit, compile_s = cache.lookup(
-                    problem.model, problem.strategy
-                )
+                compiled, cache_hit, compile_s = cache.lookup(model, strategy)
             solve_start = time.perf_counter()
-            result = solver.solve(problem, compiled=compiled)
-            wall_s = time.perf_counter() - solve_start
-            certificate = (
-                _certify_result(certifier, problem, result, solver.name, index)
-                if certifier is not None
-                else None
-            )
-            outcomes.append(
-                SlotOutcome(
-                    index=index,
-                    result=result,
-                    certificate=certificate,
-                    telemetry=SlotTelemetry(
-                        solver=solver.name,
-                        wall_s=wall_s,
-                        compile_s=compile_s,
-                        iterations=result.iterations,
-                        converged=result.converged,
-                        cache_hit=cache_hit,
-                        worker=pid,
-                        warm_start=False,
-                        certify_s=(
-                            certificate.certify_s if certificate is not None else 0.0
-                        ),
+            results = solver.solve_batch(group, compiled=compiled)
+            wall_s = (time.perf_counter() - solve_start) / len(group)
+        except Exception:
+            for offset in offsets:
+                outcomes[offset] = _solve_one(
+                    solver, chunk.start + offset, chunk.problems[offset],
+                    cache, structure_cache, certifier, pid,
+                )
+            continue
+        for j, (offset, problem, result) in enumerate(zip(offsets, group, results)):
+            index = chunk.start + offset
+            try:
+                certificate = (
+                    _certify_result(certifier, problem, result, solver.name, index)
+                    if certifier is not None
+                    else None
+                )
+            except Exception as exc:
+                outcomes[offset] = _failed_outcome(
+                    index, exc, solver.name, wall_s=wall_s,
+                    compile_s=compile_s if j == 0 else 0.0,
+                    cache_hit=cache_hit if j == 0 else (
+                        True if structure_cache else None
                     ),
                 )
+                continue
+            outcomes[offset] = SlotOutcome(
+                index=index,
+                result=result,
+                certificate=certificate,
+                telemetry=SlotTelemetry(
+                    solver=solver.name,
+                    wall_s=wall_s,
+                    compile_s=compile_s if j == 0 else 0.0,
+                    iterations=result.iterations,
+                    converged=result.converged,
+                    cache_hit=cache_hit if j == 0 else (
+                        True if structure_cache else None
+                    ),
+                    worker=pid,
+                    warm_start=False,
+                    certify_s=(
+                        certificate.certify_s if certificate is not None else 0.0
+                    ),
+                ),
             )
-        except Exception as exc:
-            outcomes.append(
-                _failed_outcome(
-                    index,
-                    exc,
-                    solver.name,
-                    wall_s=time.perf_counter() - start,
-                    compile_s=compile_s,
-                    cache_hit=cache_hit,
-                )
-            )
-    return outcomes
+    return [outcomes[offset] for offset in range(len(chunk.problems))]
 
 
 def _solve_chunk_resilient(
@@ -580,8 +686,44 @@ class HorizonEngine:
             return effective, "pool:clamped-to-cpus", usable
         return effective, "pool:requested", usable
 
+    def _plan_batch(self, batch: bool | None, warm_start: bool) -> bool:
+        """Whether this run takes the vectorized ``solve_batch`` lane.
+
+        ``None`` (default) auto-enables batching whenever the solver
+        exposes a callable ``solve_batch`` and nothing incompatible is
+        requested (warm-start chaining consumes slots sequentially;
+        resilience retries are per-slot by design).  ``True`` forces
+        the lane and raises on any incompatibility; ``False`` forces
+        the scalar per-slot path.
+        """
+        capable = callable(getattr(self.solver, "solve_batch", None))
+        if batch is None:
+            return capable and not warm_start and self.resilience is None
+        if not batch:
+            return False
+        if not capable:
+            raise ValueError(
+                f"solver {self.solver.name!r} has no solve_batch; use a "
+                "batch-capable solver (e.g. 'centralized-batch') or "
+                "run with batch=False"
+            )
+        if warm_start:
+            raise ValueError(
+                "batch=True cannot combine with warm_start: warm chaining "
+                "consumes slots sequentially"
+            )
+        if self.resilience is not None:
+            raise ValueError(
+                "batch=True cannot combine with a resilience config: "
+                "retry/fallback budgets are per-slot; run with batch=False"
+            )
+        return True
+
     def run(
-        self, problems: Sequence[UFCProblem], warm_start: bool = False
+        self,
+        problems: Sequence[UFCProblem],
+        warm_start: bool = False,
+        batch: bool | None = None,
     ) -> list[SlotOutcome]:
         """Solve every problem; outcomes are returned in input order.
 
@@ -590,13 +732,20 @@ class HorizonEngine:
             warm_start: chain each slot from the previous slot's warm
                 payload.  Requires a warm-start-capable solver and
                 ``workers=1`` (the chain is sequential by nature).
+            batch: take the vectorized ``solve_batch`` lane.  None
+                (default) auto-enables it for batch-capable solvers
+                (see :meth:`_plan_batch`); True forces it (raising on
+                an incompatible configuration); False forces the
+                scalar per-slot path.
 
         Raises:
-            ValueError: for warm-start requests the configuration
-                cannot honor (clear error instead of silent fallback).
+            ValueError: for warm-start or batch requests the
+                configuration cannot honor (clear error instead of
+                silent fallback).
         """
         problems = list(problems)
         start = time.perf_counter()
+        batched = self._plan_batch(batch, warm_start)
         if warm_start:
             if not self.solver.supports_warm_start:
                 raise ValueError(
@@ -626,11 +775,15 @@ class HorizonEngine:
                     self.structure_cache,
                     self.certifier,
                     self.resilience,
+                    batched,
                 )
-                executor, start_method = "serial", None
+                executor = "serial-batch" if batched else "serial"
+                start_method = None
             else:
-                outcomes, start_method = self._run_pool(problems, effective)
-                executor = "pool"
+                outcomes, start_method = self._run_pool(
+                    problems, effective, batched=batched
+                )
+                executor = "pool-batch" if batched else "pool"
         wall_s = time.perf_counter() - start
         summary = HorizonSummary.from_outcomes(
             outcomes,
@@ -842,7 +995,8 @@ class HorizonEngine:
         return outcomes
 
     def _run_pool(
-        self, problems: list[UFCProblem], effective_workers: int
+        self, problems: list[UFCProblem], effective_workers: int,
+        batched: bool = False,
     ) -> tuple[list[SlotOutcome], str]:
         chunk_size = self.chunk_size
         if chunk_size is None:
@@ -863,6 +1017,7 @@ class HorizonEngine:
                 (self.structure_cache for _ in chunks),
                 (self.certifier for _ in chunks),
                 (self.resilience for _ in chunks),
+                (batched for _ in chunks),
             ):
                 outcomes.extend(chunk_outcomes)
         outcomes.sort(key=lambda o: o.index)

@@ -21,10 +21,19 @@ interior-point reference solver:
 - :mod:`repro.optim.admm` — a generic m-block ADMM engine.
 - :mod:`repro.optim.admg` — the generic ADM-G engine (ADMM with
   Gaussian back substitution, He-Tao-Yuan 2012).
+- :mod:`repro.optim.batch` — batched cross-slot kernels: a masked
+  batched interior-point method over stacked ``(T, n, n)`` QPs, plus
+  row-wise simplex projection and batched rank-one QP solves.
 """
 
 from repro.optim.admg import ADMGEngine, ADMGResult
 from repro.optim.admm import ADMMBlock, ADMMEngine, ADMMResult
+from repro.optim.batch import (
+    BatchIPQPResult,
+    project_simplex_batch,
+    solve_capped_rank_one_qp_batch,
+    solve_qp_batch,
+)
 from repro.optim.ipqp import IPQPResult, solve_qp
 from repro.optim.rank_one import solve_capped_rank_one_qp
 from repro.optim.scalar import (
@@ -41,6 +50,7 @@ __all__ = [
     "ADMMBlock",
     "ADMMEngine",
     "ADMMResult",
+    "BatchIPQPResult",
     "IPQPResult",
     "PiecewiseLinearConvex",
     "QuadraticScalar",
@@ -48,7 +58,10 @@ __all__ = [
     "minimize_qp_simplex",
     "project_box",
     "project_simplex",
+    "project_simplex_batch",
     "prox_nonneg",
     "solve_capped_rank_one_qp",
+    "solve_capped_rank_one_qp_batch",
     "solve_qp",
+    "solve_qp_batch",
 ]

@@ -153,12 +153,32 @@ class IPQPResult:
     trace: IPQPTrace | None = None
 
 
-def _step_length(v: np.ndarray, dv: np.ndarray, fraction: float = 0.99) -> float:
-    """Largest alpha in (0, 1] keeping ``v + alpha dv > 0``."""
-    neg = dv < 0
-    if not neg.any():
+def _step_length(
+    v: np.ndarray,
+    dv: np.ndarray,
+    fraction: float = 0.99,
+    work: np.ndarray | None = None,
+    mask: np.ndarray | None = None,
+) -> float:
+    """Largest alpha in (0, 1] keeping ``v + alpha dv > 0``.
+
+    ``work`` (float) and ``mask`` (bool) are optional scratch buffers of
+    ``v``'s shape; the hot loop passes them so the call allocates
+    nothing.  The fused form is bit-identical to the masked-indexing
+    one it replaced: ``-(v/dv)`` equals ``(-v)/dv`` exactly in IEEE
+    arithmetic, and the min of negations is the negated max.
+    """
+    if work is None:
+        work = np.empty_like(v)
+    if mask is None:
+        mask = np.empty(v.shape, dtype=bool)
+    np.less(dv, 0.0, out=mask)
+    work.fill(-np.inf)
+    np.divide(v, dv, out=work, where=mask)
+    worst = work.max(initial=-np.inf)
+    if worst == -np.inf:
         return 1.0
-    return float(min(1.0, fraction * np.min(-v[neg] / dv[neg])))
+    return float(min(1.0, fraction * -worst))
 
 
 #: Matches repro.obs.metrics.DEFAULT_ITERATION_BUCKETS; kept literal so
@@ -323,6 +343,13 @@ def solve_qp(
     trace_rec = IPQPTrace() if trace else None
     converged = False
     it = 0
+    # Iteration workspaces, allocated once: the condensed KKT buffer,
+    # the Newton right-hand side, and the step-length scratch pair.
+    # Refilling them each iteration is bit-identical to reallocating.
+    kkt = np.zeros((n + p, n + p))
+    rhs = np.empty(n + p)
+    step_work = np.empty(m)
+    step_mask = np.empty(m, dtype=bool)
     for it in range(1, max_iter + 1):
         r_dual = P @ x + q + A.T @ y + G.T @ z
         r_eq = A @ x - b
@@ -349,10 +376,10 @@ def solve_qp(
             break
 
         w = z / s
-        # Assemble the condensed KKT system in a preallocated buffer
+        # Assemble the condensed KKT system in the preallocated buffer
         # (bit-identical to the np.block expression, without its
         # per-iteration list/concatenate overhead).
-        kkt = np.zeros((n + p, n + p))
+        kkt.fill(0.0)
         kkt[:n, :n] = P + G.T @ (w[:, None] * G)
         kkt[:n, n:] = A.T
         kkt[n:, :n] = A
@@ -360,8 +387,8 @@ def solve_qp(
 
         def solve_newton(r_comp: np.ndarray) -> tuple[np.ndarray, ...]:
             # Eliminate ds = -r_ineq - G dx, dz = (r_comp - z*ds)/s.
-            rhs_x = -r_dual - G.T @ ((r_comp + z * r_ineq) / s)
-            rhs = np.concatenate([rhs_x, -r_eq])
+            rhs[:n] = -r_dual - G.T @ ((r_comp + z * r_ineq) / s)
+            np.negative(r_eq, out=rhs[n:])
             try:
                 sol = np.linalg.solve(kkt, rhs)
             except np.linalg.LinAlgError:
@@ -374,8 +401,8 @@ def solve_qp(
 
         # Affine (predictor) direction.
         dx_a, dy_a, ds_a, dz_a = solve_newton(-s * z)
-        alpha_p = _step_length(s, ds_a, fraction=1.0)
-        alpha_d = _step_length(z, dz_a, fraction=1.0)
+        alpha_p = _step_length(s, ds_a, fraction=1.0, work=step_work, mask=step_mask)
+        alpha_d = _step_length(z, dz_a, fraction=1.0, work=step_work, mask=step_mask)
         mu_aff = float((s + alpha_p * ds_a) @ (z + alpha_d * dz_a)) / m
         sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.0
 
@@ -386,7 +413,10 @@ def solve_qp(
         # the common step is provably monotone in the merit sense.
         r_comp = -s * z + sigma * mu - ds_a * dz_a
         dx, dy, ds, dz = solve_newton(r_comp)
-        alpha = min(_step_length(s, ds), _step_length(z, dz))
+        alpha = min(
+            _step_length(s, ds, work=step_work, mask=step_mask),
+            _step_length(z, dz, work=step_work, mask=step_mask),
+        )
 
         if trace_rec is not None and (it - 1) % trace_every == 0:
             trace_rec.alpha_affine.append(min(alpha_p, alpha_d))

@@ -1,0 +1,177 @@
+"""Tests for repro.admg.batch: stacked kernels vs the scalar wrappers.
+
+Every batched block update promises *exact* equality with mapping the
+matrix-level wrapper in :mod:`repro.admg.subproblems` over the T slots,
+so a batched horizon iteration reproduces the scalar iterates slot for
+slot.  All assertions here are ``np.array_equal``, not allclose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.admg import batch as bk
+from repro.admg import subproblems as sp
+from repro.admg.solver import DistributedUFCSolver
+from repro.core.problem import SlotInputs, UFCProblem
+from repro.core.strategies import FUEL_CELL, GRID, HYBRID
+
+T = 7
+RHO = 0.3
+
+
+@pytest.fixture()
+def view(tiny_model, tiny_inputs):
+    solver = DistributedUFCSolver(rho=RHO)
+    scaled, _ = solver.scaled_context(UFCProblem(tiny_model, tiny_inputs))
+    return scaled
+
+
+def stacked_state(view, seed=0):
+    """Random (T, ...) iterates plus per-slot price/carbon inputs."""
+    rng = np.random.default_rng(seed)
+    m, n = view.num_frontends, view.num_datacenters
+    return {
+        "lam": rng.uniform(0, 1, size=(T, m, n)),
+        "mu": rng.uniform(0, 0.3, size=(T, n)),
+        "nu": rng.uniform(0, 0.3, size=(T, n)),
+        "a": rng.uniform(0, 1, size=(T, m, n)),
+        "phi": rng.normal(0, 5, size=(T, n)),
+        "varphi": rng.normal(0, 1, size=(T, m, n)),
+        "prices": rng.uniform(20, 80, size=(T, n)),
+        "carbon_rates": rng.uniform(100, 800, size=(T, n)),
+        "arrivals": rng.uniform(100, 600, size=(T, m)),
+    }
+
+
+def slot_inputs(state, t):
+    return SlotInputs(
+        arrivals=state["arrivals"][t],
+        prices=state["prices"][t],
+        carbon_rates=state["carbon_rates"][t],
+    )
+
+
+class TestMuMinimizationBatch:
+    @pytest.mark.parametrize("strategy", [HYBRID, GRID, FUEL_CELL], ids=lambda s: s.name)
+    def test_exact_match_per_slot(self, view, strategy):
+        state = stacked_state(view, seed=1)
+        out = bk.mu_minimization_batch(
+            view, strategy, state["a"], state["nu"], state["phi"], RHO
+        )
+        for t in range(T):
+            ref = sp.mu_minimization(
+                view, strategy, state["a"][t], state["nu"][t], state["phi"][t], RHO
+            )
+            assert np.array_equal(out[t], ref), t
+
+    def test_grid_strategy_pins_zero(self, view):
+        state = stacked_state(view, seed=2)
+        out = bk.mu_minimization_batch(
+            view, GRID, state["a"], state["nu"], state["phi"], RHO
+        )
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestNuMinimizationBatch:
+    @pytest.mark.parametrize("strategy", [HYBRID, GRID], ids=lambda s: s.name)
+    def test_exact_match_per_slot(self, view, strategy):
+        state = stacked_state(view, seed=3)
+        mu_pred = bk.mu_minimization_batch(
+            view, strategy, state["a"], state["nu"], state["phi"], RHO
+        )
+        out = bk.nu_minimization_batch(
+            view, strategy, state["prices"], state["carbon_rates"],
+            state["a"], mu_pred, state["phi"], RHO,
+        )
+        for t in range(T):
+            ref = sp.nu_minimization(
+                view, slot_inputs(state, t), strategy,
+                state["a"][t], mu_pred[t], state["phi"][t], RHO,
+            )
+            assert np.array_equal(out[t], ref), t
+
+    def test_fuel_cell_disables_grid_draw(self, view):
+        state = stacked_state(view, seed=4)
+        out = bk.nu_minimization_batch(
+            view, FUEL_CELL, state["prices"], state["carbon_rates"],
+            state["a"], state["mu"], state["phi"], RHO,
+        )
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestAMinimizationBatch:
+    def test_exact_match_per_slot(self, view):
+        state = stacked_state(view, seed=5)
+        out = bk.a_minimization_batch(
+            view, state["lam"], state["mu"], state["nu"],
+            state["phi"], state["varphi"], RHO,
+        )
+        for t in range(T):
+            ref = sp.a_minimization(
+                view, state["lam"][t], state["mu"][t], state["nu"][t],
+                state["phi"][t], state["varphi"][t], RHO,
+            )
+            assert np.array_equal(out[t], ref), t
+
+    def test_respects_capacities(self, view):
+        state = stacked_state(view, seed=6)
+        out = bk.a_minimization_batch(
+            view, state["lam"] * 10, state["mu"], state["nu"],
+            state["phi"], state["varphi"], RHO,
+        )
+        totals = out.sum(axis=1)
+        assert (totals <= view.capacities[None, :] + 1e-9).all()
+        assert (out >= 0).all()
+
+
+class TestDualAndCorrectionBatch:
+    def test_dual_updates_exact_match(self, view):
+        state = stacked_state(view, seed=7)
+        phi_b, varphi_b = bk.dual_updates_batch(
+            view, state["lam"], state["mu"], state["nu"], state["a"],
+            state["phi"], state["varphi"], RHO,
+        )
+        for t in range(T):
+            phi_s, varphi_s = sp.dual_updates(
+                view, state["lam"][t], state["mu"][t], state["nu"][t],
+                state["a"][t], state["phi"][t], state["varphi"][t], RHO,
+            )
+            assert np.array_equal(phi_b[t], phi_s), t
+            assert np.array_equal(varphi_b[t], varphi_s), t
+
+    def test_correction_step_exact_match(self, view):
+        state = stacked_state(view, seed=8)
+        pred = stacked_state(view, seed=9)
+        eps = 0.8
+        batched = bk.correction_step_batch(
+            view, eps, pred["lam"],
+            state["mu"], pred["mu"], state["nu"], pred["nu"],
+            state["a"], pred["a"], state["phi"], pred["phi"],
+            state["varphi"], pred["varphi"],
+        )
+        for t in range(T):
+            scalar = sp.correction_step(
+                view, eps, pred["lam"][t],
+                state["mu"][t], pred["mu"][t], state["nu"][t], pred["nu"][t],
+                state["a"][t], pred["a"][t], state["phi"][t], pred["phi"][t],
+                state["varphi"][t], pred["varphi"][t],
+            )
+            for b_arr, s_arr in zip(batched, scalar):
+                assert np.array_equal(b_arr[t], s_arr), t
+
+    def test_correction_returns_copy_of_lam_pred(self, view):
+        state = stacked_state(view, seed=10)
+        pred = stacked_state(view, seed=11)
+        out = bk.correction_step_batch(
+            view, 0.5, pred["lam"],
+            state["mu"], pred["mu"], state["nu"], pred["nu"],
+            state["a"], pred["a"], state["phi"], pred["phi"],
+            state["varphi"], pred["varphi"],
+        )
+        lam_new = out[0]
+        assert np.array_equal(lam_new, pred["lam"])
+        assert lam_new is not pred["lam"]
+        lam_new[0, 0, 0] += 1.0
+        assert lam_new[0, 0, 0] != pred["lam"][0, 0, 0]

@@ -206,3 +206,46 @@ class TestEquilibrationCycleFallback:
         assert res.converged
         assert res.trace is not None
         assert len(res.trace) == res.iterations
+
+
+class TestWorkspaceReuse:
+    """The preallocated-workspace micro-optimizations must be invisible:
+    repeated solves are bit-identical and inputs are never mutated."""
+
+    def _instance(self, seed=3):
+        rng = np.random.default_rng(seed)
+        n = 6
+        half = rng.normal(size=(n, n))
+        P = half @ half.T + np.eye(n)
+        q = rng.normal(size=n)
+        A = np.ones((1, n))
+        b = np.array([2.0])
+        G = np.vstack([-np.eye(n), rng.normal(size=(2, n))])
+        h = np.concatenate([np.zeros(n), rng.uniform(3.0, 5.0, size=2)])
+        return P, q, A, b, G, h
+
+    def test_repeated_solves_bit_identical(self):
+        P, q, A, b, G, h = self._instance()
+        first = solve_qp(P, q, A=A, b=b, G=G, h=h)
+        second = solve_qp(P, q, A=A, b=b, G=G, h=h)
+        assert first.converged and second.converged
+        assert (first.x == second.x).all()
+        assert (first.eq_dual == second.eq_dual).all()
+        assert (first.ineq_dual == second.ineq_dual).all()
+        assert first.iterations == second.iterations
+        assert first.value == second.value
+
+    def test_inputs_not_mutated(self):
+        P, q, A, b, G, h = self._instance(seed=4)
+        copies = tuple(arr.copy() for arr in (P, q, A, b, G, h))
+        res = solve_qp(P, q, A=A, b=b, G=G, h=h)
+        assert res.converged
+        for original, copy in zip((P, q, A, b, G, h), copies):
+            assert (original == copy).all()
+
+    def test_trace_does_not_change_iterates(self):
+        P, q, A, b, G, h = self._instance(seed=5)
+        plain = solve_qp(P, q, A=A, b=b, G=G, h=h)
+        traced = solve_qp(P, q, A=A, b=b, G=G, h=h, trace=True)
+        assert (plain.x == traced.x).all()
+        assert plain.iterations == traced.iterations

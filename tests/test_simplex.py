@@ -47,9 +47,44 @@ class TestProjectSimplex:
         with pytest.raises(ValueError):
             project_simplex(np.array([1.0]), -1.0)
 
-    def test_2d_input_rejected(self):
+    def test_3d_input_rejected(self):
         with pytest.raises(ValueError):
-            project_simplex(np.zeros((2, 2)), 1.0)
+            project_simplex(np.zeros((2, 2, 2)), 1.0)
+
+    def test_2d_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.zeros((2, 3)), np.array([1.0, -1.0]))
+
+    def test_2d_rows_match_scalar_calls(self):
+        v = np.array([[0.9, -0.2, 0.4], [100.0, 0.0, 0.0], [3.0, -1.0, 0.5]])
+        totals = np.array([1.0, 1.0, 0.0])
+        out = project_simplex(v, totals)
+        for r in range(v.shape[0]):
+            assert np.array_equal(out[r], project_simplex(v[r], totals[r]))
+
+    def test_2d_scalar_total_broadcasts(self):
+        v = np.array([[0.2, 0.3], [5.0, -5.0]])
+        out = project_simplex(v, 2.0)
+        for r in range(v.shape[0]):
+            assert np.array_equal(out[r], project_simplex(v[r], 2.0))
+
+    @given(
+        v=hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(1, 8), st.integers(1, 10)),
+            elements=finite_floats,
+        ),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_2d_rows_bit_identical_to_scalar(self, v, seed):
+        """Every batched row reproduces the 1-D algorithm exactly."""
+        rng = np.random.default_rng(seed)
+        totals = rng.uniform(0.0, 20.0, size=v.shape[0])
+        out = project_simplex(v, totals)
+        assert out.shape == v.shape
+        for r in range(v.shape[0]):
+            assert np.array_equal(out[r], project_simplex(v[r], totals[r]))
 
     @given(v=vectors(), total=st.floats(min_value=0.0, max_value=50.0))
     @settings(max_examples=150, deadline=None)
@@ -89,6 +124,17 @@ class TestProjectBox:
     def test_vector_bounds(self):
         out = project_box(np.array([5.0, 5.0]), np.array([0.0, 6.0]), np.array([4.0, 9.0]))
         np.testing.assert_allclose(out, [4.0, 6.0])
+
+    def test_2d_batch_matches_rowwise(self):
+        v = np.array([[-1.0, 2.0], [0.5, 0.5], [9.0, -9.0]])
+        out = project_box(v, 0.0, 1.0)
+        for r in range(v.shape[0]):
+            assert np.array_equal(out[r], project_box(v[r], 0.0, 1.0))
+
+    def test_2d_broadcast_column_bounds(self):
+        v = np.array([[5.0, 5.0], [-5.0, -5.0]])
+        out = project_box(v, np.array([0.0, 6.0]), np.array([4.0, 9.0]))
+        np.testing.assert_allclose(out, [[4.0, 6.0], [0.0, 6.0]])
 
 
 def _brute_force_simplex_min(H, q, total, grid=60):
