@@ -1,0 +1,55 @@
+"""Execution-layer benchmark: clients, pipelining, store warm re-runs.
+
+Drives the CLI's ``bench --client`` flow (the same one CI records as
+``BENCH_exec.json``) over the full week: serial engine vs the classic
+pool lane vs the pipelined mp client, all checked bit-identical, plus
+a result-store cold/warm pair whose disk-warm re-run must clear the
+5x speedup floor.
+
+Run standalone to write the JSON summary::
+
+    PYTHONPATH=src python benchmarks/bench_exec.py --out BENCH_exec.json
+
+or through pytest-benchmark with the rest of the ``bench_*`` modules
+(a 24-slot horizon keeps the suite's runtime sane).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli import main as repro_main
+
+
+def _run(hours: int, out: str | None, warm_floor: float | None) -> int:
+    # No --quick: it would clamp an explicit full-week horizon; the
+    # warm floor is passed explicitly instead.
+    argv = [
+        "--hours",
+        str(hours),
+        "bench",
+        "--client",
+        "mp",
+        "--max-pending",
+        "4",
+    ]
+    if out:
+        argv += ["--json", out]
+    if warm_floor is not None:
+        argv += ["--warm-floor", str(warm_floor)]
+    return repro_main(argv)
+
+
+def test_exec_bench_quick(run_once):
+    """24-slot smoke: parity across lanes + the 5x warm-store floor."""
+    assert run_once(_run, 24, None, 5.0) == 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=168)
+    parser.add_argument("--out", default="BENCH_exec.json")
+    parser.add_argument("--warm-floor", type=float, default=5.0)
+    args = parser.parse_args()
+    sys.exit(_run(args.hours, args.out, args.warm_floor))

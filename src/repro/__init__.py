@@ -54,9 +54,9 @@ from repro.engine import (
     SlotSolver,
     available_solvers,
     create_solver,
-    parallel_map,
     register_solver,
 )
+from repro.exec import ExecutionClient, ResultStore, parallel_map
 from repro.obs import (
     HorizonSummary,
     JsonlTelemetry,
@@ -84,6 +84,7 @@ __all__ = [
     "Datacenter",
     "DistributedUFCSolver",
     "EmissionCostFunction",
+    "ExecutionClient",
     "FUEL_CELL",
     "FrontEnd",
     "GRID",
@@ -99,6 +100,7 @@ __all__ = [
     "QuadraticLatencyUtility",
     "RecordingTelemetry",
     "ResidualTrace",
+    "ResultStore",
     "ServerPowerModel",
     "SimulationResult",
     "Simulator",

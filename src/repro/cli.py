@@ -17,6 +17,9 @@ Installed as ``python -m repro``::
     python -m repro doctor --solver distributed --json doctor.json
     python -m repro bench --quick
     python -m repro bench --quick --json BENCH_quick.json
+    python -m repro bench --quick --client mp --max-pending 4 --json BENCH_exec.json
+    python -m repro compare --client mp --max-pending 4 --store .repro-store
+    python -m repro exec-worker --connect 127.0.0.1:7463
     python -m repro chaos --list
     python -m repro chaos --scenario dc-crash --horizon 24
     python -m repro chaos --spec my_scenario.json --json chaos.json
@@ -31,6 +34,7 @@ import numpy as np
 
 from repro.core.strategies import FUEL_CELL, GRID, HYBRID, Strategy
 from repro.engine.registry import available_solvers, create_solver
+from repro.exec import available_clients
 from repro.sim.simulator import Simulator, build_model
 from repro.traces.datasets import default_bundle
 
@@ -41,6 +45,42 @@ _STRATEGIES: dict[str, Strategy] = {
     "fuel-cell": FUEL_CELL,
     "hybrid": HYBRID,
 }
+
+
+def _add_exec_args(cmd: argparse.ArgumentParser) -> None:
+    """The execution-layer knobs shared by the solving subcommands."""
+    cmd.add_argument(
+        "--client",
+        choices=available_clients(),
+        default=None,
+        help="execution backend to solve through (default: classic "
+        "workers-driven serial/pool choice; results are identical "
+        "on every backend)",
+    )
+    cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on in-flight slot batches (pipelined submission); "
+        "default keeps every batch in flight",
+    )
+    cmd.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store directory; repeated runs "
+        "resolve unchanged slots from disk",
+    )
+
+
+def _exec_kwargs(args) -> dict:
+    """Simulator/engine kwargs from the ``_add_exec_args`` flags."""
+    return {
+        "client": args.client,
+        "max_pending": args.max_pending,
+        "store": args.store,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,8 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--rho", type=float, default=0.3,
                      help="ADM-G penalty (distributed solver only)")
+    _add_exec_args(sim)
 
-    sub.add_parser("compare", help="run all three strategies")
+    compare = sub.add_parser("compare", help="run all three strategies")
+    _add_exec_args(compare)
 
     report = sub.add_parser("report", help="regenerate every table/figure")
     report.add_argument("--fast", action="store_true", help="skip sweeps/Fig.11")
@@ -166,13 +208,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the certificate summary (per-slot verdicts "
         "plus the metrics registry) as JSON to PATH",
     )
+    _add_exec_args(doctor)
+
+    worker = sub.add_parser(
+        "exec-worker",
+        help="serve this process as a socket-client solve worker "
+        "(connect to a SocketClient's listener and run tasks until "
+        "it stops)",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the SocketClient listener to join (e.g. "
+        "127.0.0.1:7463) — run one worker per CPU you want to lend",
+    )
 
     bench = sub.add_parser(
         "bench",
         help="time the batched solve lane against the serial cached "
         "path and check certification-grade parity (exit 1 on a "
         "parity failure, or on a speedup-floor regression when a "
-        "floor is gated)",
+        "floor is gated); with --client, benchmark the execution "
+        "layer instead: serial vs pool vs pipelined client, plus a "
+        "result-store cold/warm pair",
     )
     bench.add_argument(
         "--quick",
@@ -200,6 +259,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the timing/parity summary as JSON to PATH",
     )
+    bench.add_argument(
+        "--warm-floor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --client: fail unless the disk-warm store re-run "
+        "is X times faster than the cold run (default: 5.0 with "
+        "--quick, ungated otherwise)",
+    )
+    _add_exec_args(bench)
 
     chaos = sub.add_parser(
         "chaos",
@@ -279,9 +348,9 @@ def _cmd_simulate(args) -> int:
     solver = create_solver(args.solver, **solver_kwargs)
     sink = _telemetry_sink(args)
     try:
-        result = Simulator(model, bundle, solver=solver, workers=args.workers).run(
-            _STRATEGIES[args.strategy], telemetry=sink
-        )
+        result = Simulator(
+            model, bundle, solver=solver, workers=args.workers, **_exec_kwargs(args)
+        ).run(_STRATEGIES[args.strategy], telemetry=sink)
     finally:
         if sink is not None:
             sink.close()
@@ -295,7 +364,7 @@ def _cmd_compare(args) -> int:
     model = build_model(bundle)
     sink = _telemetry_sink(args)
     try:
-        comp = Simulator(model, bundle).compare_strategies(
+        comp = Simulator(model, bundle, **_exec_kwargs(args)).compare_strategies(
             workers=args.workers, telemetry=sink
         )
     finally:
@@ -413,6 +482,7 @@ def _cmd_doctor(args) -> int:
             workers=args.workers,
             certify=certifier,
             metrics=metrics,
+            **_exec_kwargs(args),
         )
         result = sim.run(_STRATEGIES[args.strategy], telemetry=sink)
     finally:
@@ -427,7 +497,7 @@ def _cmd_doctor(args) -> int:
         f"strategy={args.strategy} seed={args.seed}"
     )
     print()
-    print(health_dashboard(certs))
+    print(health_dashboard(certs, summary=result.horizon_summary))
     print()
     print(health_table(certs, max_rows=None if args.full else 24))
     _print_profile(args, result.horizon_summary)
@@ -511,12 +581,151 @@ def _cmd_chaos(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_exec_worker(args) -> int:
+    from repro.exec import serve_worker
+
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        print(
+            f"exec-worker: --connect wants HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    serve_worker(host, int(port))
+    return 0
+
+
+def _bench_exec(args) -> int:
+    """The ``bench --client`` flavor: execution-layer timings.
+
+    Times the horizon through (a) the plain serial engine, (b) the
+    classic pool lane, and (c) the requested client with pipelined
+    submission, checking bit-identical UFC values across all three;
+    then runs a result-store cold/warm pair and reports the disk-warm
+    speedup.  Timing floors only gate what the issue gates: the warm
+    re-run (``--warm-floor``, default 5x with --quick).
+    """
+    import json
+    import shutil
+    import tempfile
+    import time
+
+    from repro.core.strategies import ALL_STRATEGIES
+    from repro.engine import HorizonEngine, usable_cpu_count
+
+    hours = 24 if (args.quick and args.hours == 168) else args.hours
+    warm_floor = args.warm_floor
+    if warm_floor is None and args.quick:
+        warm_floor = 5.0
+    max_pending = args.max_pending if args.max_pending else 4
+    pool_workers = max(2, min(4, usable_cpu_count()))
+
+    bundle = default_bundle(hours=hours, seed=args.seed)
+    model = build_model(bundle)
+    sim = Simulator(model, bundle)
+    problems = [
+        sim.problem_for_slot(t, strategy)
+        for strategy in ALL_STRATEGIES
+        for t in range(hours)
+    ]
+
+    def timed(**engine_kwargs):
+        engine = HorizonEngine("centralized", **engine_kwargs)
+        start = time.perf_counter()
+        outcomes = engine.run(problems)
+        elapsed = time.perf_counter() - start
+        return elapsed, [o.result.ufc for o in outcomes], engine.last_summary
+
+    timed()  # warm numpy/BLAS before any measured lane
+    serial_s, base_ufc, _ = timed()
+    pool_s, pool_ufc, pool_summary = timed(
+        workers=pool_workers, oversubscribe=True
+    )
+    client_s, client_ufc, client_summary = timed(
+        workers=pool_workers,
+        oversubscribe=True,
+        client=args.client,
+        max_pending=max_pending,
+    )
+    parity_ok = base_ufc == pool_ufc == client_ufc
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        cold_s, cold_ufc, _ = timed(store=store_dir)
+        warm_s, warm_ufc, warm_summary = timed(store=store_dir)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    store_parity_ok = base_ufc == cold_ufc == warm_ufc
+    store_hits = warm_summary.store_hits
+    warm_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    warm_ok = warm_floor is None or warm_speedup >= warm_floor
+    all_hits = store_hits == len(problems)
+
+    print(f"slots               : {len(problems)} ({hours}h x 3 strategies)")
+    print(f"serial engine       : {serial_s * 1000:,.0f} ms")
+    print(
+        f"pool lane           : {pool_s * 1000:,.0f} ms  "
+        f"({pool_workers} workers, executor {pool_summary.executor})"
+    )
+    print(
+        f"pipelined client    : {client_s * 1000:,.0f} ms  "
+        f"(client {client_summary.client}, "
+        f"max {client_summary.max_pending_observed} pending)"
+    )
+    print(f"client vs pool      : {pool_s / client_s:.2f}x")
+    print(f"store cold run      : {cold_s * 1000:,.0f} ms")
+    print(
+        f"store warm run      : {warm_s * 1000:,.0f} ms  "
+        f"({store_hits}/{len(problems)} slots from disk)"
+    )
+    print(f"warm speedup        : {warm_speedup:.1f}x")
+    if warm_floor is not None:
+        print(
+            f"warm floor {warm_floor:.1f}x     : "
+            f"{'ok' if warm_ok else 'REGRESSED'}"
+        )
+    print(f"parity              : {'ok' if parity_ok else 'FAILURE'}")
+    if not parity_ok:
+        print("PARITY FAILURE: client lanes disagree with the serial engine")
+    if not store_parity_ok:
+        print("PARITY FAILURE: store-resolved run disagrees with the serial engine")
+
+    passed = bool(parity_ok and store_parity_ok and warm_ok and all_hits)
+    if args.json:
+        payload = {
+            "hours": hours,
+            "slots": len(problems),
+            "client": args.client,
+            "max_pending": max_pending,
+            "pool_workers": pool_workers,
+            "serial_s": round(serial_s, 4),
+            "pool_s": round(pool_s, 4),
+            "client_s": round(client_s, 4),
+            "client_vs_pool": round(pool_s / client_s, 4),
+            "store_cold_s": round(cold_s, 4),
+            "store_warm_s": round(warm_s, 4),
+            "warm_speedup": round(warm_speedup, 4),
+            "warm_floor": warm_floor,
+            "store_hits": store_hits,
+            "parity_ok": parity_ok,
+            "store_parity_ok": store_parity_ok,
+            "passed": passed,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if passed else 1
+
+
 def _cmd_bench(args) -> int:
     import json
     import time
 
     from repro.core.strategies import ALL_STRATEGIES
     from repro.engine import HorizonEngine
+
+    if args.client:
+        return _bench_exec(args)
 
     # --quick drops the global week default to a 24-slot smoke; an
     # explicit non-default --hours wins either way.
@@ -628,6 +837,7 @@ _COMMANDS = {
     "doctor": _cmd_doctor,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "exec-worker": _cmd_exec_worker,
 }
 
 

@@ -17,13 +17,11 @@ from repro.engine.adapters import (
     HeuristicSlotSolver,
 )
 from repro.engine.batch import CentralizedBatchSlotSolver
-from repro.engine.horizon import (
-    CompileCache,
-    HorizonEngine,
-    SlotOutcome,
-    parallel_map,
-    usable_cpu_count,
-)
+from repro.engine.horizon import CompileCache, HorizonEngine, SlotOutcome
+
+# Re-exported from their new home in the execution layer; the
+# `repro.engine.horizon.parallel_map` shim still exists but warns.
+from repro.exec import parallel_map, usable_cpu_count
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import available_solvers, create_solver, register_solver
 

@@ -1,13 +1,28 @@
-"""Map independent slot problems over a worker pool.
+"""Map independent slot problems over pluggable execution clients.
 
 Interactive workloads cannot be deferred, so the paper's 168 hourly
 UFC problems are independent — the horizon is an embarrassingly
-parallel map.  :class:`HorizonEngine` runs it with
+parallel map.  :class:`HorizonEngine` runs it as a *policy layer* over
+the :mod:`repro.exec` client stack: slots are chunked into batches,
+submitted asynchronously through an
+:class:`~repro.exec.clients.ExecutionClient` (in-process,
+multiprocessing, or socket/RPC for multi-node sharding), kept at most
+``max_pending`` batches in flight, and harvested as they complete —
+with results reassembled in slot order, so every lane stays
+deterministic.  Concretely:
 
-- a **serial** executor (``workers=1``) or a chunked **process pool**
-  (``workers>1``), with deterministic, index-ordered results either
-  way (solvers are deterministic, so serial and parallel runs return
-  bit-identical allocations);
+- a **serial** executor (``workers=1``, the in-process client) or a
+  chunked **process pool** (``workers>1``, the multiprocessing
+  client), with deterministic, index-ordered results either way
+  (solvers are deterministic, so serial and parallel runs return
+  bit-identical allocations); ``client=`` swaps in any registered
+  backend (``"mp"``, ``"socket"``, or a custom
+  :class:`~repro.exec.clients.ExecutionClient`);
+- an optional **persistent result store**
+  (:class:`~repro.exec.store.ResultStore`): slots whose (model,
+  strategy, solver, inputs) digest is already on disk resolve from
+  the store instead of the solver, so repeated sweeps and chaos runs
+  warm-start from disk;
 - **pool sizing that cannot hurt**: the requested worker count is
   clamped to the CPUs actually usable by this process, the
   multiprocessing start method is pinned explicitly, and when the pool
@@ -38,11 +53,10 @@ parallel map.  :class:`HorizonEngine` runs it with
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
@@ -50,6 +64,15 @@ from repro.core.problem import UFCProblem
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import create_solver
 from repro.engine.resilience import ResilienceConfig
+from repro.exec.clients import (
+    ExecutionClient,
+    InProcessClient,
+    MultiprocessingClient,
+    create_client,
+    usable_cpu_count,
+)
+from repro.exec.pipeline import BatchScheduler
+from repro.exec.store import ResultStore, problem_digest
 from repro.obs import (
     HorizonSummary,
     SlotTelemetry,
@@ -71,41 +94,13 @@ class SlotTimeoutError(RuntimeError):
     """An attempt exceeded the per-slot wall-clock budget.
 
     In-process solvers cannot be preempted, so the budget is enforced
-    after the attempt returns; the late result is discarded and the
-    fallback chain escalates.
+    after the attempt returns (and, for asynchronous clients, on the
+    whole pending batch at harvest time); the late result is discarded
+    and the fallback chain escalates.
     """
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
-
-
-def usable_cpu_count() -> int:
-    """CPUs this process may actually run on.
-
-    Containers and batch schedulers routinely hand out fewer cores
-    than ``os.cpu_count()`` reports; the scheduling affinity mask is
-    the honest number where the platform exposes it.
-    """
-    if hasattr(os, "sched_getaffinity"):
-        try:
-            return max(1, len(os.sched_getaffinity(0)))
-        except OSError:  # pragma: no cover - platform quirk
-            pass
-    return os.cpu_count() or 1
-
-
-def _mp_context() -> multiprocessing.context.BaseContext:
-    """The pinned multiprocessing context for every pool in the library.
-
-    ``fork`` where the platform offers it (workers inherit the loaded
-    modules, so startup is cheap and deterministic); ``spawn``
-    elsewhere.  Pinning keeps behavior stable across Python versions
-    instead of drifting with the platform default.
-    """
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context("spawn")
 
 
 @dataclass
@@ -203,10 +198,22 @@ class CompileCache:
 
 @dataclass
 class _Chunk:
-    """A contiguous run of slots shipped to one worker."""
+    """A batch of slots shipped to one worker.
+
+    Usually a contiguous run (``start + offset`` indexing); a store-
+    warmed horizon solves only the miss slots, so ``indices`` carries
+    the explicit (sorted, possibly gapped) slot indices in that case.
+    """
 
     start: int
     problems: list[UFCProblem] = field(default_factory=list)
+    indices: list[int] | None = None
+
+    def index(self, offset: int) -> int:
+        """The global slot index of the chunk's ``offset``-th problem."""
+        if self.indices is not None:
+            return self.indices[offset]
+        return self.start + offset
 
 
 def _failed_outcome(
@@ -337,7 +344,7 @@ def _solve_chunk(
     pid = os.getpid()
     return [
         _solve_one(
-            solver, chunk.start + offset, problem, cache, structure_cache,
+            solver, chunk.index(offset), problem, cache, structure_cache,
             certifier, pid,
         )
         for offset, problem in enumerate(chunk.problems)
@@ -391,12 +398,12 @@ def _solve_chunk_batched(
         except Exception:
             for offset in offsets:
                 outcomes[offset] = _solve_one(
-                    solver, chunk.start + offset, chunk.problems[offset],
+                    solver, chunk.index(offset), chunk.problems[offset],
                     cache, structure_cache, certifier, pid,
                 )
             continue
         for j, (offset, problem, result) in enumerate(zip(offsets, group, results)):
-            index = chunk.start + offset
+            index = chunk.index(offset)
             try:
                 certificate = (
                     _certify_result(certifier, problem, result, solver.name, index)
@@ -464,7 +471,7 @@ def _solve_chunk_resilient(
     quarantined = False
     outcomes: list[SlotOutcome] = []
     for offset, problem in enumerate(chunk.problems):
-        index = chunk.start + offset
+        index = chunk.index(offset)
         chain_errors: list[str] = []
         attempts = 0
         outcome: SlotOutcome | None = None
@@ -579,6 +586,57 @@ def _solve_chunk_resilient(
     return outcomes
 
 
+def _timeout_chunk_outcomes(
+    chunk: _Chunk, budget_s: float, solver_name: str
+) -> list[SlotOutcome]:
+    """Failed outcomes for a pending batch abandoned at harvest time.
+
+    A batch that blows its harvest budget (``slot_timeout_s`` summed
+    over its slots) never delivers per-slot telemetry, so every slot
+    becomes a :class:`SlotTimeoutError` outcome attributed to the
+    harvesting process.
+    """
+    pid = os.getpid()
+    outcomes = []
+    for offset in range(len(chunk.problems)):
+        index = chunk.index(offset)
+        message = (
+            f"slot {index}: pending batch exceeded its harvest budget "
+            f"({budget_s:.3f}s for {len(chunk.problems)} slots); the "
+            "batch was abandoned and its late result discarded"
+        )
+        outcomes.append(
+            SlotOutcome(
+                index=index,
+                error=f"SlotTimeoutError: {message}",
+                error_type="SlotTimeoutError",
+                error_message=message,
+                telemetry=SlotTelemetry(
+                    solver=solver_name,
+                    wall_s=0.0,
+                    compile_s=0.0,
+                    iterations=0,
+                    converged=False,
+                    cache_hit=None,
+                    worker=pid,
+                    warm_start=False,
+                    error_type="SlotTimeoutError",
+                ),
+            )
+        )
+    return outcomes
+
+
+@dataclass
+class _ExecStats:
+    """What the execution layer reports back into the run summary."""
+
+    client: str | None = None
+    pending_max: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+
+
 class HorizonEngine:
     """Run a sequence of slot problems through one solver.
 
@@ -621,11 +679,39 @@ class HorizonEngine:
             repeatedly-failing primary.  None (default) keeps the
             original single-attempt path bit-identical.  Incompatible
             with ``warm_start`` runs (a fallback breaks the chain's
-            state contract).
+            state contract).  With an asynchronous client,
+            ``slot_timeout_s`` is additionally enforced on each whole
+            pending batch at harvest time: a batch still outstanding
+            after ``slot_timeout_s x slots`` seconds is abandoned and
+            every slot in it surfaces as a ``SlotTimeoutError``
+            outcome.
+        client: execution backend the horizon runs through — a
+            registry name (``"in-process"``, ``"mp"``, ``"socket"``;
+            see :func:`repro.exec.clients.available_clients`) or an
+            :class:`~repro.exec.clients.ExecutionClient` instance (the
+            caller keeps ownership of an instance's lifecycle; names
+            are instantiated per run with this engine's ``workers`` /
+            ``oversubscribe`` and closed afterwards).  None (default)
+            picks the classic backends from ``workers``: the
+            in-process client serially, the multiprocessing client for
+            pools — outcomes are bit-identical across all of them.
+        max_pending: maximum slot batches in flight at once (None
+            keeps every batch in flight, the classic pool shape).
+            Bounding it pipelines the horizon: batches are submitted
+            out of order as others complete, which caps memory and
+            keeps elastic backends busy without flooding them.
+        store: optional persistent result store — a
+            :class:`~repro.exec.store.ResultStore` or a directory
+            path.  Before solving, every slot's (model, strategy,
+            solver, inputs) digest is probed; hits resolve from disk
+            (and are re-certified in-process when ``certify`` is on),
+            misses are solved and written back.  Degraded/fallback
+            results are never stored.
 
     After each :meth:`run`, :attr:`last_summary` holds the run's
     :class:`~repro.obs.HorizonSummary` (phase breakdown, executor
-    decision, cache, convergence and certification totals).
+    decision, client and store statistics, cache, convergence and
+    certification totals).
     """
 
     def __init__(
@@ -639,17 +725,28 @@ class HorizonEngine:
         certify: bool | Any = False,
         metrics: Any | None = None,
         resilience: ResilienceConfig | None = None,
+        client: str | ExecutionClient | None = None,
+        max_pending: int | None = None,
+        store: ResultStore | str | os.PathLike | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.solver = create_solver(solver)
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.structure_cache = structure_cache
         self.telemetry = as_telemetry(telemetry)
         self.oversubscribe = bool(oversubscribe)
+        self.client = client
+        self.max_pending = max_pending
+        if store is None or isinstance(store, ResultStore):
+            self.store: ResultStore | None = store
+        else:
+            self.store = ResultStore(store)
         if certify is True:
             from repro.obs.certify import CertificationContext
 
@@ -763,27 +860,32 @@ class HorizonEngine:
                     "warm-start chaining is sequential; use workers=1 "
                     "(the Fig. 11 iteration counts are cold-started anyway)"
                 )
+            if self.client is not None:
+                raise ValueError(
+                    "warm-start chaining is sequential by nature; it "
+                    "cannot route through an execution client — run "
+                    "with client=None"
+                )
+            if self.store is not None:
+                raise ValueError(
+                    "warm-start chaining cannot combine with a result "
+                    "store: a store hit would break the chain's "
+                    "warm-state hand-off"
+                )
             outcomes = self._run_warm(problems)
             executor, decision, effective = "serial-warm", "serial:warm-start", 1
             usable, start_method = usable_cpu_count(), None
+            stats = _ExecStats()
         else:
-            effective, decision, usable = self.plan_workers(len(problems))
-            if effective == 1:
-                outcomes = _solve_chunk(
-                    self.solver,
-                    _Chunk(start=0, problems=problems),
-                    self.structure_cache,
-                    self.certifier,
-                    self.resilience,
-                    batched,
-                )
-                executor = "serial-batch" if batched else "serial"
-                start_method = None
-            else:
-                outcomes, start_method = self._run_pool(
-                    problems, effective, batched=batched
-                )
-                executor = "pool-batch" if batched else "pool"
+            (
+                outcomes,
+                executor,
+                decision,
+                effective,
+                usable,
+                start_method,
+                stats,
+            ) = self._run_horizon(problems, batched)
         wall_s = time.perf_counter() - start
         summary = HorizonSummary.from_outcomes(
             outcomes,
@@ -795,6 +897,10 @@ class HorizonEngine:
             workers_effective=effective,
             usable_cpus=usable,
             mp_start_method=start_method,
+            client=stats.client,
+            max_pending_observed=stats.pending_max,
+            store_hits=stats.store_hits,
+            store_misses=stats.store_misses,
         )
         self.last_summary = summary
         self._emit(summary, outcomes)
@@ -994,34 +1100,240 @@ class HorizonEngine:
                 )
         return outcomes
 
-    def _run_pool(
-        self, problems: list[UFCProblem], effective_workers: int,
-        batched: bool = False,
-    ) -> tuple[list[SlotOutcome], str]:
-        chunk_size = self.chunk_size
-        if chunk_size is None:
-            chunk_size = max(1, -(-len(problems) // (4 * effective_workers)))
-        chunks = [
-            _Chunk(start=start, problems=problems[start : start + chunk_size])
-            for start in range(0, len(problems), chunk_size)
-        ]
-        ctx = _mp_context()
-        outcomes: list[SlotOutcome] = []
-        with ProcessPoolExecutor(
-            max_workers=min(effective_workers, len(chunks)), mp_context=ctx
-        ) as pool:
-            for chunk_outcomes in pool.map(
-                _solve_chunk,
-                (self.solver for _ in chunks),
-                chunks,
-                (self.structure_cache for _ in chunks),
-                (self.certifier for _ in chunks),
-                (self.resilience for _ in chunks),
-                (batched for _ in chunks),
-            ):
-                outcomes.extend(chunk_outcomes)
-        outcomes.sort(key=lambda o: o.index)
-        return outcomes, ctx.get_start_method()
+    def _store_hit_outcome(
+        self,
+        index: int,
+        problem: UFCProblem,
+        result: SlotResult,
+        load_s: float,
+    ) -> SlotOutcome:
+        """Synthesize the outcome for a slot resolved from the store.
+
+        The stored result is re-certified in-process when the engine
+        certifies (trust the digest for identity, not for feasibility
+        bookkeeping); a certification crash degrades to a failed
+        outcome exactly as it would on a fresh solve.
+        """
+        try:
+            certificate = (
+                _certify_result(
+                    self.certifier, problem, result, self.solver.name, index
+                )
+                if self.certifier is not None
+                else None
+            )
+        except Exception as exc:
+            return _failed_outcome(
+                index, exc, self.solver.name, wall_s=load_s
+            )
+        return SlotOutcome(
+            index=index,
+            result=result,
+            certificate=certificate,
+            telemetry=SlotTelemetry(
+                solver=self.solver.name,
+                wall_s=load_s,
+                compile_s=0.0,
+                iterations=result.iterations,
+                converged=result.converged,
+                cache_hit=None,
+                worker=os.getpid(),
+                warm_start=False,
+                store_hit=True,
+                certify_s=(
+                    certificate.certify_s if certificate is not None else 0.0
+                ),
+            ),
+        )
+
+    def _run_horizon(
+        self, problems: list[UFCProblem], batched: bool
+    ) -> tuple[
+        list[SlotOutcome], str, str, int, int, str | None, _ExecStats
+    ]:
+        """Solve a cold horizon through the execution-client layer.
+
+        The legacy serial/pool lanes are policies over one scheduler
+        now: with ``client=None`` the worker plan picks the in-process
+        or multiprocessing backend and keeps the historical executor
+        strings (``"serial"``, ``"pool"``, …); an explicit client is
+        named verbatim (``executor=client.name``,
+        ``decision="client:<name>"``).  When a result store is
+        attached, every slot is probed in the parent before anything
+        is scheduled; only misses reach the client, and fresh
+        non-degraded results are written back after harvest.
+
+        Returns ``(outcomes, executor, decision, effective_workers,
+        usable_cpus, start_method, stats)``.
+        """
+        stats = _ExecStats()
+        outcomes: list[SlotOutcome | None] = [None] * len(problems)
+
+        # Store probe: parent-process, before any scheduling.
+        keys: list[str | None] = [None] * len(problems)
+        if self.store is None:
+            to_solve: list[tuple[int, UFCProblem]] = list(enumerate(problems))
+        else:
+            to_solve = []
+            for index, problem in enumerate(problems):
+                key = problem_digest(problem, self.solver.name)
+                keys[index] = key
+                load_start = time.perf_counter()
+                result = self.store.get(key)
+                load_s = time.perf_counter() - load_start
+                if result is None:
+                    stats.store_misses += 1
+                    to_solve.append((index, problem))
+                else:
+                    stats.store_hits += 1
+                    outcomes[index] = self._store_hit_outcome(
+                        index, problem, result, load_s
+                    )
+
+        # Client resolution: None keeps the classic worker plan and
+        # its executor vocabulary; a name or instance takes over.
+        spec = self.client
+        owns = False
+        client: ExecutionClient | None = None
+        if spec is None:
+            effective, decision, usable = self.plan_workers(len(to_solve))
+            executor = "pool" if effective > 1 else "serial"
+            if to_solve:
+                if effective > 1:
+                    client = MultiprocessingClient(
+                        workers=effective, oversubscribe=True
+                    )
+                else:
+                    client = InProcessClient()
+                owns = True
+        else:
+            usable = usable_cpu_count()
+            if isinstance(spec, str):
+                client = create_client(
+                    spec, workers=self.workers, oversubscribe=self.oversubscribe
+                )
+                owns = True
+            else:
+                client = spec
+            effective = getattr(client, "workers", 1)
+            decision = f"client:{client.name}"
+            executor = client.name
+        start_method = getattr(client, "start_method", None)
+        stats.client = None if client is None else client.name
+
+        try:
+            if to_solve:
+                chunks = self._chunk_tasks(to_solve, len(problems), client, effective)
+                scheduler = BatchScheduler(
+                    client,
+                    max_pending=self.max_pending,
+                    telemetry=self.telemetry,
+                    metrics=self.metrics,
+                )
+                budget_fn = None
+                on_timeout = None
+                if (
+                    self.resilience is not None
+                    and self.resilience.slot_timeout_s is not None
+                    and getattr(client, "asynchronous", False)
+                ):
+                    timeout_s = self.resilience.slot_timeout_s
+                    solver_name = self.solver.name
+
+                    def budget_fn(task: tuple[Any, ...]) -> float:
+                        return timeout_s * len(task[1].problems)
+
+                    def on_timeout(task: tuple[Any, ...]) -> list[SlotOutcome]:
+                        return _timeout_chunk_outcomes(
+                            task[1], budget_fn(task), solver_name
+                        )
+
+                for chunk_outcomes in scheduler.map(
+                    _solve_chunk,
+                    [
+                        (
+                            self.solver,
+                            chunk,
+                            self.structure_cache,
+                            self.certifier,
+                            self.resilience,
+                            batched,
+                        )
+                        for chunk in chunks
+                    ],
+                    budget_s=budget_fn,
+                    on_timeout=on_timeout,
+                ):
+                    for outcome in chunk_outcomes:
+                        outcomes[outcome.index] = outcome
+                stats.pending_max = scheduler.pending_max_observed
+        finally:
+            if owns and client is not None:
+                client.close()
+
+        # Write back fresh, trustworthy results (no degraded/fallback
+        # allocations — a healthy re-run should never inherit those).
+        if self.store is not None:
+            for index, _ in to_solve:
+                outcome = outcomes[index]
+                if (
+                    outcome is not None
+                    and outcome.ok
+                    and outcome.result is not None
+                    and not outcome.degraded
+                ):
+                    self.store.put(keys[index], outcome.result)
+
+        if batched:
+            executor = f"{executor}-batch"
+        return (
+            [outcome for outcome in outcomes if outcome is not None],
+            executor,
+            decision,
+            effective,
+            usable,
+            start_method,
+            stats,
+        )
+
+    def _chunk_tasks(
+        self,
+        to_solve: list[tuple[int, UFCProblem]],
+        total: int,
+        client: ExecutionClient | None,
+        effective: int,
+    ) -> list[_Chunk]:
+        """Split pending (index, problem) pairs into solver batches.
+
+        A synchronous single-worker client gets ONE chunk — that is
+        the legacy serial lane, and one chunk is what lets its
+        :class:`CompileCache` span the whole horizon.  Everything else
+        uses the classic pool rule ``ceil(T / (4 * workers))`` unless
+        ``chunk_size`` pins it.  Chunks over a contiguous zero-based
+        range skip the explicit index list (matching the historical
+        pool task payloads); store-thinned runs carry their slot
+        indices explicitly.
+        """
+        contiguous = len(to_solve) == total
+        if effective <= 1 and not getattr(client, "asynchronous", False):
+            size = len(to_solve)
+        else:
+            size = self.chunk_size
+            if size is None:
+                size = max(1, -(-len(to_solve) // (4 * max(1, effective))))
+        chunks = []
+        for lo in range(0, len(to_solve), size):
+            part = to_solve[lo : lo + size]
+            chunks.append(
+                _Chunk(
+                    start=part[0][0],
+                    problems=[problem for _, problem in part],
+                    indices=(
+                        None if contiguous else [index for index, _ in part]
+                    ),
+                )
+            )
+        return chunks
 
 
 def parallel_map(
@@ -1031,38 +1343,26 @@ def parallel_map(
     telemetry: Telemetry | None = None,
     oversubscribe: bool = False,
 ) -> list[_R]:
-    """Order-preserving map over a process pool.
+    """Deprecated alias for :func:`repro.exec.parallel_map`.
 
-    The sweep drivers (Fig. 9/10) use this to evaluate independent
-    grid points concurrently.  ``fn`` and every item must be picklable
-    (module-level functions, models, bundles all are).  The worker
-    count is clamped to the usable CPUs (``oversubscribe=True``
-    disables the clamp), and with ≤1 effective worker — requested or
-    clamped — the map degrades to a plain list comprehension; the
-    decision lands in ``telemetry`` as a ``parallel_map.decision``
-    event either way.  Exceptions propagate to the caller — a sweep
-    point is not a slot, so there is no per-item capture here.
+    The order-preserving sweep map lives in the execution layer now,
+    where it shares mp-context pinning, CPU clamping and pipelining
+    with the horizon engine's clients.  This shim forwards verbatim
+    and will be removed once the callers migrate.
     """
-    items = list(items)
-    sink = as_telemetry(telemetry)
-    requested = workers
-    usable = usable_cpu_count()
-    if workers > 1 and not oversubscribe:
-        workers = min(workers, usable)
-    effective = workers if (workers > 1 and len(items) > 1) else 1
-    if sink.enabled:
-        sink.counter(
-            "parallel_map.decision",
-            effective,
-            requested=requested,
-            usable_cpus=usable,
-            items=len(items),
-            oversubscribe=oversubscribe,
-        )
-    if effective <= 1:
-        return [fn(item) for item in items]
-    ctx = _mp_context()
-    with ProcessPoolExecutor(
-        max_workers=min(effective, len(items)), mp_context=ctx
-    ) as pool:
-        return list(pool.map(fn, items))
+    warnings.warn(
+        "repro.engine.horizon.parallel_map is deprecated; use "
+        "repro.exec.parallel_map (same signature, plus client/"
+        "max_pending support)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.exec.pmap import parallel_map as _exec_parallel_map
+
+    return _exec_parallel_map(
+        fn,
+        items,
+        workers=workers,
+        telemetry=telemetry,
+        oversubscribe=oversubscribe,
+    )

@@ -1,0 +1,50 @@
+"""Elastic execution layer: pluggable clients, pipelining, result store.
+
+``repro.exec`` owns *where and when* work runs, so the engine above it
+can stay a policy layer:
+
+- :mod:`repro.exec.clients` — the :class:`ExecutionClient` surface
+  and registry: in-process, multiprocessing, and socket/RPC backends
+  (the latter shards across machines via
+  ``python -m repro exec-worker``);
+- :mod:`repro.exec.pipeline` — :class:`BatchScheduler`, pipelined
+  pending-batch completion with per-batch harvest budgets;
+- :mod:`repro.exec.store` — :class:`ResultStore`, the persistent
+  (model digest, strategy, solver, slot) -> result store that lets
+  sweeps and chaos runs warm-start from disk;
+- :mod:`repro.exec.pmap` — :func:`parallel_map`, the sweep drivers'
+  order-preserving map over the same clients.
+"""
+
+from repro.exec.clients import (
+    ExecutionClient,
+    InProcessClient,
+    MultiprocessingClient,
+    SocketClient,
+    available_clients,
+    create_client,
+    mp_context,
+    register_client,
+    serve_worker,
+    usable_cpu_count,
+)
+from repro.exec.pipeline import BatchScheduler
+from repro.exec.pmap import parallel_map
+from repro.exec.store import ResultStore, problem_digest
+
+__all__ = [
+    "ExecutionClient",
+    "InProcessClient",
+    "MultiprocessingClient",
+    "SocketClient",
+    "BatchScheduler",
+    "ResultStore",
+    "available_clients",
+    "create_client",
+    "mp_context",
+    "parallel_map",
+    "problem_digest",
+    "register_client",
+    "serve_worker",
+    "usable_cpu_count",
+]

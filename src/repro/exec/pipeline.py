@@ -1,0 +1,193 @@
+"""Pipelined pending-batch scheduling over an execution client.
+
+:class:`BatchScheduler` is the piece between "a list of batches" and
+"a client that runs one batch at a time": it keeps up to
+``max_pending`` batches in flight, submits the next batch the moment
+one completes (out-of-order completion, in-order results), and — for
+asynchronous clients — enforces a wall-clock harvest budget per batch,
+so a wedged worker surfaces as a timed-out batch instead of stalling
+the whole horizon.
+
+Observability is built in: every submit/harvest emits an
+``exec.submit`` / ``exec.harvest`` telemetry event carrying the
+pending depth, and a metrics registry (when attached) gains batch
+counters and a max-pending-depth gauge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+from repro.obs import Telemetry, as_telemetry
+
+__all__ = ["BatchScheduler"]
+
+
+class BatchScheduler:
+    """Submit batches through a client, pipelined, harvest-ordered.
+
+    Args:
+        client: an :class:`~repro.exec.clients.ExecutionClient`.
+        max_pending: maximum batches in flight at once; None keeps
+            every batch in flight (the classic submit-all-then-drain
+            pool shape).  Lower values bound memory and smooth
+            elasticity: with ``max_pending=4`` a 40-batch horizon
+            never materializes more than 4 batches of futures.
+        telemetry: optional sink for ``exec.submit`` /
+            ``exec.harvest`` events.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` for
+            batch counters and the pending-depth gauge.
+
+    After :meth:`map`, :attr:`pending_max_observed` holds the deepest
+    in-flight window the run reached and :attr:`timed_out_batches` the
+    number of batches abandoned at harvest time.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        max_pending: int | None = None,
+        telemetry: Telemetry | None = None,
+        metrics: Any | None = None,
+    ) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.client = client
+        self.max_pending = max_pending
+        self.telemetry = as_telemetry(telemetry)
+        self.metrics = metrics
+        self.pending_max_observed = 0
+        self.timed_out_batches = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _emit_submit(self, task_id: int, depth: int) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "exec.submit", depth, task=task_id, client=self.client.name
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_exec_batches_total", client=self.client.name
+            ).inc()
+            gauge = self.metrics.gauge(
+                "repro_exec_pending_batches", client=self.client.name
+            )
+            gauge.set(max(gauge.value, depth))
+
+    def _emit_harvest(
+        self, task_id: int, depth: int, waited_s: float, timed_out: bool
+    ) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.timer(
+                "exec.harvest",
+                waited_s,
+                task=task_id,
+                pending=depth,
+                client=self.client.name,
+                timed_out=timed_out,
+            )
+        if timed_out and self.metrics is not None:
+            self.metrics.counter(
+                "repro_exec_batch_timeouts_total", client=self.client.name
+            ).inc()
+
+    # -- the one entry point -------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[tuple[Any, ...]],
+        budget_s: Callable[[tuple[Any, ...]], float | None] | None = None,
+        on_timeout: Callable[[tuple[Any, ...]], Any] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(*task)`` for every task; results in task order.
+
+        Args:
+            fn: picklable callable every task is applied to.
+            tasks: argument tuples, one per batch.
+            budget_s: optional per-batch harvest budget (seconds from
+                submission), computed per task.  Only enforceable on
+                asynchronous clients — a synchronous client has already
+                finished the task when submit returns.
+            on_timeout: builds the stand-in result for a batch that
+                blew its budget; required when ``budget_s`` is given.
+                The abandoned task is discarded on the client, so a
+                late result is dropped, not delivered.
+
+        A task that *raised* re-raises here (per-slot error capture
+        belongs to the task function itself, exactly as with a plain
+        executor).
+        """
+        tasks = list(tasks)
+        if budget_s is not None and on_timeout is None:
+            raise ValueError("budget_s requires on_timeout")
+        enforce = (
+            budget_s is not None
+            and bool(getattr(self.client, "asynchronous", False))
+        )
+        results: list[Any] = [None] * len(tasks)
+        pending: dict[int, tuple[int, float, float | None]] = {}
+        next_task = 0
+        harvested = 0
+        while harvested < len(tasks):
+            while next_task < len(tasks) and (
+                self.max_pending is None or len(pending) < self.max_pending
+            ):
+                args = tasks[next_task]
+                submitted_at = time.monotonic()
+                task_id = self.client.submit(fn, *args)
+                deadline = None
+                if enforce:
+                    budget = budget_s(args)
+                    if budget is not None:
+                        deadline = submitted_at + budget
+                pending[task_id] = (next_task, submitted_at, deadline)
+                self.pending_max_observed = max(
+                    self.pending_max_observed, len(pending)
+                )
+                self._emit_submit(task_id, len(pending))
+                next_task += 1
+            timeout = None
+            if enforce:
+                deadlines = [d for _, _, d in pending.values() if d is not None]
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
+            got = self.client.wait_next(timeout_s=timeout)
+            now = time.monotonic()
+            if got is None:
+                expired = [
+                    task_id
+                    for task_id, (_, _, deadline) in pending.items()
+                    if deadline is not None and deadline <= now
+                ]
+                for task_id in expired:
+                    index, submitted_at, _ = pending.pop(task_id)
+                    self.client.discard(task_id)
+                    results[index] = on_timeout(tasks[index])
+                    harvested += 1
+                    self.timed_out_batches += 1
+                    self._emit_harvest(
+                        task_id, len(pending), now - submitted_at, timed_out=True
+                    )
+                continue
+            task_id, value = got
+            if task_id not in pending:  # pragma: no cover - defensive
+                continue
+            index, submitted_at, deadline = pending.pop(task_id)
+            if enforce and deadline is not None and now > deadline:
+                # Arrived, but past its harvest budget: same verdict as
+                # never arriving — the budget is the contract.
+                results[index] = on_timeout(tasks[index])
+                self.timed_out_batches += 1
+                self._emit_harvest(
+                    task_id, len(pending), now - submitted_at, timed_out=True
+                )
+            else:
+                results[index] = value
+                self._emit_harvest(
+                    task_id, len(pending), now - submitted_at, timed_out=False
+                )
+            harvested += 1
+        return results

@@ -1,0 +1,192 @@
+"""Persistent slot-result store: sweeps warm-start from disk.
+
+The Fig. 9/10 sweeps, chaos runs and scale benchmarks re-solve the
+same (model, strategy, solver, slot) instances over and over.
+:class:`ResultStore` keys each solved slot by a content digest of
+exactly those four coordinates and persists the
+:class:`~repro.engine.protocol.SlotResult` to disk, so a repeated run
+resolves from the store instead of the solver.
+
+Correctness rests on the key, not on trust:
+
+- the digest folds in the *full quantitative content* of the model
+  (capacities, power models, prices, utility and emission-cost
+  parameters, the latency matrix), the slot's inputs (arrivals,
+  prices, carbon rates), the strategy switches, and the solver's
+  registry name.  Change any of them — a different trace seed, a new
+  carbon tax, a retuned solver — and the key changes, so a stale
+  entry can never be served (digest-based invalidation);
+- writes are atomic (temp file + ``os.replace`` in the same
+  directory), so concurrent writers — pool workers, parallel sweep
+  processes, two simultaneous CLI runs — can race on the same key and
+  readers still only ever see a complete entry;
+- a corrupt or truncated entry reads as a miss, never as an error.
+
+Layout: ``root/ab/abcdef....pkl`` — two-hex-char fan-out directories
+keep any single directory small on wide sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["ResultStore", "problem_digest"]
+
+#: Bump when the digest recipe or the stored payload shape changes;
+#: old entries then read as misses instead of mis-deserializing.
+STORE_VERSION = 1
+
+
+def _fold(h: "hashlib._Hash", obj: Any) -> None:
+    """Fold ``obj``'s content (not identity) into the hash.
+
+    Handles the library's model vocabulary: numpy arrays by
+    dtype/shape/bytes, dataclasses and plain objects by class name +
+    field values, containers element-wise.  Floats go through
+    ``repr`` so the digest is exact to the bit, not to a print
+    precision.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        h.update(f"<{type(obj).__name__}:{obj!r}>".encode())
+    elif isinstance(obj, float):
+        h.update(f"<float:{obj!r}>".encode())
+    elif isinstance(obj, np.ndarray):
+        h.update(f"<nd:{obj.dtype.str}:{obj.shape}>".encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        _fold(h, np.asarray(obj))
+    elif isinstance(obj, (list, tuple)):
+        h.update(f"<seq:{len(obj)}>".encode())
+        for item in obj:
+            _fold(h, item)
+    elif isinstance(obj, dict):
+        h.update(f"<dict:{len(obj)}>".encode())
+        for key in sorted(obj, key=repr):
+            _fold(h, key)
+            _fold(h, obj[key])
+    elif dataclasses.is_dataclass(obj):
+        h.update(f"<dc:{type(obj).__qualname__}>".encode())
+        for field in dataclasses.fields(obj):
+            _fold(h, field.name)
+            _fold(h, getattr(obj, field.name))
+    elif hasattr(obj, "__dict__"):
+        h.update(f"<obj:{type(obj).__qualname__}>".encode())
+        for key in sorted(vars(obj)):
+            _fold(h, key)
+            _fold(h, vars(obj)[key])
+    else:  # pragma: no cover - exotic model component
+        h.update(f"<repr:{obj!r}>".encode())
+
+
+def problem_digest(problem: Any, solver: str) -> str:
+    """The store key for one (problem, solver) pair.
+
+    Covers the model's full quantitative content, the slot inputs, the
+    strategy and the solver registry name — everything that determines
+    the solver's answer for this slot.
+    """
+    h = hashlib.sha256()
+    h.update(f"repro-result-store-v{STORE_VERSION}".encode())
+    _fold(h, solver)
+    _fold(h, problem.strategy)
+    _fold(h, problem.inputs)
+    _fold(h, problem.model)
+    return h.hexdigest()
+
+
+class ResultStore:
+    """On-disk (digest -> SlotResult) store with atomic writes.
+
+    Args:
+        root: store directory; created (with parents) if missing.
+
+    Instances count :attr:`hits` and :attr:`misses` across their
+    lifetime — the engine folds these into its
+    :class:`~repro.obs.HorizonSummary` and the health dashboard
+    renders the hit rate.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s entry lives (existing or not)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """The stored result for ``key``, or None (counted as a miss).
+
+        A missing, truncated, corrupt or wrong-key entry is a miss —
+        the caller re-solves and overwrites; the store never turns a
+        bad byte into a bad allocation.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("key") != key:
+                raise ValueError("key mismatch")
+            result = payload["result"]
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        """Persist ``result`` under ``key`` atomically.
+
+        Safe under concurrent writers: each writer lands its payload
+        in a private temp file in the destination directory, then
+        ``os.replace``s it over the final name — the last complete
+        write wins and readers never observe a partial entry.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "version": STORE_VERSION, "result": result}
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".tmp-{os.getpid()}-", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        """Every stored digest (unordered)."""
+        for path in self.root.glob("??/*.pkl"):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+        return removed

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.model import CloudModel
 from repro.core.strategies import GRID, HYBRID
-from repro.engine.horizon import parallel_map
+from repro.exec import parallel_map
 from repro.experiments.common import evaluation_setup
 from repro.sim.metrics import average_improvement
 from repro.sim.simulator import Simulator

@@ -39,6 +39,9 @@ class SlotTelemetry:
             None.
         certify_s: seconds spent certifying the slot's solution (0.0
             when certification was off).
+        store_hit: the slot was resolved from the persistent result
+            store instead of solved; ``wall_s`` is then the disk load
+            time.
     """
 
     solver: str
@@ -51,6 +54,7 @@ class SlotTelemetry:
     warm_start: bool
     error_type: str | None = None
     certify_s: float = 0.0
+    store_hit: bool = False
 
     @property
     def ok(self) -> bool:

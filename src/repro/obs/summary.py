@@ -60,6 +60,13 @@ class HorizonSummary:
         retries_total: extra solve attempts beyond the first, summed
             over all slots (0 on the non-resilient path).
         fallbacks_total: slots rescued by a fallback solver.
+        client: execution-client name the run solved through (None for
+            warm-chained runs, which bypass the client layer).
+        max_pending_observed: deepest in-flight batch window the
+            pipelined scheduler reached (0 when nothing was
+            scheduled).
+        store_hits / store_misses: result-store probe counters for
+            this run (both 0 when no store was attached).
     """
 
     solver: str
@@ -89,6 +96,10 @@ class HorizonSummary:
     degraded_slots: tuple[int, ...] = ()
     retries_total: int = 0
     fallbacks_total: int = 0
+    client: str | None = None
+    max_pending_observed: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     @classmethod
     def from_outcomes(
@@ -103,6 +114,10 @@ class HorizonSummary:
         workers_effective: int,
         usable_cpus: int,
         mp_start_method: str | None = None,
+        client: str | None = None,
+        max_pending_observed: int = 0,
+        store_hits: int = 0,
+        store_misses: int = 0,
     ) -> "HorizonSummary":
         """Aggregate outcome-like objects (``.ok``, ``.telemetry``)."""
         outcomes = list(outcomes)
@@ -175,7 +190,19 @@ class HorizonSummary:
             degraded_slots=tuple(degraded),
             retries_total=retries,
             fallbacks_total=fallbacks,
+            client=client,
+            max_pending_observed=max_pending_observed,
+            store_hits=store_hits,
+            store_misses=store_misses,
         )
+
+    @property
+    def store_hit_rate(self) -> float | None:
+        """Fraction of probed slots the store resolved (None: no store)."""
+        probed = self.store_hits + self.store_misses
+        if probed == 0:
+            return None
+        return self.store_hits / probed
 
     # -- derived quantities ---------------------------------------------------
 
@@ -202,6 +229,8 @@ class HorizonSummary:
             "decision": self.decision,
             "workers_effective": self.workers_effective,
             "mp_start_method": self.mp_start_method,
+            "client": self.client,
+            "max_pending_observed": self.max_pending_observed,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
         }
@@ -238,6 +267,14 @@ class HorizonSummary:
                     "worst_kkt": self.worst_kkt,
                 }
             )
+        if self.store_hits or self.store_misses:
+            out.update(
+                {
+                    "store_hits": self.store_hits,
+                    "store_misses": self.store_misses,
+                    "store_hit_rate": round(self.store_hit_rate or 0.0, 4),
+                }
+            )
         return out
 
     def format_table(self) -> str:
@@ -249,9 +286,14 @@ class HorizonSummary:
         )
         if self.mp_start_method:
             workers += f"; start method {self.mp_start_method}"
+        executor_line = f"  executor       : {self.executor}  [{self.decision}]"
+        if self.client:
+            executor_line += f"  client={self.client}"
+            if self.max_pending_observed:
+                executor_line += f" (max {self.max_pending_observed} pending)"
         lines = [
             f"horizon profile ({self.solver}, {self.slots} slots)",
-            f"  executor       : {self.executor}  [{self.decision}]",
+            executor_line,
             f"  workers        : {workers}",
             f"  wall time      : {self.wall_s:8.3f} s",
             f"  compile        : {self.compile_s:8.3f} s  {pct(self.compile_s)}"
@@ -285,6 +327,12 @@ class HorizonSummary:
                 f"{self.fallbacks_total} fallbacks, "
                 f"{len(self.degraded_slots)} degraded slots"
                 + (f" ({shown})" if shown else "")
+            )
+        rate = self.store_hit_rate
+        if rate is not None:
+            lines.append(
+                f"  result store   : {self.store_hits} hits, "
+                f"{self.store_misses} misses  ({100 * rate:5.1f}% from disk)"
             )
         if self.error_types:
             counts = ", ".join(

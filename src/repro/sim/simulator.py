@@ -23,6 +23,7 @@ from repro.costs.latency import LatencyUtility
 from repro.engine.horizon import HorizonEngine, SlotOutcome
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import create_solver
+from repro.exec import ExecutionClient, ResultStore
 from repro.obs import Telemetry
 from repro.sim.results import SimulationResult, StrategyComparison
 from repro.traces.datasets import TraceBundle
@@ -94,6 +95,16 @@ class Simulator:
             bit-identical either way.
         metrics: optional :class:`~repro.obs.MetricsRegistry` the
             engine records every run into.
+        client: execution backend every run solves through — a
+            registry name (``"in-process"``, ``"mp"``, ``"socket"``)
+            or an :class:`~repro.exec.ExecutionClient` instance; None
+            (default) keeps the classic workers-driven serial/pool
+            choice.  See :class:`~repro.engine.horizon.HorizonEngine`.
+        max_pending: cap on in-flight slot batches (pipelined
+            submission); None keeps every batch in flight.
+        store: optional persistent result store (a
+            :class:`~repro.exec.ResultStore` or directory path);
+            repeated runs resolve unchanged slots from disk.
     """
 
     def __init__(
@@ -107,6 +118,9 @@ class Simulator:
         oversubscribe: bool = False,
         certify: bool | object = False,
         metrics: object | None = None,
+        client: str | ExecutionClient | None = None,
+        max_pending: int | None = None,
+        store: ResultStore | str | None = None,
     ) -> None:
         if model.num_datacenters != bundle.num_datacenters:
             raise ValueError(
@@ -133,6 +147,9 @@ class Simulator:
         self.oversubscribe = bool(oversubscribe)
         self.certify = certify
         self.metrics = metrics
+        self.client = client
+        self.max_pending = max_pending
+        self.store = store
 
     def problem_for_slot(self, t: int, strategy: Strategy) -> UFCProblem:
         """The slot-``t`` UFC problem under ``strategy``."""
@@ -160,6 +177,9 @@ class Simulator:
             oversubscribe=self.oversubscribe,
             certify=self.certify,
             metrics=self.metrics,
+            client=self.client,
+            max_pending=self.max_pending,
+            store=self.store,
         )
 
     def _collect(

@@ -71,13 +71,20 @@ def health_table(
     return "\n".join(rows)
 
 
-def health_dashboard(certificates: Sequence[object], width: int = 56) -> str:
+def health_dashboard(
+    certificates: Sequence[object],
+    width: int = 56,
+    summary: object | None = None,
+) -> str:
     """Compact horizon-health dashboard.
 
     Headline verdict, pass/fail counts, worst violation and KKT
     residual with the slots they occur at, and log-scale sparklines of
     both series over the horizon (so a single sick slot stands out
-    against an otherwise flat week).
+    against an otherwise flat week).  Passing the run's
+    :class:`~repro.obs.HorizonSummary` as ``summary`` adds the
+    execution rows: which executor/client solved the horizon and — if
+    a result store was probed — its hit rate.
 
     Raises:
         ValueError: on an empty certificate sequence.
@@ -116,6 +123,26 @@ def health_dashboard(certificates: Sequence[object], width: int = 56) -> str:
         f"feas viol (log10)   : {feas_spark}",
         f"kkt resid (log10)   : {kkt_spark}",
     ]
+    if summary is not None:
+        executor = getattr(summary, "executor", None)
+        if executor:
+            line = f"executor            : {executor}"
+            client = getattr(summary, "client", None)
+            if client:
+                line += f" (client {client}"
+                pending = getattr(summary, "max_pending_observed", 0)
+                if pending:
+                    line += f", max {pending} pending"
+                line += ")"
+            lines.append(line)
+        hits = getattr(summary, "store_hits", 0)
+        misses = getattr(summary, "store_misses", 0)
+        if hits or misses:
+            rate = hits / (hits + misses)
+            lines.append(
+                f"result store        : {hits} hits / {hits + misses} "
+                f"probed ({100 * rate:.1f}% from disk)"
+            )
     if bad:
         ids = ", ".join(str(c.slot) for c in bad[:12])
         more = "" if len(bad) <= 12 else f" (+{len(bad) - 12} more)"

@@ -1,0 +1,326 @@
+"""Tests for the execution-client layer (repro.exec).
+
+Covers the client registry, the in-process and multiprocessing
+backends, the pipelined :class:`BatchScheduler` (including
+harvest-time batch timeouts), the engine running bit-identically
+through every client, and the ``parallel_map`` migration.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import pytest
+
+from repro.core.strategies import HYBRID
+from repro.engine import HorizonEngine
+from repro.engine.horizon import parallel_map as legacy_parallel_map
+from repro.engine.protocol import SlotResult
+from repro.engine.resilience import ResilienceConfig, RetryPolicy
+from repro.exec import (
+    BatchScheduler,
+    InProcessClient,
+    MultiprocessingClient,
+    available_clients,
+    create_client,
+    parallel_map,
+    usable_cpu_count,
+)
+from repro.obs import RecordingTelemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def problems(small_model, small_bundle):
+    sim = Simulator(small_model, small_bundle)
+    return [sim.problem_for_slot(t, HYBRID) for t in range(8)]
+
+
+@pytest.fixture(scope="module")
+def serial_ufc(problems):
+    return [o.result.ufc for o in HorizonEngine("centralized").run(problems)]
+
+
+def _square(x):
+    return x * x
+
+
+def _sleepy(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _boom():
+    raise ValueError("task exploded")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_clients()
+        assert {"in-process", "mp", "socket"} <= set(names)
+        assert names == tuple(sorted(names))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown execution client"):
+            create_client("does-not-exist")
+
+    def test_instance_passthrough(self):
+        client = InProcessClient()
+        assert create_client(client) is client
+
+    def test_bad_spec_type(self):
+        with pytest.raises(TypeError):
+            create_client(42)
+
+
+class TestInProcessClient:
+    def test_runs_at_submit_and_delivers_in_order(self):
+        client = InProcessClient()
+        ids = [client.submit(_square, x) for x in (2, 3, 4)]
+        assert client.num_pending() == 3
+        got = [client.wait_next() for _ in range(3)]
+        assert got == [(ids[0], 4), (ids[1], 9), (ids[2], 16)]
+        assert client.wait_next() is None
+
+    def test_exceptions_propagate_from_submit(self):
+        client = InProcessClient()
+        with pytest.raises(ValueError, match="task exploded"):
+            client.submit(_boom)
+
+    def test_discard_and_close(self):
+        client = InProcessClient()
+        first = client.submit(_square, 1)
+        client.submit(_square, 2)
+        client.discard(first)
+        assert client.num_pending() == 1
+        client.close()
+        assert client.num_pending() == 0
+
+
+class TestMultiprocessingClient:
+    def test_parity_and_completion_harvest(self):
+        client = MultiprocessingClient(workers=2, oversubscribe=True)
+        try:
+            ids = [client.submit(_square, x) for x in range(6)]
+            results = {}
+            while client.num_pending():
+                task_id, value = client.wait_next()
+                results[task_id] = value
+            assert [results[i] for i in ids] == [x * x for x in range(6)]
+        finally:
+            client.close()
+
+    def test_clamps_to_usable_cpus(self):
+        client = MultiprocessingClient(workers=usable_cpu_count() + 7)
+        try:
+            assert client.workers <= usable_cpu_count()
+        finally:
+            client.close()
+
+    def test_wait_timeout_returns_none(self):
+        client = MultiprocessingClient(workers=1, oversubscribe=True)
+        try:
+            task_id = client.submit(_sleepy, 0.5)
+            assert client.wait_next(timeout_s=0.01) is None
+            client.discard(task_id)
+        finally:
+            client.close()
+
+
+class TestBatchScheduler:
+    def test_max_pending_validation(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(InProcessClient(), max_pending=0)
+
+    def test_budget_requires_on_timeout(self):
+        scheduler = BatchScheduler(InProcessClient())
+        with pytest.raises(ValueError, match="on_timeout"):
+            scheduler.map(_square, [(1,)], budget_s=lambda task: 1.0)
+
+    def test_pipelined_order_and_depth(self):
+        client = MultiprocessingClient(workers=2, oversubscribe=True)
+        try:
+            scheduler = BatchScheduler(client, max_pending=2)
+            results = scheduler.map(_square, [(x,) for x in range(9)])
+            assert results == [x * x for x in range(9)]
+            assert 1 <= scheduler.pending_max_observed <= 2
+        finally:
+            client.close()
+
+    def test_harvest_budget_abandons_slow_batches(self):
+        client = MultiprocessingClient(workers=1, oversubscribe=True)
+        try:
+            scheduler = BatchScheduler(client)
+            results = scheduler.map(
+                _sleepy,
+                [(0.0,), (0.8,)],
+                budget_s=lambda task: 0.05 if task[0] else None,
+                on_timeout=lambda task: "timed-out",
+            )
+            assert results == [0.0, "timed-out"]
+            assert scheduler.timed_out_batches == 1
+        finally:
+            client.close()
+
+    def test_emits_telemetry_and_metrics(self):
+        rec = RecordingTelemetry()
+        metrics = MetricsRegistry()
+        scheduler = BatchScheduler(
+            InProcessClient(), telemetry=rec, metrics=metrics
+        )
+        scheduler.map(_square, [(1,), (2,)])
+        assert len(rec.by_name("exec.submit")) == 2
+        assert len(rec.by_name("exec.harvest")) == 2
+        counter = metrics.counter(
+            "repro_exec_batches_total", client="in-process"
+        )
+        assert counter.value == 2
+
+
+class _StubSolver:
+    """Minimal picklable SlotSolver stub over the proportional heuristic."""
+
+    supports_warm_start = False
+    name = "stub"
+
+    def compile(self, model, strategy):
+        return None
+
+    def solve(self, problem, compiled=None, warm=None):
+        from repro.engine.registry import create_solver
+
+        result = create_solver("proportional").solve(problem)
+        return SlotResult(
+            allocation=result.allocation,
+            ufc=result.ufc,
+            iterations=1,
+            converged=True,
+        )
+
+
+class _SlowSolver(_StubSolver):
+    """Succeeds, but far slower than any millisecond harvest budget."""
+
+    name = "slow"
+
+    def solve(self, problem, compiled=None, warm=None):
+        time.sleep(0.2)
+        return super().solve(problem, compiled=compiled, warm=warm)
+
+
+class TestEngineThroughClients:
+    def test_bit_identical_across_clients(self, problems, serial_ufc):
+        for spec in ("in-process", "mp"):
+            engine = HorizonEngine("centralized", workers=2, client=spec)
+            outcomes = engine.run(problems)
+            assert [o.result.ufc for o in outcomes] == serial_ufc
+            summary = engine.last_summary
+            assert summary.client == spec
+            assert summary.executor == spec
+            assert summary.decision == f"client:{spec}"
+
+    def test_instance_client_stays_open(self, problems, serial_ufc):
+        client = MultiprocessingClient(workers=2, oversubscribe=True)
+        try:
+            engine = HorizonEngine("centralized", client=client, max_pending=2)
+            assert [
+                o.result.ufc for o in engine.run(problems)
+            ] == serial_ufc
+            # The engine must not close a caller-owned client.
+            assert client.submit(_square, 3) is not None
+            assert client.wait_next()[1] == 9
+            assert engine.last_summary.max_pending_observed <= 2
+        finally:
+            client.close()
+
+    def test_default_lanes_keep_legacy_names(self, problems):
+        serial = HorizonEngine("centralized")
+        serial.run(problems)
+        assert serial.last_summary.executor == "serial"
+        assert serial.last_summary.client == "in-process"
+        pool = HorizonEngine("centralized", workers=2, oversubscribe=True)
+        pool.run(problems)
+        assert pool.last_summary.executor == "pool"
+        assert pool.last_summary.client == "mp"
+
+    def test_max_pending_validation(self):
+        with pytest.raises(ValueError):
+            HorizonEngine("centralized", max_pending=0)
+
+    def test_warm_start_rejects_client_and_store(self, problems, tmp_path):
+        engine = HorizonEngine("distributed", client="in-process")
+        with pytest.raises(ValueError, match="client"):
+            engine.run(problems[:2], warm_start=True)
+        engine = HorizonEngine("distributed", store=tmp_path)
+        with pytest.raises(ValueError, match="store"):
+            engine.run(problems[:2], warm_start=True)
+
+    def test_harvest_timeout_surfaces_slot_timeout_error(self, problems):
+        engine = HorizonEngine(
+            _SlowSolver(),
+            workers=2,
+            client="mp",
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1), slot_timeout_s=0.01
+            ),
+        )
+        outcomes = engine.run(problems[:2])
+        assert [o.error_type for o in outcomes] == ["SlotTimeoutError"] * 2
+        assert all("harvest budget" in o.error_message for o in outcomes)
+        assert all(
+            o.telemetry.error_type == "SlotTimeoutError" for o in outcomes
+        )
+        assert engine.last_summary.error_types == {"SlotTimeoutError": 2}
+
+    def test_synchronous_client_skips_harvest_budget(self, problems):
+        # An in-process client has already finished at submit time, so
+        # the wall-clock budget cannot (and must not) be enforced.
+        engine = HorizonEngine(
+            _SlowSolver(),
+            client="in-process",
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1), slot_timeout_s=0.01
+            ),
+        )
+        outcomes = engine.run(problems[:1])
+        # The per-slot post-hoc check still applies on the sync path.
+        assert outcomes[0].error_type == "SlotTimeoutError"
+        assert "harvest budget" not in (outcomes[0].error_message or "")
+
+
+class TestParallelMapMigration:
+    def test_exec_parallel_map_parity(self):
+        items = list(range(7))
+        assert parallel_map(_square, items, workers=2) == [
+            x * x for x in items
+        ]
+        assert parallel_map(
+            _square, items, workers=2, client="mp", max_pending=2
+        ) == [x * x for x in items]
+
+    def test_named_client_is_closed_instance_stays_open(self):
+        client = InProcessClient()
+        assert parallel_map(_square, [1, 2], client=client) == [1, 4]
+        assert client.submit(_square, 5) is not None  # still usable
+        client.close()
+
+    def test_decision_event_carries_client(self):
+        rec = RecordingTelemetry()
+        parallel_map(_square, [1, 2], telemetry=rec, client="in-process")
+        (event,) = rec.by_name("parallel_map.decision")
+        assert event.tags["client"] == "in-process"
+
+    def test_legacy_horizon_shim_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert legacy_parallel_map(_square, [3]) == [9]
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_engine_reexport_is_the_exec_map(self):
+        from repro.engine import parallel_map as engine_map
+
+        assert engine_map is parallel_map

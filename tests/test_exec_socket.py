@@ -1,0 +1,139 @@
+"""Socket/RPC client loopback smoke tests.
+
+Spawns real worker processes that connect back over TCP, solves a
+24-slot horizon through them, and checks bit-exact parity with the
+serial engine — the same flow CI runs as its multi-node smoke.  Also
+covers remote exception propagation, externally launched workers
+(``serve_worker`` — what ``repro exec-worker`` calls), and clean
+shutdown.
+"""
+
+from __future__ import annotations
+
+import socket as socket_module
+import threading
+import time
+
+import pytest
+
+from repro.core.strategies import HYBRID
+from repro.engine import HorizonEngine
+from repro.exec import SocketClient, serve_worker
+from repro.sim.simulator import Simulator
+
+SLOTS = 24
+
+
+@pytest.fixture(scope="module")
+def problems(small_model, small_bundle):
+    sim = Simulator(small_model, small_bundle)
+    return [sim.problem_for_slot(t, HYBRID) for t in range(SLOTS)]
+
+
+def _square(x):
+    return x * x
+
+
+def _boom():
+    raise RuntimeError("remote kaboom")
+
+
+class TestSocketLoopback:
+    def test_24_slot_horizon_matches_serial(self, problems):
+        serial = [
+            o.result.ufc for o in HorizonEngine("centralized").run(problems)
+        ]
+        client = SocketClient(workers=2)
+        try:
+            engine = HorizonEngine("centralized", client=client, max_pending=4)
+            outcomes = engine.run(problems)
+            assert [o.result.ufc for o in outcomes] == serial
+            summary = engine.last_summary
+            assert summary.executor == "socket"
+            assert summary.client == "socket"
+            assert summary.decision == "client:socket"
+            assert summary.failed_slots == 0
+        finally:
+            client.close()
+
+    def test_remote_exception_propagates_with_traceback_note(self):
+        client = SocketClient(workers=1)
+        try:
+            client.submit(_boom)
+            with pytest.raises(RuntimeError, match="remote kaboom") as info:
+                client.wait_next()
+            notes = getattr(info.value, "__notes__", [])
+            assert any("remote worker traceback" in n for n in notes)
+            # The worker survives a task failure and keeps serving.
+            client.submit(_square, 6)
+            assert client.wait_next()[1] == 36
+        finally:
+            client.close()
+
+    def test_queueing_beyond_worker_count(self):
+        client = SocketClient(workers=1)
+        try:
+            ids = [client.submit(_square, x) for x in range(5)]
+            results = {}
+            while client.num_pending():
+                got = client.wait_next(timeout_s=10.0)
+                assert got is not None
+                results[got[0]] = got[1]
+            assert [results[i] for i in ids] == [x * x for x in range(5)]
+        finally:
+            client.close()
+
+    def test_close_is_idempotent_and_joins_workers(self):
+        client = SocketClient(workers=2)
+        procs = list(client._procs)
+        client.close()
+        client.close()
+        assert all(not p.is_alive() for p in procs)
+
+
+class TestExternalWorkers:
+    def test_serve_worker_joins_an_external_fleet(self):
+        # Pick a port up front so the worker thread can retry-connect
+        # while the client's constructor blocks in accept().
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        def worker():
+            for _ in range(100):
+                try:
+                    serve_worker("127.0.0.1", port)
+                    return
+                except OSError:
+                    time.sleep(0.05)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        client = SocketClient(
+            workers=0, external=1, port=port, accept_timeout_s=10.0
+        )
+        try:
+            assert client.workers == 1
+            assert client.submit(_square, 7) is not None
+            assert client.wait_next(timeout_s=10.0)[1] == 49
+        finally:
+            client.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+    def test_fleet_timeout_raises(self):
+        with pytest.raises(TimeoutError, match="workers connected"):
+            SocketClient(workers=0, external=1, accept_timeout_s=0.2)
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            SocketClient(workers=0, external=0)
+
+
+class TestExecWorkerCli:
+    def test_bad_connect_spec_is_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["exec-worker", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err

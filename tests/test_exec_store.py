@@ -1,0 +1,193 @@
+"""Tests for the persistent result store (repro.exec.store).
+
+Round-trip persistence, content-digest invalidation when the model or
+trace changes, concurrent-writer safety, and the engine-level warm
+re-run resolving (at least) 90% of slots from disk, bit-identically.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.strategies import FUEL_CELL, HYBRID
+from repro.engine import HorizonEngine
+from repro.exec import ResultStore, problem_digest
+from repro.sim.simulator import Simulator, build_model
+from repro.traces.datasets import default_bundle
+
+
+@pytest.fixture(scope="module")
+def problems(small_model, small_bundle):
+    sim = Simulator(small_model, small_bundle)
+    return [sim.problem_for_slot(t, HYBRID) for t in range(12)]
+
+
+class TestResultStoreBasics:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        store.put(key, {"ufc": -1.25})
+        assert key in store
+        assert store.get(key) == {"ufc": -1.25}
+        assert store.hits == 1 and store.misses == 0
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("cd" + "0" * 62) is None
+        assert store.misses == 1
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ef" + "0" * 62
+        store.put(key, [1, 2, 3])
+        store.path_for(key).write_bytes(b"\x80truncated garbage")
+        assert store.get(key) is None
+
+    def test_wrong_key_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "12" + "0" * 62
+        other = "34" + "0" * 62
+        store.put(key, "value")
+        # Simulate a mis-filed entry: bytes for one key under another.
+        store.path_for(other).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(other).write_bytes(store.path_for(key).read_bytes())
+        assert store.get(other) is None
+
+    def test_keys_len_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [f"{i:02x}" + "0" * 62 for i in range(5)]
+        for i, key in enumerate(keys):
+            store.put(key, i)
+        assert sorted(store.keys()) == sorted(keys)
+        assert len(store) == 5
+        assert store.clear() == 5
+        assert len(store) == 0
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "aa" + "0" * 62
+        payload = list(range(200))
+
+        def hammer(_):
+            for _ in range(20):
+                store.put(key, payload)
+            return store.get(key)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(hammer, range(8)))
+        assert all(r == payload for r in results)
+        # The final entry is complete and readable.
+        with open(store.path_for(key), "rb") as fh:
+            assert pickle.load(fh)["result"] == payload
+
+
+class TestProblemDigest:
+    def test_deterministic_across_rebuilds(self):
+        def build():
+            bundle = default_bundle(hours=4, seed=11)
+            model = build_model(bundle)
+            sim = Simulator(model, bundle)
+            return sim.problem_for_slot(2, HYBRID)
+
+        assert problem_digest(build(), "centralized") == problem_digest(
+            build(), "centralized"
+        )
+
+    def test_solver_and_strategy_fold_in(self, problems):
+        problem = problems[0]
+        assert problem_digest(problem, "centralized") != problem_digest(
+            problem, "distributed"
+        )
+        sim_problem = problems[0]
+        other = type(sim_problem)(
+            sim_problem.model, sim_problem.inputs, strategy=FUEL_CELL
+        )
+        assert problem_digest(sim_problem, "centralized") != problem_digest(
+            other, "centralized"
+        )
+
+    def test_model_change_invalidates(self):
+        bundle = default_bundle(hours=4, seed=11)
+        sim_a = Simulator(build_model(bundle), bundle)
+        sim_b = Simulator(build_model(bundle, fuel_cell_price=90.0), bundle)
+        assert problem_digest(
+            sim_a.problem_for_slot(0, HYBRID), "centralized"
+        ) != problem_digest(sim_b.problem_for_slot(0, HYBRID), "centralized")
+
+    def test_trace_change_invalidates(self):
+        a = default_bundle(hours=4, seed=11)
+        b = default_bundle(hours=4, seed=12)
+        pa = Simulator(build_model(a), a).problem_for_slot(0, HYBRID)
+        pb = Simulator(build_model(b), b).problem_for_slot(0, HYBRID)
+        assert problem_digest(pa, "centralized") != problem_digest(
+            pb, "centralized"
+        )
+
+    def test_slot_change_invalidates(self, problems):
+        assert problem_digest(problems[0], "centralized") != problem_digest(
+            problems[1], "centralized"
+        )
+
+
+class TestEngineWarmRuns:
+    def test_warm_run_resolves_from_disk_bit_identically(
+        self, problems, tmp_path
+    ):
+        cold = HorizonEngine("centralized", store=tmp_path)
+        cold_outcomes = cold.run(problems)
+        assert cold.last_summary.store_hits == 0
+        assert cold.last_summary.store_misses == len(problems)
+
+        warm = HorizonEngine("centralized", store=tmp_path)
+        warm_outcomes = warm.run(problems)
+        summary = warm.last_summary
+        hit_rate = summary.store_hits / len(problems)
+        assert hit_rate >= 0.9  # in practice 100%: nothing changed
+        assert summary.store_hit_rate == pytest.approx(hit_rate)
+        assert [o.result.ufc for o in warm_outcomes] == [
+            o.result.ufc for o in cold_outcomes
+        ]
+        assert (
+            warm_outcomes[0].result.allocation.lam
+            == cold_outcomes[0].result.allocation.lam
+        ).all()
+        assert all(o.telemetry.store_hit for o in warm_outcomes)
+
+    def test_partial_warm_run_solves_only_new_slots(
+        self, small_model, small_bundle, problems, tmp_path
+    ):
+        HorizonEngine("centralized", store=tmp_path).run(problems[:8])
+        sim = Simulator(small_model, small_bundle)
+        extended = problems[:8] + [
+            sim.problem_for_slot(t, FUEL_CELL) for t in range(4)
+        ]
+        engine = HorizonEngine("centralized", store=tmp_path)
+        outcomes = engine.run(extended)
+        assert engine.last_summary.store_hits == 8
+        assert engine.last_summary.store_misses == 4
+        assert [o.index for o in outcomes] == list(range(12))
+        assert all(o.ok for o in outcomes)
+
+    def test_store_path_accepted_as_string(self, problems, tmp_path):
+        engine = HorizonEngine("centralized", store=str(tmp_path / "s"))
+        engine.run(problems[:2])
+        assert engine.store is not None and len(engine.store) == 2
+
+    def test_solver_change_misses(self, problems, tmp_path):
+        HorizonEngine("centralized", store=tmp_path).run(problems[:4])
+        engine = HorizonEngine("proportional", store=tmp_path)
+        engine.run(problems[:4])
+        assert engine.last_summary.store_hits == 0
+        assert engine.last_summary.store_misses == 4
+
+    def test_certified_warm_run_recertifies(self, problems, tmp_path):
+        HorizonEngine("centralized", store=tmp_path).run(problems[:4])
+        engine = HorizonEngine("centralized", store=tmp_path, certify=True)
+        outcomes = engine.run(problems[:4])
+        assert engine.last_summary.store_hits == 4
+        assert all(
+            o.certificate is not None and o.certificate.ok for o in outcomes
+        )
