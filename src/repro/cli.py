@@ -260,6 +260,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the timing/parity summary as JSON to PATH",
     )
     bench.add_argument(
+        "--scale",
+        action="store_true",
+        help="benchmark the scale lane instead: generated hyperscale "
+        "instances solved through the block-elimination KKT path vs "
+        "the dense route, gating certification on every slot, "
+        "paper-scale bit-identity, and a 5x speedup floor where both "
+        "routes run (with --quick: 4x10 and 20x100, 12 slots)",
+    )
+    bench.add_argument(
+        "--shapes",
+        default=None,
+        metavar="NxM,...",
+        help="with --scale: comma-separated shape ladder, e.g. "
+        "'4x10,20x100,100x1000' (default: the full ladder, or the "
+        "smoke ladder with --quick)",
+    )
+    bench.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        metavar="T",
+        help="with --scale: hourly slots per shape (default 24, or "
+        "12 with --quick)",
+    )
+    bench.add_argument(
         "--warm-floor",
         type=float,
         default=None,
@@ -717,6 +742,40 @@ def _bench_exec(args) -> int:
     return 0 if passed else 1
 
 
+def _bench_scale(args) -> int:
+    """The ``bench --scale`` flavor: hyperscale structured-KKT lane."""
+    import json
+
+    from repro.experiments.scalebench import (
+        DEFAULT_SHAPES,
+        render_report,
+        run_scale_bench,
+    )
+
+    if args.shapes:
+        try:
+            shapes = tuple(
+                (int(n), int(m))
+                for n, m in (part.split("x") for part in args.shapes.split(","))
+            )
+        except ValueError:
+            print(f"bad --shapes {args.shapes!r}: expected 'NxM,NxM,...'")
+            return 2
+    elif args.quick:
+        shapes = ((4, 10), (20, 100))
+    else:
+        shapes = DEFAULT_SHAPES
+    slots = args.slots if args.slots else (12 if args.quick else 24)
+
+    payload = run_scale_bench(shapes=shapes, slots=slots, seed=args.seed)
+    print(render_report(payload))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if payload["passed"] else 1
+
+
 def _cmd_bench(args) -> int:
     import json
     import time
@@ -724,6 +783,8 @@ def _cmd_bench(args) -> int:
     from repro.core.strategies import ALL_STRATEGIES
     from repro.engine import HorizonEngine
 
+    if args.scale:
+        return _bench_scale(args)
     if args.client:
         return _bench_exec(args)
 

@@ -55,6 +55,13 @@ class CentralizedResult:
     ineq_dual: np.ndarray | None = None
 
 
+#: QP dimension at and above which ``kkt_mode="auto"`` switches from
+#: the dense Mehrotra KKT factorization to the block-elimination path.
+#: The paper-scale QP (M=10, N=4: dim 48) sits far below this, so
+#: paper-scale results stay bit-identical to the dense route.
+STRUCTURED_KKT_CUTOFF = 512
+
+
 class CentralizedSolver:
     """Interior-point reference solver for per-slot UFC maximization.
 
@@ -63,12 +70,23 @@ class CentralizedSolver:
         max_iter: interior-point iteration cap.
         trace: record a per-iteration :class:`~repro.optim.ipqp.IPQPTrace`
             on every solve (opt-in; the iterates are identical either
-            way).
+            way).  Tracing pins ``kkt_mode="auto"`` to the dense path,
+            which is the one that produces traces.
         trace_every: keep every k-th trace iteration (memory bound for
             long horizons; 1 keeps all, matching the iteration count).
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
             forwarded to the interior-point method (duck-typed; the
             optim layer never imports obs).
+        kkt_mode: ``"auto"`` (default) uses the dense KKT factorization
+            below :data:`STRUCTURED_KKT_CUTOFF` variables — bit-identical
+            to every prior release at paper scale — and the
+            block-elimination Schur path at or above it; ``"dense"`` and
+            ``"structured"`` force one route.  The structured route
+            needs a compiled structure (``compile``/``solve(compiled=)``)
+            and falls back to dense for slots it cannot represent
+            (epigraph emission costs).
+        structured_cutoff: override the auto-selection dimension
+            threshold.
     """
 
     def __init__(
@@ -78,12 +96,20 @@ class CentralizedSolver:
         trace: bool = False,
         trace_every: int = 1,
         metrics=None,
+        kkt_mode: str = "auto",
+        structured_cutoff: int = STRUCTURED_KKT_CUTOFF,
     ) -> None:
+        if kkt_mode not in ("auto", "dense", "structured"):
+            raise ValueError(
+                f"kkt_mode must be 'auto', 'dense' or 'structured', got {kkt_mode!r}"
+            )
         self.tol = tol
         self.max_iter = max_iter
         self.trace = bool(trace)
         self.trace_every = int(trace_every)
         self.metrics = metrics
+        self.kkt_mode = kkt_mode
+        self.structured_cutoff = int(structured_cutoff)
 
     def compile(self, model: CloudModel, strategy: Strategy) -> "CompiledQPStructure":
         """Slot-invariant QP structure for (model, strategy).
@@ -112,7 +138,14 @@ class CentralizedSolver:
             NotImplementedError: when an emission cost is not
                 QP-representable (see :meth:`UFCProblem.to_qp`).
         """
-        if compiled is not None and compiled.matches(problem):
+        use_compiled = compiled is not None and compiled.matches(problem)
+        if use_compiled and self.kkt_mode != "dense" and not self.trace:
+            forced = self.kkt_mode == "structured"
+            if forced or compiled.dim >= self.structured_cutoff:
+                result = self._solve_structured(problem, compiled, forced=forced)
+                if result is not None:
+                    return result
+        if use_compiled:
             qp = compiled.qp_for(problem.inputs)
         else:
             qp = problem.to_qp()
@@ -130,6 +163,46 @@ class CentralizedSolver:
             trace=res.trace,
             eq_dual=res.eq_dual,
             ineq_dual=res.ineq_dual,
+        )
+
+    def _solve_structured(
+        self, problem: UFCProblem, compiled: "CompiledQPStructure", forced: bool
+    ) -> CentralizedResult | None:
+        """Block-elimination route; None means 'take the dense path'.
+
+        Epigraph slots are not block-representable: forced mode raises,
+        auto mode falls back.  A non-converged structured solve also
+        falls back under auto so the dense factorization gets a shot at
+        the slot.
+        """
+        from repro.optim.kkt import solve_structured_qp
+
+        sc = compiled.structured_compiler()
+        try:
+            sqp = sc.structured_qp_for(problem.inputs)
+        except NotImplementedError:
+            if forced:
+                raise
+            return None
+        res = solve_structured_qp(
+            sqp, tol=self.tol, max_iter=self.max_iter, metrics=self.metrics
+        )
+        if not res.converged and not forced:
+            return None
+        alloc = sqp.extract(res.x)
+        ineq_dual = (
+            sqp.ineq_dual_to_dense(res.ineq_dual)
+            if sqp.fan_in == sqp.num_datacenters
+            else res.ineq_dual
+        )
+        return CentralizedResult(
+            allocation=alloc,
+            ufc=problem.ufc(alloc),
+            iterations=res.iterations,
+            converged=res.converged,
+            trace=None,
+            eq_dual=res.eq_dual,
+            ineq_dual=ineq_dual,
         )
 
 

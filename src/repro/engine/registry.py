@@ -23,6 +23,7 @@ from repro.engine.adapters import (
     DistributedSlotSolver,
     DualSubgradientSlotSolver,
     HeuristicSlotSolver,
+    StructuredCentralizedSolver,
 )
 from repro.engine.protocol import SlotSolver
 
@@ -91,6 +92,7 @@ def create_solver(spec: str | SlotSolver | Any = "centralized", **kwargs: Any) -
 
 
 register_solver("centralized", CentralizedSlotSolver)
+register_solver("centralized-structured", StructuredCentralizedSolver)
 register_solver("distributed", DistributedSlotSolver)
 register_solver("dual-subgradient", DualSubgradientSlotSolver)
 for _name, _policy in HEURISTIC_POLICIES.items():

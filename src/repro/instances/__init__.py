@@ -1,0 +1,11 @@
+"""Hyperscale instance generation for the scale lane.
+
+The paper's evaluation runs at (N, M) = (4, 10); this package grows
+that to production shapes — hundreds of datacenters, thousands of
+front-ends — with realistic geography, per-region traces and fan-in
+sparsity.  See :mod:`repro.instances.generator`.
+"""
+
+from repro.instances.generator import ScaleInstance, ScaleSpec, generate_instance
+
+__all__ = ["ScaleInstance", "ScaleSpec", "generate_instance"]

@@ -48,6 +48,7 @@ from repro.core.solution import Allocation
 __all__ = [
     "Certificate",
     "certify_solution",
+    "certify_structured_solution",
     "CertificationContext",
     "DEFAULT_FEAS_TOL",
     "DEFAULT_KKT_TOL",
@@ -349,6 +350,107 @@ def certify_solution(
         kkt_residual=max(stationarity, complementarity),
         duality_gap=duality_gap,
         dual_source=dual_source,
+        ufc=float(problem.ufc(allocation)),
+        feas_tol=feas_tol,
+        kkt_tol=kkt_tol,
+        certify_s=time.perf_counter() - start,
+    )
+
+
+def certify_structured_solution(
+    sqp,
+    problem: UFCProblem,
+    allocation: Allocation,
+    *,
+    x: np.ndarray | None = None,
+    duals: tuple[np.ndarray, np.ndarray] | None = None,
+    solver: str = "",
+    slot: int = -1,
+    feas_tol: float = DEFAULT_FEAS_TOL,
+    kkt_tol: float = DEFAULT_KKT_TOL,
+) -> Certificate:
+    """Certify a slot through its block-sparse QP — no dense matrices.
+
+    The hyperscale lane's counterpart of :func:`certify_solution`: the
+    feasibility audit is the same model-level check, but stationarity,
+    complementarity and the gap bound are evaluated with the
+    :class:`~repro.optim.kkt.StructuredSlotQP` matvecs (``O(M k + N)``
+    memory) against the *solver-provided* multipliers.  The fitted
+    NNLS certificate needs the dense constraint matrix and is
+    deliberately unavailable here — at (N, M) = (100, 1000) that matrix
+    alone is tens of gigabytes — so ``duals`` is required and
+    ``dual_source`` is always ``"solver"``.
+
+    Args:
+        sqp: the slot's :class:`~repro.optim.kkt.StructuredSlotQP`.
+        problem: the slot instance the allocation claims to solve.
+        allocation: the solution under audit.
+        x: the reduced primal vector the solver produced; rebuilt from
+            ``allocation`` (reach-gathered, rescaled) when omitted.
+        duals: ``(eq_dual, ineq_dual)`` in the reduced canonical layout.
+        solver: producer name recorded on the certificate.
+        slot: horizon index recorded on the certificate.
+        feas_tol: relative feasibility acceptance threshold.
+        kkt_tol: relative KKT-residual acceptance threshold.
+
+    Raises:
+        ValueError: when ``duals`` is missing (there is no fitted
+            fallback on this path).
+    """
+    start = time.perf_counter()
+    if duals is None or duals[0] is None or duals[1] is None:
+        raise ValueError(
+            "structured certification requires solver multipliers; the "
+            "fitted NNLS fallback would need the dense constraint matrix"
+        )
+    feasibility, worst_violation, worst_constraint = _audit_feasibility(
+        problem, allocation
+    )
+    if x is None:
+        lam_r = (
+            np.take_along_axis(allocation.lam, sqp.reach, axis=1) / sqp.lam_scale
+        )
+        parts = [lam_r.ravel()]
+        if sqp.include_mu:
+            parts.append(allocation.mu)
+        if sqp.include_nu:
+            parts.append(allocation.nu)
+        x = np.concatenate(parts)
+
+    r = sqp.obj_grad(x)
+    q_vec = sqp.obj_grad(np.zeros(sqp.dim))
+    slack = sqp.ineq_slack(x)
+    eq_res = sqp.eq_residual(x)
+    gscale = max(
+        1.0,
+        float(np.abs(q_vec).max(initial=0.0)),
+        float(np.abs(r - q_vec).max(initial=0.0)),
+    )
+    fscale = max(1.0, abs(sqp.objective(x)))
+
+    y = np.asarray(duals[0], dtype=float)
+    z = np.maximum(np.asarray(duals[1], dtype=float), 0.0)
+    grad_ineq = r + sqp.gt_mul(z)
+    at_y = sqp.at_mul(y)
+    stationarity = min(
+        float(np.abs(grad_ineq + at_y).max(initial=0.0)),
+        float(np.abs(grad_ineq - at_y).max(initial=0.0)),
+    ) / gscale
+    complementarity = float(np.abs(z * slack).sum()) / fscale
+    duality_gap = complementarity + float(np.abs(y @ eq_res)) / fscale
+
+    return Certificate(
+        slot=slot,
+        solver=solver,
+        strategy=getattr(problem.strategy, "name", str(problem.strategy)),
+        feasibility=feasibility,
+        worst_violation=worst_violation,
+        worst_constraint=worst_constraint,
+        stationarity=stationarity,
+        complementarity=complementarity,
+        kkt_residual=max(stationarity, complementarity),
+        duality_gap=duality_gap,
+        dual_source="solver",
         ufc=float(problem.ufc(allocation)),
         feas_tol=feas_tol,
         kkt_tol=kkt_tol,

@@ -267,12 +267,17 @@ class HorizonSummary:
                     "worst_kkt": self.worst_kkt,
                 }
             )
+        # A store that was never probed (disabled, or attached to a
+        # zero-slot run) reports an explicit null — rendering it as
+        # 0.0 would be indistinguishable from a genuine 0% hit rate
+        # (store attached, every probe missed).
+        rate = self.store_hit_rate
+        out["store_hit_rate"] = None if rate is None else round(rate, 4)
         if self.store_hits or self.store_misses:
             out.update(
                 {
                     "store_hits": self.store_hits,
                     "store_misses": self.store_misses,
-                    "store_hit_rate": round(self.store_hit_rate or 0.0, 4),
                 }
             )
         return out

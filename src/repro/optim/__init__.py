@@ -24,6 +24,11 @@ interior-point reference solver:
 - :mod:`repro.optim.batch` — batched cross-slot kernels: a masked
   batched interior-point method over stacked ``(T, n, n)`` QPs, plus
   row-wise simplex projection and batched rank-one QP solves.
+- :mod:`repro.optim.kkt` — the block-sparse representation of the UFC
+  QP (:class:`StructuredSlotQP`) and a Mehrotra solver whose Newton
+  systems are solved by block elimination into a small dense Schur
+  complement, making hyperscale instances (hundreds of datacenters,
+  thousands of front-ends) tractable.
 """
 
 from repro.optim.admg import ADMGEngine, ADMGResult
@@ -35,6 +40,13 @@ from repro.optim.batch import (
     solve_qp_batch,
 )
 from repro.optim.ipqp import IPQPResult, solve_qp
+from repro.optim.kkt import (
+    StructuredIPQPResult,
+    StructuredQPCompiler,
+    StructuredSlotQP,
+    full_reach,
+    solve_structured_qp,
+)
 from repro.optim.rank_one import solve_capped_rank_one_qp
 from repro.optim.scalar import (
     PiecewiseLinearConvex,
@@ -54,6 +66,10 @@ __all__ = [
     "IPQPResult",
     "PiecewiseLinearConvex",
     "QuadraticScalar",
+    "StructuredIPQPResult",
+    "StructuredQPCompiler",
+    "StructuredSlotQP",
+    "full_reach",
     "minimize_convex_on_interval",
     "minimize_qp_simplex",
     "project_box",
@@ -64,4 +80,5 @@ __all__ = [
     "solve_capped_rank_one_qp_batch",
     "solve_qp",
     "solve_qp_batch",
+    "solve_structured_qp",
 ]

@@ -253,6 +253,10 @@ def _ruiz_equilibrate_batch(
         if m_rows:
             np.maximum(col_norm, np.abs(G).max(axis=1), out=col_norm)
         col_scale = 1.0 / np.sqrt(np.maximum(col_norm, 1e-12))
+        # Exactly-zero columns/rows keep scale 1, matching the scalar
+        # equilibration: the clamp would compound 1e6 per sweep and
+        # blow up the scaled data (see _ruiz_equilibrate).
+        col_scale[col_norm == 0.0] = 1.0
         P *= col_scale[:, :, None]
         P *= col_scale[:, None, :]
         A *= col_scale[:, None, :]
@@ -261,11 +265,13 @@ def _ruiz_equilibrate_batch(
         if p_rows:
             row_norm = np.abs(A).max(axis=2)
             row_scale = 1.0 / np.sqrt(np.maximum(row_norm, 1e-12))
+            row_scale[row_norm == 0.0] = 1.0
             A *= row_scale[:, :, None]
             r_a *= row_scale
         if m_rows:
             row_norm = np.abs(G).max(axis=2)
             row_scale = 1.0 / np.sqrt(np.maximum(row_norm, 1e-12))
+            row_scale[row_norm == 0.0] = 1.0
             G *= row_scale[:, :, None]
             r_g *= row_scale
     q_scaled = d * q
@@ -293,6 +299,39 @@ def _ruiz_equilibrate_batch(
 def _bmv(M: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Batched matrix-vector product: ``(T, r, c) @ (T, c) -> (T, r)``."""
     return np.matmul(M, v[:, :, None])[:, :, 0]
+
+
+#: Relative residual threshold for batched Newton solves, matching
+#: ``repro.optim.ipqp._KKT_RESIDUAL_TOL``.
+_BATCH_RESIDUAL_TOL = 1e-6
+
+
+def _solve_checked(M: np.ndarray, rhs: np.ndarray, reg: np.ndarray) -> np.ndarray:
+    """Batched ``np.linalg.solve`` with a per-element residual safeguard.
+
+    ``M`` is (T, n, n), ``rhs`` (T, n, r), ``reg`` a broadcastable
+    diagonal regularizer (e.g. ``1e-10 * np.eye(n)``).  A nearly
+    singular element can return a finite garbage block without
+    raising; elements whose relative residual exceeds the threshold
+    are re-solved with the regularization, touching only the bad rows
+    — healthy elements keep the plain solve's bits.
+
+    Falls back to regularizing the whole batch when the plain solve
+    raises (exactly the old LinAlgError-only behavior).
+    """
+    try:
+        sol = np.linalg.solve(M, rhs)
+    except np.linalg.LinAlgError:
+        return np.linalg.solve(M + reg, rhs)
+    resid = np.abs(np.matmul(M, sol) - rhs).max(axis=(1, 2), initial=0.0)
+    rhs_scale = 1.0 + np.abs(rhs).max(axis=(1, 2), initial=0.0)
+    bad = ~(np.isfinite(resid) & (resid <= _BATCH_RESIDUAL_TOL * rhs_scale))
+    if bad.any():
+        try:
+            sol[bad] = np.linalg.solve(M[bad] + reg, rhs[bad])
+        except np.linalg.LinAlgError:
+            pass  # keep the least-bad unregularized blocks
+    return sol
 
 
 def _step_length_batch(
@@ -528,10 +567,7 @@ def _ip_iterate_shared(
     )
 
     def hsolve(H: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        try:
-            return np.linalg.solve(H, rhs)
-        except np.linalg.LinAlgError:
-            return np.linalg.solve(H + reg_n, rhs)
+        return _solve_checked(H, rhs, reg_n)
 
     def newton_core(
         H: np.ndarray, rhs_x: np.ndarray, r_eq: np.ndarray,
@@ -791,10 +827,7 @@ def _ip_iterate_batch(
         def solve_newton(r_comp: np.ndarray) -> tuple[np.ndarray, ...]:
             rhs_x = -r_dual - _bmv(Gt, (r_comp + z * r_ineq) / s)
             rhs = np.concatenate([rhs_x, -r_eq], axis=1)
-            try:
-                sol = np.linalg.solve(kkt, rhs[:, :, None])[:, :, 0]
-            except np.linalg.LinAlgError:
-                sol = np.linalg.solve(kkt + reg, rhs[:, :, None])[:, :, 0]
+            sol = _solve_checked(kkt, rhs[:, :, None], reg)[:, :, 0]
             dx = sol[:, :n]
             dy = sol[:, n:]
             ds = -r_ineq - _bmv(Gw, dx)

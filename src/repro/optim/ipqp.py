@@ -94,6 +94,13 @@ def _ruiz_equilibrate(
         if m_rows:
             np.maximum(col_norm, np.abs(G, out=abs_buf_g).max(axis=0), out=col_norm)
         col_scale = 1.0 / np.sqrt(np.maximum(col_norm, 1e-12))
+        # An exactly-zero column (or row, below) must keep scale 1:
+        # the clamp would otherwise inflate it by 1e6 per sweep,
+        # compounding into astronomically scaled data that makes the
+        # solver's relative convergence test vacuously true.  Sparse
+        # reach patterns produce genuinely zero capacity rows (a
+        # datacenter no front-end reaches), so this is reachable.
+        col_scale[col_norm == 0.0] = 1.0
         P *= col_scale[:, None]
         P *= col_scale[None, :]
         A *= col_scale[None, :]
@@ -102,11 +109,13 @@ def _ruiz_equilibrate(
         if p_rows:
             row_norm = np.abs(A, out=abs_buf_a).max(axis=1)
             row_scale = 1.0 / np.sqrt(np.maximum(row_norm, 1e-12))
+            row_scale[row_norm == 0.0] = 1.0
             A *= row_scale[:, None]
             r_a *= row_scale
         if m_rows:
             row_norm = np.abs(G, out=abs_buf_g).max(axis=1)
             row_scale = 1.0 / np.sqrt(np.maximum(row_norm, 1e-12))
+            row_scale[row_norm == 0.0] = 1.0
             G *= row_scale[:, None]
             r_g *= row_scale
     q_scaled = d * q
@@ -184,6 +193,63 @@ def _step_length(
 #: Matches repro.obs.metrics.DEFAULT_ITERATION_BUCKETS; kept literal so
 #: the optim layer stays import-free of obs.
 _ITERATION_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+#: Relative Newton-residual threshold above which a KKT solve is
+#: considered to have gone bad (see :func:`_solve_kkt`).  Healthy
+#: factorizations sit many orders of magnitude below this.
+_KKT_RESIDUAL_TOL = 1e-6
+
+#: Escalating diagonal regularizations for retried KKT solves.
+_KKT_REG_LEVELS = (1e-10, 1e-8)
+
+
+def _solve_kkt(kkt: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve the Newton KKT system with a residual safeguard.
+
+    ``np.linalg.solve`` raises :class:`~numpy.linalg.LinAlgError` only
+    when an LU pivot is *exactly* zero; a nearly singular KKT matrix
+    (e.g. a degenerate slot whose active constraints are linearly
+    dependent at the barrier's limit) returns a finite garbage
+    direction without raising.  Both failure modes land here: on
+    LinAlgError *or* a relative residual
+    ``||KKT sol - rhs||_inf > 1e-6 (1 + ||rhs||_inf)`` the solve is
+    retried with an escalating diagonal regularization (1e-10 then
+    1e-8).  A healthy solve returns the plain ``np.linalg.solve``
+    result bit-for-bit — the residual check observes, never perturbs.
+
+    Raises:
+        np.linalg.LinAlgError: when every attempt is exactly singular.
+    """
+    rhs_scale = 1.0 + float(np.abs(rhs).max(initial=0.0))
+    best: np.ndarray | None = None
+    best_resid = np.inf
+    try:
+        sol = np.linalg.solve(kkt, rhs)
+        resid = float(np.abs(kkt @ sol - rhs).max(initial=0.0))
+        if np.isfinite(resid) and resid <= _KKT_RESIDUAL_TOL * rhs_scale:
+            return sol
+        if np.isfinite(resid):
+            best, best_resid = sol, resid
+    except np.linalg.LinAlgError:
+        pass
+    eye = np.eye(kkt.shape[0])
+    for reg in _KKT_REG_LEVELS:
+        try:
+            sol = np.linalg.solve(kkt + reg * eye, rhs)
+        except np.linalg.LinAlgError:
+            continue
+        resid = float(np.abs(kkt @ sol - rhs).max(initial=0.0))
+        if np.isfinite(resid) and resid <= _KKT_RESIDUAL_TOL * rhs_scale:
+            return sol
+        if np.isfinite(resid) and resid < best_resid:
+            best, best_resid = sol, resid
+    if best is None:
+        raise np.linalg.LinAlgError(
+            "KKT system is singular even after regularization"
+        )
+    # No attempt met the threshold: return the least-bad direction and
+    # let the interior-point globalization (step-length cut) cope.
+    return best
 
 
 def _record_metrics(metrics, iterations: int, converged: bool) -> None:
@@ -389,10 +455,7 @@ def solve_qp(
             # Eliminate ds = -r_ineq - G dx, dz = (r_comp - z*ds)/s.
             rhs[:n] = -r_dual - G.T @ ((r_comp + z * r_ineq) / s)
             np.negative(r_eq, out=rhs[n:])
-            try:
-                sol = np.linalg.solve(kkt, rhs)
-            except np.linalg.LinAlgError:
-                sol = np.linalg.solve(kkt + 1e-10 * np.eye(n + p), rhs)
+            sol = _solve_kkt(kkt, rhs)
             dx = sol[:n]
             dy = sol[n:]
             ds = -r_ineq - G @ dx

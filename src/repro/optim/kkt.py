@@ -1,0 +1,1045 @@
+"""Block-elimination KKT path for the UFC QP at scale.
+
+The dense Mehrotra solver in :mod:`repro.optim.ipqp` factorizes an
+``(n + p)``-dimensional KKT system per Newton step; with ``n = M*N +
+2N`` that is O((MN)^3) per slot and already minutes-per-slot at 100
+datacenters x 1000 front-ends.  But the UFC QP is nowhere near dense:
+
+- each front-end ``i`` owns a private ``lambda_i`` block whose Hessian
+  is diagonal-plus-rank-one (the quadratic latency utility contributes
+  ``(2w/A_i) l l^T``; the log-barrier weights contribute the diagonal),
+  tied together only by its own simplex row ``1^T lambda_i = a_i``;
+- each datacenter ``j`` owns two scalars (``mu_j``, ``nu_j``) with a
+  diagonal Hessian, tied only to its own power-balance row;
+- the *only* cross-front-end coupling is the N capacity rows and the N
+  power rows.
+
+This module exploits that: the per-front-end ``(k+1) x (k+1)`` blocks
+(``k`` = reachable datacenters per front-end) and the per-datacenter
+scalars are eliminated in closed form, leaving a dense ``2N x 2N``
+Schur system per Newton step.  Cost per interior-point iteration drops
+from O((Mk + 2N)^3) to O(M k^3 + N^2 k M / M + (2N)^3) — linear in the
+number of front-ends.
+
+Three public layers:
+
+- :class:`StructuredSlotQP` — a reach-sparse slot QP (never
+  materializes the dense ``P``/``G``; a (100, 1000) instance fits in a
+  few MB instead of ~80 GB of dense constraint matrices).
+- :func:`solve_structured_qp` — the same Mehrotra predictor-corrector
+  iteration as :func:`repro.optim.ipqp.solve_qp` (same residuals, same
+  step rule, same convergence test), with every Newton step going
+  through the block elimination.  Each Newton solution is verified by
+  an explicit ``||KKT . sol - rhs||`` residual check with escalating
+  regularization on failure — the structured analogue of the dense
+  solver's singular-KKT fallback.
+- :class:`StructuredQPCompiler` — the slot-invariant compilation
+  (reach pattern, restricted latency rows, scaled capacities/betas),
+  the structured twin of
+  :class:`~repro.core.compiled.CompiledQPStructure`.
+
+With a full reach pattern (every front-end sees every datacenter) the
+reduced layout coincides with the dense compiled layout coordinate for
+coordinate, so results can be handed back to the dense certification
+path unchanged (:meth:`StructuredSlotQP.ineq_dual_to_dense` maps the
+multiplier ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from repro.optim.ipqp import _record_metrics, _step_length
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.model import CloudModel
+    from repro.core.problem import SlotInputs, UFCProblem
+    from repro.core.strategies import Strategy
+
+__all__ = [
+    "StructuredSlotQP",
+    "StructuredIPQPResult",
+    "StructuredQPCompiler",
+    "solve_structured_qp",
+    "full_reach",
+]
+
+#: Equality-row regularization, matching the dense solver's
+#: ``kkt[n:, n:] = -1e-12`` diagonal exactly.
+_EQ_DELTA = 1e-12
+
+#: Relative Newton-residual threshold above which iterative refinement
+#: (and then the regularized retry) is triggered (mirrors the ipqp
+#: residual-check satellite).
+_NEWTON_RESIDUAL_TOL = 1e-6
+
+#: Escalating diagonal regularization levels for retried
+#: factorizations, *relative* to the condensed Hessian's diagonal
+#: scale — the barrier weights reach 1e9+ near convergence, where an
+#: absolute 1e-8 would be far below roundoff.
+_REG_LEVELS = (1e-12, 1e-9, 1e-6)
+
+#: Iterative-refinement sweep cap per factorization.  The block
+#: elimination (explicit per-front-end inverses + dense Schur) is not
+#: backward stable the way a pivoted LU of the full KKT matrix is;
+#: each refinement sweep against the exact structured matvec contracts
+#: the error by the factorization's relative accuracy, so a handful of
+#: sweeps recovers LU-grade residuals even at barrier weights ~1e12.
+_MAX_REFINE_SWEEPS = 6
+
+#: Refinement target relative to the right-hand-side scale.  Meeting
+#: merely the acceptance threshold (1e-6) is not enough near
+#: convergence: the interior-point dual residual floors at the Newton
+#: residual while the complementarity gap keeps shrinking, and the
+#: joint convergence test never fires.  Refining to ~100 eps keeps the
+#: structured directions LU-grade, so the residuals collapse in
+#: lockstep exactly like the dense path's.
+_REFINE_TARGET = 1e-13
+
+#: Consecutive iterations without a 10% worst-residual improvement
+#: before the solve is declared stalled and the best iterate returned.
+_STALL_LIMIT = 12
+
+#: Complementarity floor as a fraction of the convergence threshold.
+#: Mehrotra steps can drive the gap orders of magnitude below ``tol *
+#: scale`` while the dual residual is still catching up; with the gap
+#: at 1e-14 the barrier weights hit the ceiling and the condensed
+#: systems lose exactly the accuracy the dual residual needs.  The
+#: step is cut so the gap never undershoots ``tol * scale`` by more
+#: than this factor — comfortably converged on complementarity, still
+#: in the region where the block factorization is accurate.
+_MU_FLOOR_FRACTION = 1e-3
+
+
+def full_reach(num_frontends: int, num_datacenters: int) -> np.ndarray:
+    """The dense fan-in pattern: every front-end reaches every DC.
+
+    With this pattern the reduced variable layout is exactly the dense
+    compiled layout (``lam`` row-major by front-end), which is what
+    makes the structured path a drop-in for
+    :class:`~repro.core.compiled.CompiledQPStructure`.
+    """
+    return np.tile(np.arange(num_datacenters), (num_frontends, 1))
+
+
+def _validate_reach(reach: np.ndarray, num_datacenters: int) -> np.ndarray:
+    reach = np.asarray(reach)
+    if reach.ndim != 2:
+        raise ValueError(f"reach must be 2-D (M, k), got shape {reach.shape}")
+    if not np.issubdtype(reach.dtype, np.integer):
+        raise ValueError("reach must be an integer index array")
+    reach = reach.astype(np.int64, copy=False)
+    if reach.size == 0:
+        raise ValueError("reach must be non-empty")
+    if reach.min() < 0 or reach.max() >= num_datacenters:
+        raise ValueError(
+            f"reach entries must lie in [0, {num_datacenters}), "
+            f"got range [{reach.min()}, {reach.max()}]"
+        )
+    sorted_rows = np.sort(reach, axis=1)
+    if (sorted_rows[:, 1:] == sorted_rows[:, :-1]).any():
+        raise ValueError("reach rows must not repeat a datacenter")
+    return reach
+
+
+@dataclass
+class StructuredSlotQP:
+    """One slot's UFC QP in reach-sparse block form.
+
+    Reduced primal layout ``x = [lam (M*k, row-major by front-end),
+    mu (N, if enabled), nu (N, if enabled)]`` where ``lam[i, a]``
+    routes front-end ``i`` to datacenter ``reach[i, a]``.  Constraint
+    row order is canonical: equalities ``[simplex (M); power (N)]``,
+    inequalities ``[capacity (N); lam >= 0 (M*k); mu >= 0 (N);
+    mu <= mu_max (N); nu >= 0 (N)]`` (mu/nu families only when the
+    block is enabled).  With a full reach pattern this is the dense
+    compiled layout up to the interleaving of the two mu bound
+    families (see :meth:`ineq_dual_to_dense`).
+
+    All workload quantities are in scaled routing units
+    (``lam_scale`` servers per unit), exactly like the dense
+    compilation.
+    """
+
+    reach: np.ndarray  # (M, k) int64
+    h_blocks: np.ndarray  # (M, k, k) per-front-end utility Hessians
+    q_lam: np.ndarray  # (M, k)
+    arrivals: np.ndarray  # (M,) scaled
+    capacities: np.ndarray  # (N,) scaled
+    alphas: np.ndarray  # (N,) MW
+    betas: np.ndarray  # (N,) MW per routing unit (scaled)
+    lam_scale: float
+    q_mu: np.ndarray | None = None  # (N,) fuel-cell price
+    mu_max: np.ndarray | None = None  # (N,) MW
+    p_nu: np.ndarray | None = None  # (N,) diagonal Hessian (2a_j)
+    q_nu: np.ndarray | None = None  # (N,) grid price + carbon slope
+    num_datacenters: int = 0
+    # Derived index caches (filled in __post_init__).
+    _reach_flat: np.ndarray = field(init=False, repr=False)
+    _qq_idx: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.num_datacenters or int(self.reach.max()) + 1
+        self.num_datacenters = n
+        self.reach = _validate_reach(self.reach, n)
+        self._reach_flat = self.reach.ravel()
+        # Flat (j, j') index pairs for scattering per-front-end k x k
+        # blocks into the N x N Schur core.
+        self._qq_idx = (
+            self.reach[:, :, None] * n + self.reach[:, None, :]
+        ).ravel()
+
+    # -- shape properties ------------------------------------------------------
+
+    @property
+    def num_frontends(self) -> int:
+        return self.reach.shape[0]
+
+    @property
+    def fan_in(self) -> int:
+        return self.reach.shape[1]
+
+    @property
+    def include_mu(self) -> bool:
+        return self.q_mu is not None
+
+    @property
+    def include_nu(self) -> bool:
+        return self.q_nu is not None
+
+    @property
+    def dim(self) -> int:
+        m, n = self.num_frontends, self.num_datacenters
+        return m * self.fan_in + (n if self.include_mu else 0) + (
+            n if self.include_nu else 0
+        )
+
+    @property
+    def num_eq(self) -> int:
+        return self.num_frontends + self.num_datacenters
+
+    @property
+    def num_ineq(self) -> int:
+        m, n, k = self.num_frontends, self.num_datacenters, self.fan_in
+        return n + m * k + (2 * n if self.include_mu else 0) + (
+            n if self.include_nu else 0
+        )
+
+    # -- layout helpers --------------------------------------------------------
+
+    def split_x(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Views ``(lam (M,k), mu, nu)`` into a stacked primal vector."""
+        m, n, k = self.num_frontends, self.num_datacenters, self.fan_in
+        lam = x[: m * k].reshape(m, k)
+        off = m * k
+        mu = None
+        if self.include_mu:
+            mu = x[off : off + n]
+            off += n
+        nu = x[off : off + n] if self.include_nu else None
+        return lam, mu, nu
+
+    def split_ineq(
+        self, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+        """Views ``(cap, lam (M,k), mu_lo, mu_hi, nu_lo)`` into a
+        stacked inequality-row vector."""
+        m, n, k = self.num_frontends, self.num_datacenters, self.fan_in
+        cap = v[:n]
+        lam = v[n : n + m * k].reshape(m, k)
+        off = n + m * k
+        mu_lo = mu_hi = nu_lo = None
+        if self.include_mu:
+            mu_lo = v[off : off + n]
+            mu_hi = v[off + n : off + 2 * n]
+            off += 2 * n
+        if self.include_nu:
+            nu_lo = v[off : off + n]
+        return cap, lam, mu_lo, mu_hi, nu_lo
+
+    def col_sums(self, lam: np.ndarray) -> np.ndarray:
+        """Per-datacenter load ``sum_i lam[i, a(j)]`` over the reach."""
+        return np.bincount(
+            self._reach_flat, weights=lam.ravel(), minlength=self.num_datacenters
+        )
+
+    # -- structured matvecs ----------------------------------------------------
+
+    def obj_grad(self, x: np.ndarray) -> np.ndarray:
+        """``P x + q`` without materializing ``P``."""
+        lam, mu, nu = self.split_x(x)
+        out = np.empty_like(x)
+        o_lam, o_mu, o_nu = self.split_x(out)
+        o_lam[:] = (self.h_blocks @ lam[..., None])[..., 0] + self.q_lam
+        if self.include_mu:
+            o_mu[:] = self.q_mu
+        if self.include_nu:
+            o_nu[:] = self.p_nu * nu + self.q_nu
+        return out
+
+    def objective(self, x: np.ndarray) -> float:
+        """``0.5 x' P x + q' x`` (same constant convention as the
+        dense compilation: epigraph-free slots only)."""
+        lam, mu, nu = self.split_x(x)
+        val = 0.5 * float(
+            np.sum(lam * (self.h_blocks @ lam[..., None])[..., 0])
+        ) + float(np.sum(self.q_lam * lam))
+        if self.include_mu:
+            val += float(self.q_mu @ mu)
+        if self.include_nu:
+            val += 0.5 * float(self.p_nu @ (nu * nu)) + float(self.q_nu @ nu)
+        return val
+
+    def eq_residual(self, x: np.ndarray) -> np.ndarray:
+        """``A x - b`` over the canonical equality rows."""
+        lam, mu, nu = self.split_x(x)
+        out = np.empty(self.num_eq)
+        m = self.num_frontends
+        out[:m] = lam.sum(axis=1) - self.arrivals
+        power = self.betas * self.col_sums(lam) + self.alphas
+        if self.include_mu:
+            power = power - mu
+        if self.include_nu:
+            power = power - nu
+        out[m:] = power
+        return out
+
+    def ineq_slack(self, x: np.ndarray) -> np.ndarray:
+        """``h - G x`` over the canonical inequality rows."""
+        lam, mu, nu = self.split_x(x)
+        out = np.empty(self.num_ineq)
+        s_cap, s_lam, s_mulo, s_muhi, s_nulo = self.split_ineq(out)
+        s_cap[:] = self.capacities - self.col_sums(lam)
+        s_lam[:] = lam
+        if self.include_mu:
+            s_mulo[:] = mu
+            s_muhi[:] = self.mu_max - mu
+        if self.include_nu:
+            s_nulo[:] = nu
+        return out
+
+    def g_mul(self, dx: np.ndarray) -> np.ndarray:
+        """``G dx`` over the canonical inequality rows."""
+        lam, mu, nu = self.split_x(dx)
+        out = np.empty(self.num_ineq)
+        o_cap, o_lam, o_mulo, o_muhi, o_nulo = self.split_ineq(out)
+        o_cap[:] = self.col_sums(lam)
+        o_lam[:] = -lam
+        if self.include_mu:
+            o_mulo[:] = -mu
+            o_muhi[:] = mu
+        if self.include_nu:
+            o_nulo[:] = -nu
+        return out
+
+    def gt_mul(self, v: np.ndarray) -> np.ndarray:
+        """``G^T v`` for a stacked inequality-row vector."""
+        v_cap, v_lam, v_mulo, v_muhi, v_nulo = self.split_ineq(v)
+        out = np.empty(self.dim)
+        o_lam, o_mu, o_nu = self.split_x(out)
+        o_lam[:] = v_cap[self.reach] - v_lam
+        if self.include_mu:
+            o_mu[:] = v_muhi - v_mulo
+        if self.include_nu:
+            o_nu[:] = -v_nulo
+        return out
+
+    def at_mul(self, y: np.ndarray) -> np.ndarray:
+        """``A^T y`` for stacked equality multipliers ``[y_s; y_p]``."""
+        m = self.num_frontends
+        y_s, y_p = y[:m], y[m:]
+        out = np.empty(self.dim)
+        o_lam, o_mu, o_nu = self.split_x(out)
+        o_lam[:] = y_s[:, None] + self.betas[self.reach] * y_p[self.reach]
+        if self.include_mu:
+            o_mu[:] = -y_p
+        if self.include_nu:
+            o_nu[:] = -y_p
+        return out
+
+    # -- dense bridges ---------------------------------------------------------
+
+    def to_dense(self) -> tuple[np.ndarray, ...]:
+        """``(P, q, A, b, G, h)`` of the reduced QP, canonical row order.
+
+        For parity tests and the dense comparison lane only — this
+        materializes O(dim^2) arrays and defeats the whole point at
+        hyperscale.
+        """
+        m, n, k = self.num_frontends, self.num_datacenters, self.fan_in
+        dim = self.dim
+        mk = m * k
+        mu_off = mk if self.include_mu else None
+        nu_off = mk + (n if self.include_mu else 0) if self.include_nu else None
+
+        p_mat = np.zeros((dim, dim))
+        q_vec = np.zeros(dim)
+        for i in range(m):
+            sl = slice(i * k, (i + 1) * k)
+            p_mat[sl, sl] = self.h_blocks[i]
+            q_vec[sl] = self.q_lam[i]
+        if self.include_mu:
+            q_vec[mu_off : mu_off + n] = self.q_mu
+        if self.include_nu:
+            idx = np.arange(nu_off, nu_off + n)
+            p_mat[idx, idx] = self.p_nu
+            q_vec[idx] = self.q_nu
+
+        a_mat = np.zeros((self.num_eq, dim))
+        b_vec = np.empty(self.num_eq)
+        rows = np.arange(m)
+        for a in range(k):
+            a_mat[rows, rows * k + a] = 1.0
+        b_vec[:m] = self.arrivals
+        for i in range(m):
+            for a in range(k):
+                j = self.reach[i, a]
+                a_mat[m + j, i * k + a] = self.betas[j]
+        if self.include_mu:
+            a_mat[m + np.arange(n), mu_off + np.arange(n)] = -1.0
+        if self.include_nu:
+            a_mat[m + np.arange(n), nu_off + np.arange(n)] = -1.0
+        b_vec[m:] = -self.alphas
+
+        g_mat = np.zeros((self.num_ineq, dim))
+        h_vec = np.zeros(self.num_ineq)
+        for i in range(m):
+            for a in range(k):
+                g_mat[self.reach[i, a], i * k + a] = 1.0
+        h_vec[:n] = self.capacities
+        g_mat[n + np.arange(mk), np.arange(mk)] = -1.0
+        off = n + mk
+        if self.include_mu:
+            g_mat[off + np.arange(n), mu_off + np.arange(n)] = -1.0
+            g_mat[off + n + np.arange(n), mu_off + np.arange(n)] = 1.0
+            h_vec[off + n : off + 2 * n] = self.mu_max
+            off += 2 * n
+        if self.include_nu:
+            g_mat[off + np.arange(n), nu_off + np.arange(n)] = -1.0
+        return p_mat, q_vec, a_mat, b_vec, g_mat, h_vec
+
+    def extract(self, x: np.ndarray):
+        """Scatter a reduced primal vector into a dense
+        :class:`~repro.core.solution.Allocation` (unreachable pairs
+        get exactly zero, matching the reduced feasible set)."""
+        from repro.core.solution import Allocation
+
+        m, n = self.num_frontends, self.num_datacenters
+        lam_r, mu, nu = self.split_x(x)
+        lam = np.zeros((m, n))
+        np.put_along_axis(lam, self.reach, lam_r * self.lam_scale, axis=1)
+        return Allocation(
+            lam=np.maximum(lam, 0.0),
+            mu=np.clip(mu, 0.0, None) if mu is not None else np.zeros(n),
+            nu=np.maximum(nu, 0.0) if nu is not None else np.zeros(n),
+        )
+
+    def ineq_dual_to_dense(self, z: np.ndarray) -> np.ndarray:
+        """Map canonical inequality multipliers to the dense compiled
+        row order (mu lower/upper bounds interleaved per datacenter).
+
+        Only meaningful for a full reach pattern, where the two
+        layouts cover the same rows.
+        """
+        if self.fan_in != self.num_datacenters:
+            raise ValueError(
+                "dense multiplier ordering requires a full reach pattern"
+            )
+        if not self.include_mu:
+            return z.copy()
+        n, head = self.num_datacenters, self.num_datacenters + self.num_frontends * self.fan_in
+        out = np.empty_like(z)
+        out[:head] = z[:head]
+        out[head : head + 2 * n : 2] = z[head : head + n]
+        out[head + 1 : head + 2 * n : 2] = z[head + n : head + 2 * n]
+        out[head + 2 * n :] = z[head + 2 * n :]
+        return out
+
+
+@dataclass(frozen=True)
+class StructuredIPQPResult:
+    """Result of a structured interior-point solve.
+
+    Same contract as :class:`~repro.optim.ipqp.IPQPResult` with the
+    vectors in the reduced canonical layout.
+    """
+
+    x: np.ndarray
+    eq_dual: np.ndarray
+    ineq_dual: np.ndarray
+    value: float
+    iterations: int
+    converged: bool
+    gap: float
+
+
+class _BlockKKTFactor:
+    """One factorization of the condensed structured KKT system.
+
+    Holds the batched per-front-end ``(k+1) x (k+1)`` inverses, the
+    eliminated mu/nu diagonals and the LU of the ``2N x 2N`` Schur
+    complement for a given set of barrier weights ``w = z / s`` (plus
+    an optional diagonal regularization ``reg``).
+    """
+
+    def __init__(self, sqp: StructuredSlotQP, w: np.ndarray, reg: float = 0.0) -> None:
+        self.sqp = sqp
+        self.reg = reg
+        m, n, k = sqp.num_frontends, sqp.num_datacenters, sqp.fan_in
+        w_cap, w_lam, w_mulo, w_muhi, w_nulo = sqp.split_ineq(w)
+        self.w_cap = w_cap
+        self.w_lam = w_lam
+
+        kk = np.zeros((m, k + 1, k + 1))
+        kk[:, :k, :k] = sqp.h_blocks
+        diag = np.arange(k)
+        kk[:, diag, diag] += w_lam + reg
+        kk[:, :k, k] = 1.0
+        kk[:, k, :k] = 1.0
+        kk[:, k, k] = -_EQ_DELTA
+        # Jacobi-scale before inverting: near convergence the barrier
+        # weights span ~1e13, and inverting the raw block loses all
+        # *relative* accuracy in the small ~1/w entries that the Schur
+        # core is built from.  Inverting the O(1)-conditioned scaled
+        # block and unscaling keeps every entry relatively accurate.
+        d = np.ones((m, k + 1))
+        d[:, :k] = np.sqrt(kk[:, diag, diag])
+        d_outer = d[:, :, None] * d[:, None, :]
+        self.k_inv = np.linalg.inv(kk / d_outer) / d_outer
+        self.w_top = self.k_inv[:, :k, :k]
+
+        core = np.bincount(
+            sqp._qq_idx, weights=self.w_top.ravel(), minlength=n * n
+        ).reshape(n, n)
+        self.d_mu = self.d_nu = None
+        d_power = np.full(n, _EQ_DELTA + reg)
+        if sqp.include_mu:
+            self.d_mu = w_mulo + w_muhi + reg
+            d_power = d_power + 1.0 / self.d_mu
+        if sqp.include_nu:
+            self.d_nu = sqp.p_nu + w_nulo + reg
+            d_power = d_power + 1.0 / self.d_nu
+
+        betas = sqp.betas
+        schur = np.empty((2 * n, 2 * n))
+        schur[:n, :n] = core
+        schur[:n, n:] = core * betas[None, :]
+        schur[n:, :n] = betas[:, None] * core
+        schur[n:, n:] = betas[:, None] * core * betas[None, :]
+        idx = np.arange(n)
+        schur[idx, idx] += 1.0 / (w_cap + reg)
+        schur[n + idx, n + idx] += d_power
+        # Same Jacobi scaling story as the per-front-end blocks: the
+        # Schur diagonal mixes ~1/w_cap (can be 1e-13) with O(1) core
+        # sums; factoring the scaled system keeps the solve accurate.
+        self.schur_d = np.sqrt(np.abs(np.diagonal(schur)))
+        self.schur_d[self.schur_d == 0.0] = 1.0
+        self.schur_scaled = schur / np.outer(self.schur_d, self.schur_d)
+        self.schur_lu = lu_factor(self.schur_scaled, check_finite=False)
+        # Lazily-built extended-precision LU of the scaled Schur; see
+        # :meth:`enable_extended`.
+        self._ld_lu: tuple[np.ndarray, np.ndarray] | None = None
+        self.use_extended = False
+
+    def enable_extended(self) -> None:
+        """Switch the Schur solve to an extended-precision LU.
+
+        Near an optimum where a datacenter saturates its capacity
+        *and* pins both generation bounds, the ``t_cap`` and ``dy_p``
+        rows of the Schur complement become parallel up to ~1e-12
+        diagonal perturbations: the scaled system's condition number
+        crosses 1/eps(float64) and double-precision refinement
+        diverges.  The system is still far from singular in
+        ``np.longdouble`` (80-bit on x86: eps ~ 1e-19), and the Schur
+        block is only ``2N x 2N``, so a hand-rolled pivoted LU there
+        is cheap.  With ~3 accurate digits per solve the outer
+        refinement contracts again and recovers full Newton accuracy.
+        """
+        if self._ld_lu is None:
+            a = self.schur_scaled.astype(np.longdouble)
+            dim = a.shape[0]
+            piv = np.arange(dim)
+            for j in range(dim - 1):
+                p = j + int(np.abs(a[j:, j]).argmax())
+                if p != j:
+                    a[[j, p]] = a[[p, j]]
+                    piv[[j, p]] = piv[[p, j]]
+                if a[j, j] != 0.0:
+                    a[j + 1 :, j] /= a[j, j]
+                    a[j + 1 :, j + 1 :] -= np.outer(a[j + 1 :, j], a[j, j + 1 :])
+            self._ld_lu = (a, piv)
+        self.use_extended = True
+
+    def _schur_solve(self, rhs_scaled: np.ndarray) -> np.ndarray:
+        """Solve the *scaled* Schur system for one right-hand side."""
+        if not self.use_extended:
+            return lu_solve(self.schur_lu, rhs_scaled, check_finite=False)
+        a, piv = self._ld_lu
+        dim = a.shape[0]
+        v = rhs_scaled.astype(np.longdouble)[piv]
+        for j in range(1, dim):
+            v[j] -= a[j, :j] @ v[:j]
+        for j in range(dim - 1, -1, -1):
+            v[j] = (v[j] - a[j, j + 1 :] @ v[j + 1 :]) / a[j, j]
+        return v.astype(np.float64)
+
+    def solve(
+        self, r1: np.ndarray, r2: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Solve the condensed KKT system ``[[H, A'], [A, -delta]]``
+        for ``(dx, dy)`` given the stacked right-hand side."""
+        sqp = self.sqp
+        m, n, k = sqp.num_frontends, sqp.num_datacenters, sqp.fan_in
+        r1_lam, r1_mu, r1_nu = sqp.split_x(r1)
+        r2_s, r2_p = r2[:m], r2[m:]
+
+        rhs_loc = np.empty((m, k + 1))
+        rhs_loc[:, :k] = r1_lam
+        rhs_loc[:, k] = r2_s
+        y_loc = (self.k_inv @ rhs_loc[..., None])[..., 0]
+
+        g = np.bincount(
+            sqp._reach_flat, weights=y_loc[:, :k].ravel(), minlength=n
+        )
+        rp = r2_p.copy()
+        if sqp.include_mu:
+            rp += r1_mu / self.d_mu
+        if sqp.include_nu:
+            rp += r1_nu / self.d_nu
+        rhs_schur = np.concatenate([g, sqp.betas * g - rp])
+        v = self._schur_solve(rhs_schur / self.schur_d) / self.schur_d
+        t_cap, dy_p = v[:n], v[n:]
+
+        corr = t_cap[sqp.reach] + sqp.betas[sqp.reach] * dy_p[sqp.reach]
+        u = y_loc - (self.k_inv[:, :, :k] @ corr[..., None])[..., 0]
+
+        dx = np.empty(sqp.dim)
+        d_lam, d_mu_v, d_nu_v = sqp.split_x(dx)
+        d_lam[:] = u[:, :k]
+        if sqp.include_mu:
+            d_mu_v[:] = (r1_mu + dy_p) / self.d_mu
+        if sqp.include_nu:
+            d_nu_v[:] = (r1_nu + dy_p) / self.d_nu
+        dy = np.concatenate([u[:, k], dy_p])
+        return dx, dy
+
+    def solve_refined(
+        self, r1: np.ndarray, r2: np.ndarray, tol: float
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """:meth:`solve` plus iterative refinement to residual ``tol``.
+
+        Each sweep solves for the correction of the *true*
+        (unregularized) system's residual with this factorization, so
+        a regularized or merely inaccurate factor still converges to
+        the exact Newton direction as long as its error contraction is
+        below one.  Sweeps stop at ``tol``, on stagnation, or after
+        :data:`_MAX_REFINE_SWEEPS`; the best iterate is returned with
+        its residual norm.
+        """
+        dx, dy = self.solve(r1, r2)
+        res_x, res_eq = self.residual_vec(dx, dy, r1, r2)
+        resid = _res_norm(res_x, res_eq)
+        for _ in range(2 * _MAX_REFINE_SWEEPS):
+            if not np.isfinite(resid) or resid <= tol:
+                break
+            cx, cy = self.solve(-res_x, -res_eq)
+            ndx, ndy = dx + cx, dy + cy
+            nres_x, nres_eq = self.residual_vec(ndx, ndy, r1, r2)
+            nresid = _res_norm(nres_x, nres_eq)
+            if not np.isfinite(nresid) or nresid >= resid:
+                if not self.use_extended:
+                    # Double-precision refinement diverged or stalled:
+                    # the Schur complement has crossed 1/eps.  Rebuild
+                    # its LU in extended precision and restart the
+                    # sweep from scratch (the stalled iterate may be
+                    # arbitrarily contaminated).
+                    self.enable_extended()
+                    dx, dy = self.solve(r1, r2)
+                    res_x, res_eq = self.residual_vec(dx, dy, r1, r2)
+                    resid = _res_norm(res_x, res_eq)
+                    continue
+                break
+            dx, dy, resid = ndx, ndy, nresid
+            res_x, res_eq = nres_x, nres_eq
+        return dx, dy, resid
+
+    def residual_vec(
+        self, dx: np.ndarray, dy: np.ndarray, r1: np.ndarray, r2: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``KKT . (dx, dy) - rhs`` via structured matvecs.
+
+        The condensed Hessian here is ``P + G' diag(w) G`` with the
+        *unregularized* weights — so a regularized factorization is
+        judged against the true system it approximates.
+        """
+        sqp = self.sqp
+        m = sqp.num_frontends
+        d_lam, d_mu_v, d_nu_v = sqp.split_x(dx)
+        dy_s, dy_p = dy[:m], dy[m:]
+        dcol = sqp.col_sums(d_lam)
+
+        res_x = np.empty(sqp.dim)
+        r_lam, r_mu, r_nu = sqp.split_x(res_x)
+        r1_lam, r1_mu, r1_nu = sqp.split_x(r1)
+        r_lam[:] = (
+            (sqp.h_blocks @ d_lam[..., None])[..., 0]
+            + self.w_lam * d_lam
+            + (self.w_cap * dcol)[sqp.reach]
+            + dy_s[:, None]
+            + sqp.betas[sqp.reach] * dy_p[sqp.reach]
+            - r1_lam
+        )
+        if sqp.include_mu:
+            r_mu[:] = (self.d_mu - self.reg) * d_mu_v - dy_p - r1_mu
+        if sqp.include_nu:
+            r_nu[:] = (self.d_nu - self.reg) * d_nu_v - dy_p - r1_nu
+
+        # Equality rows of the KKT system: A dx - delta dy - r2.
+        res_eq = np.empty(sqp.num_eq)
+        res_eq[:m] = d_lam.sum(axis=1) - _EQ_DELTA * dy_s - r2[:m]
+        power = sqp.betas * dcol - _EQ_DELTA * dy_p - r2[m:]
+        if sqp.include_mu:
+            power = power - d_mu_v
+        if sqp.include_nu:
+            power = power - d_nu_v
+        res_eq[m:] = power
+        return res_x, res_eq
+
+
+def _res_norm(res_x: np.ndarray, res_eq: np.ndarray) -> float:
+    return max(float(np.abs(res_x).max()), float(np.abs(res_eq).max(initial=0.0)))
+
+
+#: Smallest normal double; slacks below this are clamped when forming
+#: the barrier weights ``w = z / s`` so the weights stay finite.
+_TINY = float(np.finfo(float).tiny)
+
+#: Barrier-weight ceiling (LIPSOL-style).  A constraint with
+#: ``z / s > 1e16`` is active to machine precision; capping the weight
+#: there keeps the condensed systems finite without measurably moving
+#: the Newton direction, and prevents overflow cascades in the final
+#: iterations when slacks underflow to denormals.
+_W_CEILING = 1e16
+
+
+def _build_factor(
+    sqp: StructuredSlotQP, w: np.ndarray, reg_rel: float, diag_scale: float
+) -> _BlockKKTFactor | None:
+    """A :class:`_BlockKKTFactor` at relative regularization
+    ``reg_rel``, or None when the factorization is exactly singular."""
+    try:
+        return _BlockKKTFactor(sqp, w, reg=reg_rel * diag_scale)
+    except np.linalg.LinAlgError:
+        return None
+
+
+def solve_structured_qp(
+    sqp: StructuredSlotQP,
+    tol: float = 1e-9,
+    max_iter: int = 120,
+    metrics=None,
+) -> StructuredIPQPResult:
+    """Solve a reach-sparse UFC slot QP by block-elimination Mehrotra.
+
+    The iteration is the one in :func:`repro.optim.ipqp.solve_qp` run
+    on the raw (unequilibrated) data — same residual definitions, same
+    ``scale = 1 + max(|q|, |h|, |b|)`` convergence test, same
+    predictor-corrector step rule — but every Newton system is solved
+    by eliminating the M per-front-end simplex blocks and the N
+    mu/nu scalars into a dense ``2N x 2N`` Schur system.  Every Newton
+    solution is residual-checked; a bad solve is iteratively refined
+    against the exact structured matvec and, failing that, retried
+    with escalating diagonal regularization (relative to the condensed
+    Hessian scale) before being accepted.
+
+    ``metrics`` is the same duck-typed registry the dense solver
+    accepts; structured solves share its counters.
+    """
+    m, n = sqp.num_frontends, sqp.num_datacenters
+    mm = sqp.num_ineq
+
+    x = np.zeros(sqp.dim)
+    y = np.zeros(sqp.num_eq)
+    s = np.maximum(sqp.ineq_slack(x), 1.0)
+    z = np.ones(mm)
+
+    q_max = max(
+        float(np.abs(sqp.q_lam).max(initial=0.0)),
+        float(np.abs(sqp.q_mu).max(initial=0.0)) if sqp.include_mu else 0.0,
+        float(np.abs(sqp.q_nu).max(initial=0.0)) if sqp.include_nu else 0.0,
+    )
+    h_max = max(
+        float(np.abs(sqp.capacities).max(initial=0.0)),
+        float(np.abs(sqp.mu_max).max(initial=0.0)) if sqp.include_mu else 0.0,
+    )
+    b_max = max(
+        float(np.abs(sqp.arrivals).max(initial=0.0)),
+        float(np.abs(sqp.alphas).max(initial=0.0)),
+    )
+    scale = 1.0 + max(q_max, h_max, b_max)
+
+    step_work = np.empty(mm)
+    step_mask = np.empty(mm, dtype=bool)
+    converged = False
+    # Best-iterate safety net: at extreme barrier weights (a datacenter
+    # saturating capacity and both generation bounds at once) the
+    # elimination's accessible accuracy floors around 1e-8..1e-9
+    # relative while the convergence test asks for ``tol``.  Track the
+    # iterate with the smallest worst-case residual and return it if
+    # the final iterate is not the best — a stalled solve then degrades
+    # to "almost converged" instead of "contaminated".
+    best_merit = np.inf
+    best_state: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+    stall = 0
+    it = 0
+    for it in range(1, max_iter + 1):
+        r_dual = sqp.obj_grad(x) + sqp.at_mul(y) + sqp.gt_mul(z)
+        r_eq = sqp.eq_residual(x)
+        # r_ineq = Gx + s - h = s - (h - Gx).
+        r_ineq = s - sqp.ineq_slack(x)
+        mu_c = float(s @ z) / mm
+
+        merit = max(
+            float(np.abs(r_dual).max()),
+            float(np.abs(r_eq).max(initial=0.0)),
+            float(np.abs(r_ineq).max()),
+            mu_c,
+        )
+        if merit < tol * scale:
+            converged = True
+            break
+        if merit < 0.9 * best_merit:
+            best_merit = merit
+            best_state = (x.copy(), y.copy(), s.copy(), z.copy())
+            stall = 0
+        else:
+            stall += 1
+            if stall >= _STALL_LIMIT:
+                # Floored: further iterations only drift along garbage
+                # directions.  Bail out with the best iterate.
+                break
+
+        # Slacks can underflow to exact zero in the final iterations
+        # (mu is far below tolerance by then); clamping keeps the
+        # barrier weights finite without affecting healthy iterations.
+        w = np.minimum(z / np.maximum(s, _TINY), _W_CEILING)
+        # Regularization is relative to the condensed Hessian's
+        # diagonal scale: near convergence the barrier weights reach
+        # 1e9+, where an absolute 1e-8 shift is below roundoff.
+        diag_scale = 1.0 + max(
+            float(w.max(initial=0.0)), float(np.abs(sqp.h_blocks).max(initial=0.0))
+        )
+        factor = _build_factor(sqp, w, 0.0, diag_scale)
+        if factor is None:
+            for reg in _REG_LEVELS:
+                factor = _build_factor(sqp, w, reg, diag_scale)
+                if factor is not None:
+                    break
+            else:
+                raise np.linalg.LinAlgError(
+                    "structured KKT factorization is singular at every "
+                    "regularization level"
+                )
+
+        def solve_newton(r_comp: np.ndarray) -> tuple[np.ndarray, ...]:
+            nonlocal factor
+            r1 = -r_dual - sqp.gt_mul((r_comp + z * r_ineq) / s)
+            r2 = -r_eq
+            rhs_scale = 1.0 + max(
+                float(np.abs(r1).max()), float(np.abs(r2).max(initial=0.0))
+            )
+            newton_tol = _NEWTON_RESIDUAL_TOL * rhs_scale
+            refine_tol = _REFINE_TARGET * rhs_scale
+            dx, dy, resid = factor.solve_refined(r1, r2, refine_tol)
+            if not np.isfinite(resid) or resid > newton_tol:
+                best = (dx, dy, resid) if np.isfinite(resid) else None
+                for reg in _REG_LEVELS:
+                    rfactor = _build_factor(sqp, w, reg, diag_scale)
+                    if rfactor is None:
+                        continue
+                    factor = rfactor
+                    dx, dy, resid = factor.solve_refined(r1, r2, refine_tol)
+                    if np.isfinite(resid) and resid <= newton_tol:
+                        break
+                    if np.isfinite(resid) and (best is None or resid < best[2]):
+                        best = (dx, dy, resid)
+                else:
+                    if best is not None:
+                        # No attempt met the threshold: take the
+                        # least-bad direction and let the step-length
+                        # cut cope.
+                        dx, dy, resid = best
+            ds = -r_ineq - sqp.g_mul(dx)
+            dz = (r_comp - z * ds) / s
+            return dx, dy, ds, dz
+
+        dx_a, dy_a, ds_a, dz_a = solve_newton(-s * z)
+        alpha_p = _step_length(s, ds_a, fraction=1.0, work=step_work, mask=step_mask)
+        alpha_d = _step_length(z, dz_a, fraction=1.0, work=step_work, mask=step_mask)
+        mu_aff = float((s + alpha_p * ds_a) @ (z + alpha_d * dz_a)) / mm
+        sigma = (mu_aff / mu_c) ** 3 if mu_c > 0 else 0.0
+
+        r_comp = -s * z + sigma * mu_c - ds_a * dz_a
+        dx, dy, ds, dz = solve_newton(r_comp)
+        alpha = min(
+            _step_length(s, ds, work=step_work, mask=step_mask),
+            _step_length(z, dz, work=step_work, mask=step_mask),
+        )
+
+        # Complementarity safeguard: cut the step so the gap never
+        # undershoots the convergence threshold by more than
+        # ``_MU_FLOOR_FRACTION``.  An unchecked Mehrotra step can drive
+        # the gap to 1e-14 while the dual residual is still 1e-5; the
+        # barrier weights then pin at the ceiling and the condensed
+        # systems are too ill-conditioned to recover.  Backtracking is
+        # finite: alpha -> 0 leaves the gap at its current value, which
+        # is above the floor whenever the loop is entered.
+        mu_floor = _MU_FLOOR_FRACTION * tol * scale
+        if mu_c > mu_floor:
+            for _ in range(60):
+                mu_next = float((s + alpha * ds) @ (z + alpha * dz)) / mm
+                if mu_next >= mu_floor:
+                    break
+                alpha *= 0.5
+
+        x = x + alpha * dx
+        s = s + alpha * ds
+        y = y + alpha * dy
+        z = z + alpha * dz
+
+    if not converged and best_state is not None:
+        x, y, s, z = best_state
+    _record_metrics(metrics, it, converged)
+    return StructuredIPQPResult(
+        x=x,
+        eq_dual=y,
+        ineq_dual=z,
+        value=sqp.objective(x),
+        iterations=it,
+        converged=converged,
+        gap=float(s @ z) / mm,
+    )
+
+
+class StructuredQPCompiler:
+    """Slot-invariant compilation of the reach-sparse UFC QP.
+
+    The structured twin of
+    :class:`~repro.core.compiled.CompiledQPStructure`: performs the
+    reach restriction, workload scaling and latency-row gather once per
+    (model, strategy, reach), then emits a :class:`StructuredSlotQP`
+    per slot.  With ``reach=None`` the full fan-in pattern is used and
+    the emitted QP is the dense compiled QP in block form (same
+    scaling, same coefficients).
+
+    Args:
+        model: the static cloud model.
+        strategy: operating strategy (decides the mu/nu blocks).
+        reach: (M, k) integer fan-in pattern, or None for full reach.
+        workload_scale: servers per routing unit; None applies the
+            model default.
+
+    Raises:
+        ValueError: for an invalid reach pattern or workload scale.
+    """
+
+    def __init__(
+        self,
+        model: "CloudModel",
+        strategy: "Strategy",
+        reach: np.ndarray | None = None,
+        workload_scale: float | None = None,
+    ) -> None:
+        from repro.core.compiled import default_workload_scale
+
+        if workload_scale is None:
+            workload_scale = default_workload_scale(model)
+        if workload_scale <= 0:
+            raise ValueError(f"workload_scale must be positive, got {workload_scale}")
+        m, n = model.num_frontends, model.num_datacenters
+        if reach is None:
+            reach = full_reach(m, n)
+        reach = _validate_reach(reach, n)
+        if reach.shape[0] != m:
+            raise ValueError(
+                f"reach has {reach.shape[0]} rows for {m} front-ends"
+            )
+        self.model = model
+        self.strategy = strategy
+        self.reach = reach
+        self.scale = float(workload_scale)
+        self.capacities = model.capacities / self.scale
+        self.betas = model.betas * self.scale
+        self.weight = model.latency_weight * self.scale
+        self.include_mu = strategy.fuel_cell_enabled
+        self.include_nu = strategy.grid_enabled
+        self.latency_reach_ms = np.take_along_axis(
+            model.latency_ms, reach, axis=1
+        )
+
+    @property
+    def dim(self) -> int:
+        m, n = self.model.num_frontends, self.model.num_datacenters
+        return m * self.reach.shape[1] + (n if self.include_mu else 0) + (
+            n if self.include_nu else 0
+        )
+
+    def matches(self, problem: "UFCProblem") -> bool:
+        """Whether this compiler was built for ``problem``'s shape."""
+        return problem.model is self.model and problem.strategy == self.strategy
+
+    def structured_qp_for(self, inputs: "SlotInputs") -> StructuredSlotQP:
+        """Emit one slot's :class:`StructuredSlotQP`.
+
+        Raises:
+            NotImplementedError: when an emission cost needs epigraph
+                variables (multi-segment piecewise-linear) or is not
+                QP-representable — those slots must take the generic
+                dense path.
+        """
+        model, n = self.model, self.model.num_datacenters
+        arrivals = inputs.arrivals / self.scale
+        h_blocks, g_blocks = model.utility.neg_quad_form_batch(
+            self.latency_reach_ms, arrivals[None], self.weight
+        )
+        q_mu = mu_max = p_nu = q_nu = None
+        if self.include_mu:
+            q_mu = np.full(n, float(model.fuel_cell_price))
+            mu_max = np.asarray(model.mu_max, dtype=float)
+        if self.include_nu:
+            p_nu = np.empty(n)
+            q_nu = np.empty(n)
+            for j, (cost, c_rate) in enumerate(
+                zip(model.emission_costs, inputs.carbon_rates)
+            ):
+                quad = cost.nu_quadratic(float(c_rate))
+                if quad is None:
+                    segments = cost.nu_epigraph(float(c_rate))
+                    if segments is None or len(segments) != 1:
+                        raise NotImplementedError(
+                            "emission cost needs epigraph variables; the "
+                            "structured path only handles quadratic and "
+                            "single-segment costs"
+                        )
+                    quad = (0.0, segments[0][0])
+                p_nu[j] = 2.0 * quad[0]
+                q_nu[j] = inputs.prices[j] + quad[1]
+        return StructuredSlotQP(
+            reach=self.reach,
+            h_blocks=h_blocks[0],
+            q_lam=g_blocks[0],
+            arrivals=arrivals,
+            capacities=self.capacities,
+            alphas=np.asarray(model.alphas, dtype=float),
+            betas=self.betas,
+            lam_scale=self.scale,
+            q_mu=q_mu,
+            mu_max=mu_max,
+            p_nu=p_nu,
+            q_nu=q_nu,
+            num_datacenters=n,
+        )

@@ -18,7 +18,13 @@ import numpy as np
 
 from repro.costs.carbon import FUEL_CARBON_RATES_G_PER_KWH, carbon_intensity
 
-__all__ = ["REGION_FUEL_MIXES", "fuel_mix_series", "carbon_rate_series"]
+__all__ = [
+    "REGION_FUEL_MIXES",
+    "fuel_mix_series",
+    "fuel_mix_series_from_rng",
+    "carbon_rate_series",
+    "carbon_rate_series_from_rng",
+]
 
 #: Baseline generation shares per region (fractions summing to 1).
 #: Levels reflect 2012-era grids: Alberta coal-heavy, CAISO gas/hydro
@@ -66,6 +72,26 @@ def fuel_mix_series(
     offset = _REGION_UTC_OFFSET.get(region, 0)
     # zlib.crc32 is stable across processes (str hash() is salted).
     rng = np.random.default_rng((seed * 31 + zlib.crc32(region.encode())) & 0x7FFFFFFF)
+    return fuel_mix_series_from_rng(base, hours, rng, utc_offset=offset)
+
+
+def fuel_mix_series_from_rng(
+    base_mix: Mapping[str, float],
+    hours: int,
+    rng: np.random.Generator,
+    utc_offset: float = 0.0,
+) -> list[dict[str, float]]:
+    """Hourly mix series for a base mix, driven by a caller's generator.
+
+    The scale-out instance generator uses this with
+    :class:`numpy.random.SeedSequence` child streams for independent
+    per-datacenter carbon processes; :func:`fuel_mix_series` routes
+    through it with the historical per-region seeding, bit-identically.
+    """
+    if hours <= 0:
+        raise ValueError(f"hours must be positive, got {hours}")
+    base = dict(base_mix)
+    offset = utc_offset
     series: list[dict[str, float]] = []
     for t in range(hours):
         hour_local = (t + offset) % 24
@@ -100,4 +126,16 @@ def carbon_rate_series(
     """Hourly carbon intensity ``C_j(t)`` in kg/MWh for ``region``,
     computed from :func:`fuel_mix_series` via the paper's Eq. (1)."""
     mixes = fuel_mix_series(region, hours=hours, seed=seed)
+    return np.array([carbon_intensity(mix, rates) for mix in mixes])
+
+
+def carbon_rate_series_from_rng(
+    base_mix: Mapping[str, float],
+    hours: int,
+    rng: np.random.Generator,
+    utc_offset: float = 0.0,
+    rates: Mapping[str, float] = FUEL_CARBON_RATES_G_PER_KWH,
+) -> np.ndarray:
+    """Hourly carbon intensity in kg/MWh from a base mix and an RNG."""
+    mixes = fuel_mix_series_from_rng(base_mix, hours, rng, utc_offset=utc_offset)
     return np.array([carbon_intensity(mix, rates) for mix in mixes])

@@ -25,7 +25,12 @@ from typing import Mapping
 
 import numpy as np
 
-__all__ = ["RegionPricePreset", "REGION_PRICE_PRESETS", "lmp_series"]
+__all__ = [
+    "RegionPricePreset",
+    "REGION_PRICE_PRESETS",
+    "lmp_series",
+    "lmp_series_from_rng",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +124,23 @@ def lmp_series(
     p = presets[region]
     # zlib.crc32 is stable across processes (str hash() is salted).
     rng = np.random.default_rng(seed ^ (zlib.crc32(region.encode()) & 0xFFFF))
+    return lmp_series_from_rng(p, hours, rng)
+
+
+def lmp_series_from_rng(
+    preset: RegionPricePreset, hours: int, rng: np.random.Generator
+) -> np.ndarray:
+    """LMP series for ``preset`` drawn from a caller-provided generator.
+
+    The scale-out instance generator uses this with
+    :class:`numpy.random.SeedSequence` child streams so that hundreds
+    of generated regions get independent price processes;
+    :func:`lmp_series` routes through it with the historical per-region
+    seeding, bit-identically.
+    """
+    if hours <= 0:
+        raise ValueError(f"hours must be positive, got {hours}")
+    p = preset
     t = np.arange(hours)
     hour_of_day = (t + p.utc_offset) % 24
     diurnal = p.base + p.diurnal_amplitude * np.exp(

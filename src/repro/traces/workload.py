@@ -8,6 +8,20 @@ is not redistributable; this module generates a seeded stand-in with
 the properties the evaluation depends on: strong diurnal swing, a
 weekday/weekend pattern, and bursty noise, normalized to [0, 1] as a
 fraction of deployed capacity.
+
+Two per-stream seeding schemes coexist:
+
+- ``"legacy"`` (the default): the historical ad-hoc offsets
+  (``seed + 7`` for the split weights, ``seed + 101 * i`` per
+  front-end shape).  Paper-scale results are bit-identical to every
+  prior release.  The offsets collide across adjacent instance seeds,
+  though: front-end 1 of ``seed`` and front-end 0 of ``seed + 101``
+  draw the *same* noise stream, so a seed sweep's instances are not
+  independent.
+- ``"spawn"``: streams derived with :class:`numpy.random.SeedSequence`
+  spawning, which is collision-free by construction across both
+  front-ends and instance seeds.  The scale-out instance generator
+  (:mod:`repro.instances`) always uses this scheme.
 """
 
 from __future__ import annotations
@@ -16,10 +30,20 @@ import numpy as np
 
 __all__ = ["hp_workload_shape", "split_workload", "workload_matrix"]
 
+#: Recognized per-stream seeding schemes.
+_SEED_SCHEMES = ("legacy", "spawn")
+
+
+def _check_scheme(seed_scheme: str) -> None:
+    if seed_scheme not in _SEED_SCHEMES:
+        raise ValueError(
+            f"seed_scheme must be one of {_SEED_SCHEMES}, got {seed_scheme!r}"
+        )
+
 
 def hp_workload_shape(
     hours: int = 168,
-    seed: int = 2014,
+    seed: "int | np.random.SeedSequence" = 2014,
     mean_level: float = 0.55,
     diurnal_amplitude: float = 0.28,
     weekend_factor: float = 0.82,
@@ -35,7 +59,9 @@ def hp_workload_shape(
 
     Args:
         hours: series length (the paper uses one week = 168).
-        seed: RNG seed for reproducibility.
+        seed: RNG seed for reproducibility — an int, or a
+            :class:`numpy.random.SeedSequence` for spawn-derived
+            streams (``default_rng`` accepts either).
         mean_level: average utilization as a fraction of capacity.
         diurnal_amplitude: half the peak-to-trough diurnal swing.
         weekend_factor: multiplicative damping on the final two days.
@@ -60,16 +86,32 @@ def hp_workload_shape(
     return np.clip(diurnal * weekly + noise, 0.05, 0.98)
 
 
-def split_workload(num_frontends: int = 10, seed: int = 2014) -> np.ndarray:
+def _spawn_streams(seed: int, num_frontends: int) -> list[np.random.SeedSequence]:
+    """Collision-free child streams: one for the split weights, one per
+    front-end shape."""
+    return np.random.SeedSequence(seed).spawn(num_frontends + 1)
+
+
+def split_workload(
+    num_frontends: int = 10, seed: int = 2014, seed_scheme: str = "legacy"
+) -> np.ndarray:
     """Normalized front-end weights drawn from a normal distribution.
 
     Follows the paper's methodology (after Xu & Li, INFOCOM 2013): the
     total workload is split among front-ends with weights sampled from
     N(1, 0.25), truncated positive and normalized to sum to one.
+
+    ``seed_scheme="legacy"`` (default) keeps the historical
+    ``seed + 7`` stream bit-identically; ``"spawn"`` derives the
+    stream by SeedSequence spawning (collision-free across seeds).
     """
     if num_frontends <= 0:
         raise ValueError(f"need at least one front-end, got {num_frontends}")
-    rng = np.random.default_rng(seed + 7)
+    _check_scheme(seed_scheme)
+    if seed_scheme == "legacy":
+        rng = np.random.default_rng(seed + 7)
+    else:
+        rng = np.random.default_rng(_spawn_streams(seed, num_frontends)[0])
     w = np.abs(rng.normal(1.0, 0.25, size=num_frontends))
     w = np.maximum(w, 0.1)
     return w / w.sum()
@@ -82,6 +124,7 @@ def workload_matrix(
     seed: int = 2014,
     utilization_target: float = 0.85,
     frontend_utc_offsets: np.ndarray | None = None,
+    seed_scheme: str = "legacy",
 ) -> np.ndarray:
     """(hours, num_frontends) matrix of request arrivals ``A_i(t)`` in
     servers' worth of requests.
@@ -91,6 +134,13 @@ def workload_matrix(
     ``frontend_utc_offsets`` is given, each front-end's diurnal phase is
     shifted by its timezone so East-coast demand peaks earlier in the
     common (UTC) timeline — the geographic pattern real services see.
+
+    ``seed_scheme="legacy"`` (default) reproduces the historical
+    ``seed + 101 * i`` per-front-end streams bit-identically;
+    ``"spawn"`` derives independent streams via SeedSequence spawning,
+    which never collide across adjacent instance seeds (under the
+    legacy scheme, front-end 1 of seed ``s`` and front-end 0 of seed
+    ``s + 101`` share a noise stream).
     """
     if total_servers <= 0:
         raise ValueError(f"total_servers must be positive, got {total_servers}")
@@ -98,18 +148,26 @@ def workload_matrix(
         raise ValueError(
             f"utilization_target must lie in (0, 1], got {utilization_target}"
         )
-    weights = split_workload(num_frontends, seed)
+    _check_scheme(seed_scheme)
+    weights = split_workload(num_frontends, seed, seed_scheme=seed_scheme)
     if frontend_utc_offsets is None:
         frontend_utc_offsets = np.zeros(num_frontends)
     if len(frontend_utc_offsets) != num_frontends:
         raise ValueError("one UTC offset per front-end required")
+
+    if seed_scheme == "spawn":
+        shape_seeds: list["int | np.random.SeedSequence"] = list(
+            _spawn_streams(seed, num_frontends)[1:]
+        )
+    else:
+        shape_seeds = [seed + 101 * i for i in range(num_frontends)]
 
     columns = []
     for i in range(num_frontends):
         # Peak at 14:00 local == 14 - offset in the common clock.
         shape = hp_workload_shape(
             hours=hours,
-            seed=seed + 101 * i,
+            seed=shape_seeds[i],
             peak_hour=14.0 - float(frontend_utc_offsets[i]),
         )
         columns.append(weights[i] * shape)

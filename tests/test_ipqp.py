@@ -249,3 +249,96 @@ class TestWorkspaceReuse:
         traced = solve_qp(P, q, A=A, b=b, G=G, h=h, trace=True)
         assert (plain.x == traced.x).all()
         assert plain.iterations == traced.iterations
+
+
+class TestKKTResidualSafeguard:
+    """_solve_kkt retries on bad residuals, not only on LinAlgError."""
+
+    def test_healthy_solve_bit_identical(self):
+        from repro.optim.ipqp import _solve_kkt
+
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(8, 8))
+        kkt = a @ a.T + np.eye(8)
+        rhs = rng.normal(size=8)
+        np.testing.assert_array_equal(
+            _solve_kkt(kkt, rhs), np.linalg.solve(kkt, rhs)
+        )
+
+    def test_bad_residual_triggers_regularized_retry(self):
+        from repro.optim.ipqp import _solve_kkt
+
+        # Condition ~1e22: np.linalg.solve does NOT raise (no exactly
+        # zero pivot) but returns a direction whose residual is ~40.
+        # The safeguard must catch that via the residual check — the
+        # old LinAlgError-only fallback silently accepted it.
+        r = np.random.default_rng(1)
+        n = 6
+        q1, _ = np.linalg.qr(r.normal(size=(n, n)))
+        q2, _ = np.linalg.qr(r.normal(size=(n, n)))
+        kkt = (q1 * np.array([1e3, 1.0, 1.0, 1e-2, 1e-8, 1e-19])) @ q2.T
+        rhs = r.normal(size=n)
+        raw = np.linalg.solve(kkt, rhs)
+        raw_resid = np.abs(kkt @ raw - rhs).max()
+        assert raw_resid > 1.0  # the unguarded direction really is bad
+        sol = _solve_kkt(kkt, rhs)
+        assert np.isfinite(sol).all()
+        assert np.abs(kkt @ sol - rhs).max() < raw_resid / 10
+
+    def test_exactly_singular_consistent_rhs_recovers(self):
+        from repro.optim.ipqp import _solve_kkt
+
+        # Exactly singular (LinAlgError path) with a consistent rhs:
+        # the regularized retry produces an accurate direction.
+        kkt = np.ones((2, 2))
+        sol = _solve_kkt(kkt, rhs=np.array([1.0, 1.0]))
+        assert np.abs(kkt @ sol - np.array([1.0, 1.0])).max() < 1e-6
+
+    def test_exactly_singular_after_regularization_raises(self):
+        from repro.optim.ipqp import _solve_kkt
+
+        kkt = np.full((2, 2), np.nan)
+        with pytest.raises(np.linalg.LinAlgError):
+            _solve_kkt(kkt, rhs=np.ones(2))
+
+
+class TestZeroRowEquilibration:
+    """Ruiz equilibration must not inflate exactly-zero rows.
+
+    A vacuous inequality row (all-zero G row with positive h — e.g. a
+    capacity constraint for a datacenter outside every front-end's
+    reach) used to be upscaled by 1e6 per sweep, producing data so
+    badly scaled the relative convergence test passed on garbage
+    iterates.
+    """
+
+    def _instance_with_zero_row(self, seed=0):
+        rng = np.random.default_rng(seed)
+        n = 6
+        a = rng.normal(size=(n, n))
+        P = a @ a.T + np.eye(n)
+        q = rng.normal(size=n)
+        A = np.ones((1, n))
+        b = np.array([3.0])
+        G = np.vstack([-np.eye(n), np.zeros((1, n))])
+        h = np.concatenate([np.zeros(n), [5.0]])
+        return P, q, A, b, G, h
+
+    def test_zero_row_stays_zero_after_equilibration(self):
+        from repro.optim.ipqp import _ruiz_equilibrate
+
+        P, q, A, b, G, h = self._instance_with_zero_row()
+        _P, _q, _A, _b, G_s, h_s, _d, _ra, _rg, _g = _ruiz_equilibrate(
+            P, q, A, b, G, h
+        )
+        assert (G_s[-1] == 0).all()
+        assert h_s[-1] == 5.0
+
+    def test_solve_with_vacuous_row_matches_without(self):
+        P, q, A, b, G, h = self._instance_with_zero_row()
+        with_row = solve_qp(P, q, A=A, b=b, G=G, h=h)
+        without = solve_qp(P, q, A=A, b=b, G=G[:-1], h=h[:-1])
+        assert with_row.converged and without.converged
+        np.testing.assert_allclose(with_row.x, without.x, atol=1e-7)
+        # The genuinely converged solve satisfies its constraints.
+        assert np.abs(A @ with_row.x - b).max() < 1e-7

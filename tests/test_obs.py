@@ -372,6 +372,47 @@ class TestHorizonSummary:
         assert summary.error_types == {"ValueError": 1, "Exception": 1}
         assert "failures" in summary.format_table()
 
+    def _summary(self, **kw):
+        class Outcome:
+            ok = True
+            error_type = None
+            telemetry = None
+
+        return HorizonSummary.from_outcomes(
+            [Outcome()],
+            solver="s",
+            wall_s=1.0,
+            executor="serial",
+            decision="serial:requested",
+            workers_requested=1,
+            workers_effective=1,
+            usable_cpus=1,
+            **kw,
+        )
+
+    def test_store_hit_rate_none_when_store_disabled(self):
+        # Regression: a run without a result store must report a null
+        # hit rate, not 0.0 — 0.0 means "store attached, every probe
+        # missed" and used to be emitted for store-less runs too.
+        summary = self._summary()
+        assert summary.store_hit_rate is None
+        assert summary.to_dict()["store_hit_rate"] is None
+        assert "store" not in summary.format_table()
+
+    def test_store_hit_rate_zero_when_all_misses(self):
+        summary = self._summary(store_hits=0, store_misses=4)
+        assert summary.store_hit_rate == 0.0
+        assert summary.to_dict()["store_hit_rate"] == 0.0
+        assert "store" in summary.format_table()
+
+    def test_store_hit_rate_counts(self):
+        summary = self._summary(store_hits=3, store_misses=1)
+        assert summary.store_hit_rate == pytest.approx(0.75)
+        d = summary.to_dict()
+        assert d["store_hit_rate"] == pytest.approx(0.75)
+        assert d["store_hits"] == 3
+        assert d["store_misses"] == 1
+
 
 class TestTraceDownsampling:
     """``trace_every=`` records every k-th iteration only."""

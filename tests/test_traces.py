@@ -114,6 +114,58 @@ class TestWorkload:
             workload_matrix(100, num_frontends=3, frontend_utc_offsets=np.zeros(2))
 
 
+class TestWorkloadSeedSchemes:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="seed_scheme"):
+            split_workload(5, seed_scheme="fancy")
+        with pytest.raises(ValueError, match="seed_scheme"):
+            workload_matrix(100, seed_scheme="fancy")
+
+    def test_legacy_is_the_default_and_bit_identical(self):
+        """The default scheme reproduces the historical ad-hoc offsets."""
+        w = split_workload(6, seed=11)
+        np.testing.assert_array_equal(w, split_workload(6, seed=11, seed_scheme="legacy"))
+        # Historical derivation: default_rng(seed + 7), N(1, 0.25),
+        # floored at 0.1, normalized.
+        rng = np.random.default_rng(11 + 7)
+        expected = np.maximum(np.abs(rng.normal(1.0, 0.25, size=6)), 0.1)
+        np.testing.assert_array_equal(w, expected / expected.sum())
+
+        m = workload_matrix(1000, num_frontends=3, hours=24, seed=11)
+        w3 = split_workload(3, seed=11)
+        raw = np.column_stack(
+            [w3[i] * hp_workload_shape(hours=24, seed=11 + 101 * i) for i in range(3)]
+        )
+        scale = 0.85 * 1000 / raw.sum(axis=1).max()
+        np.testing.assert_array_equal(m, raw * scale)
+
+    def test_legacy_streams_collide_across_seeds(self):
+        """Documented flaw: FE 1 of seed s == FE 0 of seed s + 101."""
+        a = hp_workload_shape(hours=24, seed=11 + 101 * 1)
+        b = hp_workload_shape(hours=24, seed=(11 + 101) + 101 * 0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_streams_do_not_collide_across_seeds(self):
+        m_a = workload_matrix(
+            1000, num_frontends=4, hours=24, seed=11, seed_scheme="spawn"
+        )
+        m_b = workload_matrix(
+            1000, num_frontends=4, hours=24, seed=11 + 101, seed_scheme="spawn"
+        )
+        norm = lambda m: m / m.max()  # noqa: E731
+        for i in range(4):
+            for j in range(4):
+                assert not np.array_equal(norm(m_a)[:, i], norm(m_b)[:, j])
+
+    def test_spawn_deterministic(self):
+        a = workload_matrix(1000, num_frontends=4, hours=24, seed=3, seed_scheme="spawn")
+        b = workload_matrix(1000, num_frontends=4, hours=24, seed=3, seed_scheme="spawn")
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(
+            a, workload_matrix(1000, num_frontends=4, hours=24, seed=3)
+        )
+
+
 class TestPrices:
     def test_deterministic_across_calls(self):
         np.testing.assert_array_equal(
