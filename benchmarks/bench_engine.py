@@ -21,6 +21,13 @@ are never spent) must cost < 2 % over the plain engine and produce
 bit-identical solutions — fault tolerance is free until a fault
 happens.
 
+A further pair guards the observability plane: the default engine
+(no metrics registry, no tracer, no run ledger) must cost < 2 % over
+the plain baseline and stay bit-identical — the worker-report
+machinery short-circuits when nobody is listening — while the fully
+instrumented engine (metrics + spans + ledger) is measured and
+reported without a gate.
+
 A sixth lane times the vectorized ``centralized-batch`` solver (all
 slots of a (model, strategy) group solved as one stacked
 interior-point batch) against the serial cached path, in
@@ -54,14 +61,16 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 
 from repro.core.strategies import ALL_STRATEGIES
 from repro.engine import HorizonEngine
 from repro.engine.resilience import ResilienceConfig, RetryPolicy
-from repro.obs import JsonlTelemetry
+from repro.obs import JsonlTelemetry, MetricsRegistry, SpanTracer, load_run
 from repro.sim.simulator import Simulator, build_model
 from repro.traces.datasets import default_bundle
 
@@ -210,6 +219,83 @@ def _resilience_overhead(problems, repeats: int) -> dict:
     }
 
 
+def _observability_overhead(problems, repeats: int) -> dict:
+    """Cost of the distributed observability plane, on and off.
+
+    The *disabled* pair is the acceptance gate: an engine with every
+    observability knob at its default (no metrics registry, no tracer,
+    no ledger, ``worker_obs`` auto-off) must be indistinguishable from
+    the plain engine — < 2 % wall-clock delta (min across
+    order-balanced rounds, same anti-flake reasoning as
+    :func:`_certification_overhead`) and bit-identical solutions,
+    because the worker-report machinery short-circuits before any
+    object is built.
+
+    The *enabled* lane (metrics + tracer + run ledger, all merging on
+    the harvest path) is measured and reported but not gated — it buys
+    per-slot worker samples, adopted spans and a persisted manifest,
+    and its cost is allowed to show.  Solutions must still be
+    bit-identical: observers never perturb the solve.
+    """
+    reps = max(5, repeats)
+    base_s = off_s = on_s = None
+    base = disabled = observed = None
+    off_deltas: list[float] = []
+    on_deltas: list[float] = []
+    ledger_slots = 0
+    worker_families = 0
+    ledger_dir = tempfile.mkdtemp(prefix="repro-bench-ledger-")
+    try:
+        for _ in range(reps):
+            b1_s, b, _ = _time_engine(problems, 1, structure_cache=True)
+            f_s, f, _ = _time_engine(
+                problems, 1, structure_cache=True, worker_obs=False
+            )
+            reg = MetricsRegistry()
+            tracer = SpanTracer()
+            engine = HorizonEngine(
+                "centralized",
+                structure_cache=True,
+                metrics=reg,
+                tracer=tracer,
+                ledger=ledger_dir,
+            )
+            start = time.perf_counter()
+            n = engine.run(problems)
+            n_s = time.perf_counter() - start
+            b2_s, _, _ = _time_engine(problems, 1, structure_cache=True)
+            mid = (b1_s + b2_s) / 2.0
+            off_deltas.append(f_s / mid - 1.0)
+            on_deltas.append(n_s / mid - 1.0)
+            if base_s is None or min(b1_s, b2_s) < base_s:
+                base_s, base = min(b1_s, b2_s), b
+            if off_s is None or f_s < off_s:
+                off_s, disabled = f_s, f
+            if on_s is None or n_s < on_s:
+                on_s, observed = n_s, n
+                ledger_slots = len(load_run(engine.last_ledger_path).slots)
+                worker_families = sum(
+                    1
+                    for fam in reg.to_dict()["families"]
+                    if fam["name"].startswith("repro_worker_")
+                )
+    finally:
+        shutil.rmtree(ledger_dir, ignore_errors=True)
+    return {
+        "repeats": reps,
+        "baseline_s": round(base_s, 4),
+        "disabled_s": round(off_s, 4),
+        "observed_s": round(on_s, 4),
+        "disabled_delta_fraction": round(statistics.median(off_deltas), 4),
+        "disabled_delta_floor": round(min(off_deltas), 4),
+        "observed_overhead_fraction": round(statistics.median(on_deltas), 4),
+        "ledger_slots": ledger_slots,
+        "worker_metric_families": worker_families,
+        "bit_identical_with_obs_disabled": _bit_identical(base, disabled),
+        "bit_identical_with_obs_enabled": _bit_identical(base, observed),
+    }
+
+
 def _batched_lane(problems, repeats: int) -> dict:
     """The vectorized ``centralized-batch`` lane against serial-cached.
 
@@ -332,6 +418,7 @@ def run_bench(
         },
         "certification": _certification_overhead(problems, repeats),
         "resilience": _resilience_overhead(problems, repeats),
+        "observability": _observability_overhead(problems, repeats),
         "batched": batched,
         "batched_s": batched["batched_s"],
         "batch_speedup_vs_serial_cached": (
@@ -367,6 +454,15 @@ def test_engine_modes_agree(run_once, bench_workers):
     assert res["retries_total"] == 0
     assert res["fallbacks_total"] == 0
     assert res["degraded_slots"] == []
+    obs = summary["observability"]
+    # The observability plane must be free when off (default knobs
+    # short-circuit before anything is built) and must never perturb
+    # the solve when on — only wall time is allowed to change.
+    assert obs["disabled_delta_floor"] < 0.02
+    assert obs["bit_identical_with_obs_disabled"]
+    assert obs["bit_identical_with_obs_enabled"]
+    assert obs["ledger_slots"] == summary["slots"]
+    assert obs["worker_metric_families"] > 0
     batched = summary["batched"]
     # The vectorized lane must actually run batched, agree with the
     # scalar path to certification tolerance, and clear the CI speedup

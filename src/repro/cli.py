@@ -20,6 +20,11 @@ Installed as ``python -m repro``::
     python -m repro bench --quick --client mp --max-pending 4 --json BENCH_exec.json
     python -m repro compare --client mp --max-pending 4 --store .repro-store
     python -m repro exec-worker --connect 127.0.0.1:7463
+    python -m repro simulate --ledger runs/ --metrics-out metrics.prom
+    python -m repro top runs/20260808-* --replay
+    python -m repro runs list --ledger-dir runs/
+    python -m repro runs diff RUN_A RUN_B --ledger-dir runs/
+    python -m repro bench --quick --compare BENCH_engine.json
     python -m repro chaos --list
     python -m repro chaos --scenario dc-crash --horizon 24
     python -m repro chaos --spec my_scenario.json --json chaos.json
@@ -83,6 +88,60 @@ def _exec_kwargs(args) -> dict:
     }
 
 
+def _add_obs_args(cmd: argparse.ArgumentParser) -> None:
+    """The observability-plane knobs shared by the solving subcommands."""
+    cmd.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="persist the run as a JSONL ledger under DIR (header, "
+        "per-slot outcome stream, summary) — the data source for "
+        "'repro top' and 'repro runs'",
+    )
+    cmd.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's merged metrics registry (parent-side "
+        "engine series plus worker-shipped samples) in Prometheus "
+        "exposition format to PATH",
+    )
+    cmd.add_argument(
+        "--worker-profile",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile each slot's solve in the worker with cProfile "
+        "and ship the top-N hotspot rows back on the outcome "
+        "(0 disables)",
+    )
+
+
+def _obs_kwargs(args, metrics=None):
+    """Simulator kwargs from the ``_add_obs_args`` flags.
+
+    ``--metrics-out`` needs a registry to merge into; the caller's own
+    registry wins (the doctor already keeps one), otherwise a fresh one
+    is created when any obs flag asks for it.
+    """
+    if metrics is None and args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    return {
+        "ledger": args.ledger,
+        "worker_profile": args.worker_profile,
+        "metrics": metrics,
+    }
+
+
+def _write_metrics_out(args, metrics) -> None:
+    if args.metrics_out and metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_prometheus())
+        print(f"wrote {args.metrics_out}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the ``repro`` command."""
     parser = argparse.ArgumentParser(
@@ -126,9 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--rho", type=float, default=0.3,
                      help="ADM-G penalty (distributed solver only)")
     _add_exec_args(sim)
+    _add_obs_args(sim)
 
     compare = sub.add_parser("compare", help="run all three strategies")
     _add_exec_args(compare)
+    _add_obs_args(compare)
 
     report = sub.add_parser("report", help="regenerate every table/figure")
     report.add_argument("--fast", action="store_true", help="skip sweeps/Fig.11")
@@ -209,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         "plus the metrics registry) as JSON to PATH",
     )
     _add_exec_args(doctor)
+    _add_obs_args(doctor)
 
     worker = sub.add_parser(
         "exec-worker",
@@ -293,7 +355,102 @@ def build_parser() -> argparse.ArgumentParser:
         "is X times faster than the cold run (default: 5.0 with "
         "--quick, ungated otherwise)",
     )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="compare this run's per-slot timings against a committed "
+        "bench JSON (e.g. BENCH_engine.json) and fail on a >25%% "
+        "wall-time regression; slot counts are normalized, so a "
+        "--quick run can gate against the full-week baseline",
+    )
+    bench.add_argument(
+        "--compare-threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative per-slot regression tolerance for --compare "
+        "(default 0.25)",
+    )
     _add_exec_args(bench)
+
+    top = sub.add_parser(
+        "top",
+        help="render a run-ledger dashboard: throughput, pending "
+        "depth, latency percentiles, per-worker utilization and "
+        "retry/fallback counts",
+    )
+    top.add_argument(
+        "run",
+        metavar="RUN",
+        help="ledger file path, run id, or unique run-id prefix "
+        "(resolved under --ledger-dir)",
+    )
+    top.add_argument(
+        "--ledger-dir",
+        default=".",
+        metavar="DIR",
+        help="directory run ids are resolved in (default: .)",
+    )
+    top.add_argument(
+        "--replay",
+        action="store_true",
+        help="render the run as a sequence of frames over growing "
+        "slot prefixes, reconstructing how it unfolded",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=8,
+        metavar="N",
+        help="frames for --replay (default 8)",
+    )
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll a live .part ledger and re-render until it "
+        "finalizes (or Ctrl-C)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="poll interval for --follow (default 1.0s)",
+    )
+    top.add_argument(
+        "--width", type=int, default=64, help="chart width (default 64)"
+    )
+
+    runs = sub.add_parser(
+        "runs",
+        help="query a run-ledger directory: list runs, show one "
+        "run's manifest, or diff two runs",
+    )
+    runs.add_argument(
+        "action",
+        choices=["list", "show", "diff"],
+        help="list every ledger; show one run's header/summary; "
+        "diff two runs' config, inputs and timings",
+    )
+    runs.add_argument(
+        "refs",
+        nargs="*",
+        metavar="RUN",
+        help="run references — none for list, one for show, two "
+        "for diff",
+    )
+    runs.add_argument(
+        "--ledger-dir",
+        default=".",
+        metavar="DIR",
+        help="ledger directory (default: .)",
+    )
+    runs.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -372,15 +529,23 @@ def _cmd_simulate(args) -> int:
     solver_kwargs = {"rho": args.rho} if args.solver == "distributed" else {}
     solver = create_solver(args.solver, **solver_kwargs)
     sink = _telemetry_sink(args)
+    obs = _obs_kwargs(args)
     try:
-        result = Simulator(
-            model, bundle, solver=solver, workers=args.workers, **_exec_kwargs(args)
-        ).run(_STRATEGIES[args.strategy], telemetry=sink)
+        sim = Simulator(
+            model,
+            bundle,
+            solver=solver,
+            workers=args.workers,
+            **_exec_kwargs(args),
+            **obs,
+        )
+        result = sim.run(_STRATEGIES[args.strategy], telemetry=sink)
     finally:
         if sink is not None:
             sink.close()
     print(result.summary())
     _print_profile(args, result.horizon_summary)
+    _write_metrics_out(args, obs["metrics"])
     return 0
 
 
@@ -388,10 +553,11 @@ def _cmd_compare(args) -> int:
     bundle = default_bundle(hours=args.hours, seed=args.seed)
     model = build_model(bundle)
     sink = _telemetry_sink(args)
+    obs = _obs_kwargs(args)
     try:
-        comp = Simulator(model, bundle, **_exec_kwargs(args)).compare_strategies(
-            workers=args.workers, telemetry=sink
-        )
+        comp = Simulator(
+            model, bundle, **_exec_kwargs(args), **obs
+        ).compare_strategies(workers=args.workers, telemetry=sink)
     finally:
         if sink is not None:
             sink.close()
@@ -404,6 +570,7 @@ def _cmd_compare(args) -> int:
     print(f"mean hybrid-over-grid UFC improvement: {100 * gain:+.1f}%")
     # All three strategies share one engine pass, hence one summary.
     _print_profile(args, comp.hybrid.horizon_summary)
+    _write_metrics_out(args, obs["metrics"])
     return 0
 
 
@@ -506,8 +673,8 @@ def _cmd_doctor(args) -> int:
             solver=solver,
             workers=args.workers,
             certify=certifier,
-            metrics=metrics,
             **_exec_kwargs(args),
+            **_obs_kwargs(args, metrics=metrics),
         )
         result = sim.run(_STRATEGIES[args.strategy], telemetry=sink)
     finally:
@@ -547,6 +714,7 @@ def _cmd_doctor(args) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
         print(f"\nwrote {args.json}")
+    _write_metrics_out(args, metrics)
     return 1 if failing else 0
 
 
@@ -838,6 +1006,43 @@ def _cmd_bench(args) -> int:
     speedup_floor = min(round_speedups)
     floor_ok = floor is None or speedup_floor >= floor
 
+    # --compare: regression gate against a committed bench JSON.  The
+    # scalar lane's cost is per-slot, so slot counts normalize away and
+    # a --quick (24h) run gates against the committed full-week record.
+    # The batched lane amortizes one stacked solve over the whole
+    # horizon — its per-slot cost falls with batch size — so it is only
+    # gated when the two runs solved the same number of slots (and
+    # reported, un-gated, otherwise).
+    compare_ok = True
+    compare_report = None
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as fh:
+            base = json.load(fh)
+        base_slots = max(1, int(base.get("slots", 1)))
+        threshold = args.compare_threshold
+        compare_report = {"baseline": args.compare, "threshold": threshold}
+        for key, current, gated in (
+            ("serial_cached_s", serial_best, True),
+            ("batched_s", batched_best, base_slots == len(problems)),
+        ):
+            if base.get(key) is None:
+                continue
+            base_per_slot = float(base[key]) / base_slots
+            cur_per_slot = current / len(problems)
+            delta = (
+                (cur_per_slot - base_per_slot) / base_per_slot
+                if base_per_slot > 0
+                else 0.0
+            )
+            compare_report[key] = {
+                "baseline_per_slot_s": round(base_per_slot, 6),
+                "current_per_slot_s": round(cur_per_slot, 6),
+                "delta": round(delta, 4),
+                "gated": gated,
+            }
+            if gated and delta > threshold:
+                compare_ok = False
+
     print(f"slots               : {len(problems)} ({hours}h x 3 strategies)")
     print(f"serial cached       : {serial_best * 1000:,.0f} ms")
     print(f"batched lane        : {batched_best * 1000:,.0f} ms")
@@ -853,9 +1058,26 @@ def _cmd_bench(args) -> int:
         verdict = "ok" if floor_ok else "REGRESSED"
         print(f"floor {floor:.1f}x          : {verdict} "
               f"(worst round {speedup_floor:.2f}x)")
+    if compare_report is not None:
+        for key in ("serial_cached_s", "batched_s"):
+            row = compare_report.get(key)
+            if row is None:
+                continue
+            note = "" if row["gated"] else "  [not gated: batch sizes differ]"
+            print(
+                f"vs baseline {key:<15}: {100 * row['delta']:+.1f}% per slot "
+                f"({row['current_per_slot_s'] * 1e3:.2f} ms vs "
+                f"{row['baseline_per_slot_s'] * 1e3:.2f} ms){note}"
+            )
+        verdict = "ok" if compare_ok else "REGRESSED"
+        print(
+            f"compare gate {args.compare_threshold:.0%}    : {verdict} "
+            f"(baseline {args.compare})"
+        )
     if not parity_ok:
         print("PARITY FAILURE: batched lane disagrees with the scalar path")
 
+    passed = bool(parity_ok and floor_ok and compare_ok)
     if args.json:
         payload = {
             "hours": hours,
@@ -870,12 +1092,164 @@ def _cmd_bench(args) -> int:
             "converged_all": converged_all,
             "certified_all": certified_all,
             "max_ufc_delta_vs_serial": max_ufc_delta,
-            "passed": bool(parity_ok and floor_ok),
+            "passed": passed,
         }
+        if compare_report is not None:
+            payload["compare"] = {**compare_report, "ok": compare_ok}
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
         print(f"\nwrote {args.json}")
-    return 0 if (parity_ok and floor_ok) else 1
+    return 0 if passed else 1
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.obs import load_run, resolve_run
+    from repro.viz.top import render_top, replay_frames
+
+    try:
+        path = resolve_run(args.run, args.ledger_dir)
+    except FileNotFoundError as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 2
+    if args.follow:
+        try:
+            while True:
+                run = load_run(path)
+                print(render_top(run, width=args.width))
+                if run.finalized:
+                    return 0
+                time.sleep(max(0.05, args.interval))
+                # A live .part promotes to .jsonl on finalize; chase it.
+                if not path.is_file():
+                    path = resolve_run(run.run_id, args.ledger_dir)
+                print()
+        except KeyboardInterrupt:
+            return 130
+    run = load_run(path)
+    if args.replay:
+        for shown, frame in replay_frames(
+            run, frames=args.frames, width=args.width
+        ):
+            print(frame)
+            print()
+        return 0
+    print(render_top(run, width=args.width))
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    import json
+
+    from repro.obs import diff_runs, list_runs, load_run, resolve_run
+
+    def _resolve(ref: str):
+        return load_run(resolve_run(ref, args.ledger_dir))
+
+    if args.action == "list":
+        if args.refs:
+            print("runs list: takes no RUN arguments", file=sys.stderr)
+            return 2
+        runs = list_runs(args.ledger_dir)
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "run_id": r.run_id,
+                            "finalized": r.finalized,
+                            "solver": r.header.get("solver"),
+                            "slots": len(r.slots),
+                            "failed": len(r.failed),
+                            "wall_s": (r.summary or {}).get("wall_s"),
+                        }
+                        for r in runs
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        if not runs:
+            print(f"no run ledgers under {args.ledger_dir}")
+            return 0
+        for r in runs:
+            status = "final" if r.finalized else "LIVE "
+            wall = (r.summary or {}).get("wall_s")
+            wall_str = f"{float(wall):8.3f}s" if wall is not None else "       -"
+            print(
+                f"{r.run_id}  [{status}]  solver={r.header.get('solver', '?'):<12} "
+                f"slots={len(r.slots):>4}  failed={len(r.failed):>3}  "
+                f"wall={wall_str}"
+            )
+        return 0
+    if args.action == "show":
+        if len(args.refs) != 1:
+            print("runs show: exactly one RUN argument", file=sys.stderr)
+            return 2
+        try:
+            run = _resolve(args.refs[0])
+        except FileNotFoundError as exc:
+            print(f"runs: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "run_id": run.run_id,
+                        "finalized": run.finalized,
+                        "header": run.header,
+                        "slots": run.slots,
+                        "summary": run.summary,
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        print(f"run {run.run_id}  [{'final' if run.finalized else 'live'}]")
+        for key in ("solver", "slots_expected", "created_unix"):
+            if run.header.get(key) is not None:
+                print(f"  {key:<15}: {run.header[key]}")
+        for section in ("config", "digests", "environment"):
+            data = run.header.get(section) or {}
+            for key, value in data.items():
+                print(f"  {section}.{key:<20}: {value}")
+        print(f"  slots harvested: {len(run.slots)} ({len(run.failed)} failed)")
+        if run.summary is not None:
+            for key in ("wall_s", "solve_s", "executor", "slot_p50_s", "slot_p99_s"):
+                if run.summary.get(key) is not None:
+                    print(f"  summary.{key:<15}: {run.summary[key]}")
+        return 0
+    # diff
+    if len(args.refs) != 2:
+        print("runs diff: exactly two RUN arguments", file=sys.stderr)
+        return 2
+    try:
+        run_a, run_b = _resolve(args.refs[0]), _resolve(args.refs[1])
+    except FileNotFoundError as exc:
+        print(f"runs: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_runs(run_a, run_b)
+    if args.json:
+        print(json.dumps(diff, indent=2))
+        return 0
+    print(f"a: {diff['a']['run_id']}   b: {diff['b']['run_id']}")
+    print(f"same inputs     : {'yes' if diff['same_inputs'] else 'NO'}")
+    if diff["changed_digests"]:
+        print(f"changed digests : {', '.join(diff['changed_digests'])}")
+    if diff["changed_config"]:
+        print(f"changed config  : {', '.join(diff['changed_config'])}")
+    for side in ("a", "b"):
+        s = diff[side]
+        print(
+            f"{side}: slots={s['slots']} failed={s['failed']} "
+            f"solve={s['solve_s']:.3f}s p50={s['p50_s'] * 1e3:.2f}ms "
+            f"p99={s['p99_s'] * 1e3:.2f}ms workers={len(s['workers'])}"
+        )
+    if diff["solve_s_delta"] is not None:
+        print(f"solve delta     : {100 * diff['solve_s_delta']:+.1f}%")
+    print(f"failed delta    : {diff['failed_delta']:+d}")
+    return 0
 
 
 def _cmd_validate(args) -> int:
@@ -899,6 +1273,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "exec-worker": _cmd_exec_worker,
+    "top": _cmd_top,
+    "runs": _cmd_runs,
 }
 
 

@@ -53,10 +53,15 @@ deterministic.  Concretely:
 
 from __future__ import annotations
 
+import cProfile
+import hashlib
 import os
+import platform
+import sys
 import time
 import traceback
 import warnings
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
@@ -68,6 +73,7 @@ from repro.exec.clients import (
     ExecutionClient,
     InProcessClient,
     MultiprocessingClient,
+    WorkerLostError,
     create_client,
     usable_cpu_count,
 )
@@ -75,10 +81,17 @@ from repro.exec.pipeline import BatchScheduler
 from repro.exec.store import ResultStore, problem_digest
 from repro.obs import (
     HorizonSummary,
+    RunLedger,
     SlotTelemetry,
+    SpanTracer,
     Telemetry,
+    TraceContext,
+    WorkerObsPlan,
+    WorkerReport,
     as_telemetry,
+    new_run_id,
 )
+from repro.obs.worker import local_host, profile_hotspots, slot_metrics
 
 __all__ = [
     "SlotOutcome",
@@ -131,6 +144,11 @@ class SlotOutcome:
             result; None when the primary did.
         chain_errors: one ``"solver[attempt k]: ErrType: message"``
             entry per failed attempt along the retry/fallback chain.
+        worker_report: the slot's worker-side
+            :class:`~repro.obs.WorkerReport` (metric samples, spans,
+            optional profile) when the engine ran with worker
+            observability on; None otherwise (the default — the
+            observability-off outcome is unchanged).
     """
 
     index: int
@@ -144,6 +162,7 @@ class SlotOutcome:
     degraded: bool = False
     fallback_solver: str | None = None
     chain_errors: tuple[str, ...] = ()
+    worker_report: WorkerReport | None = None
 
     @property
     def ok(self) -> bool:
@@ -320,6 +339,7 @@ def _solve_chunk(
     certifier: Any | None = None,
     resilience: ResilienceConfig | None = None,
     batched: bool = False,
+    obs: WorkerObsPlan | None = None,
 ) -> list[SlotOutcome]:
     """Solve a contiguous chunk serially with a per-chunk compile cache.
 
@@ -333,7 +353,13 @@ def _solve_chunk(
     :func:`_solve_chunk_resilient` instead, and with ``batched`` set
     through :func:`_solve_chunk_batched`; with the defaults this
     original scalar path runs untouched (bit-identical outputs).
+    With an ``obs`` plan, :func:`_solve_chunk_observed` additionally
+    attaches a :class:`~repro.obs.WorkerReport` to every outcome.
     """
+    if obs is not None:
+        return _solve_chunk_observed(
+            solver, chunk, structure_cache, certifier, resilience, batched, obs
+        )
     if batched:
         return _solve_chunk_batched(solver, chunk, structure_cache, certifier)
     if resilience is not None:
@@ -349,6 +375,155 @@ def _solve_chunk(
         )
         for offset, problem in enumerate(chunk.problems)
     ]
+
+
+def _synth_slot_span(outcome: SlotOutcome, pid: int) -> dict[str, Any]:
+    """A synthesized ``worker.slot`` span dict built from telemetry.
+
+    The batched/resilient lanes solve many slots inside one solver
+    call, so individual slots cannot be wrapped live; their spans are
+    reconstructed from the per-slot telemetry instead (wall time known,
+    CPU time not) and marked ``synthesized``.
+    """
+    tele = outcome.telemetry
+    wall = 0.0 if tele is None else tele.wall_s + tele.compile_s + tele.certify_s
+    return {
+        "name": "worker.slot",
+        "span_id": 0,
+        "parent_id": None,
+        "wall_s": wall,
+        "cpu_s": 0.0,
+        "attributes": {
+            "index": outcome.index,
+            "worker": pid,
+            "ok": outcome.ok,
+            "iterations": 0 if tele is None else tele.iterations,
+            "converged": bool(tele is not None and tele.converged),
+            "synthesized": True,
+        },
+    }
+
+
+def _attach_report(
+    outcome: SlotOutcome,
+    obs: WorkerObsPlan,
+    *,
+    pid: int,
+    host: str,
+    spans: tuple[dict[str, Any], ...],
+    profile: tuple[dict[str, Any], ...] = (),
+    profile_scope: str = "slot",
+) -> None:
+    tele = outcome.telemetry
+    outcome.worker_report = WorkerReport(
+        worker=pid,
+        host=host,
+        metrics=(
+            slot_metrics(tele).to_dict() if obs.metrics and tele is not None else None
+        ),
+        spans=spans,
+        trace=obs.trace,
+        profile=profile,
+        profile_scope=profile_scope,
+    )
+
+
+def _solve_chunk_observed(
+    solver: SlotSolver,
+    chunk: _Chunk,
+    structure_cache: bool,
+    certifier: Any | None,
+    resilience: ResilienceConfig | None,
+    batched: bool,
+    obs: WorkerObsPlan,
+) -> list[SlotOutcome]:
+    """The worker-observability wrapper around the chunk solve paths.
+
+    The scalar lane wraps every slot individually — a live
+    ``worker.slot`` span and (optionally) a per-slot cProfile.  The
+    batched and resilient lanes run their existing chunk function
+    untouched and synthesize per-slot spans from the telemetry the
+    outcomes already carry (one chunk-level profile lands on the first
+    outcome with ``profile_scope="chunk"``).  Either way every outcome
+    comes back with a :class:`~repro.obs.WorkerReport` whose metric
+    samples cover exactly that slot, so the parent can merge reports
+    without double counting.
+    """
+    pid = os.getpid()
+    host = local_host()
+    if batched or resilience is not None:
+        profiler = None
+        if obs.profile > 0:
+            profiler = cProfile.Profile()
+            profiler.enable()
+        try:
+            outcomes = _solve_chunk(
+                solver, chunk, structure_cache, certifier, resilience, batched
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+        rows = (
+            profile_hotspots(profiler, obs.profile) if profiler is not None else ()
+        )
+        for j, outcome in enumerate(outcomes):
+            spans: tuple[dict[str, Any], ...] = ()
+            if obs.spans:
+                spans = (_synth_slot_span(outcome, pid),)
+            _attach_report(
+                outcome,
+                obs,
+                pid=pid,
+                host=host,
+                spans=spans,
+                profile=rows if j == 0 else (),
+                profile_scope="chunk",
+            )
+        return outcomes
+    cache = CompileCache(solver)
+    outcomes = []
+    for offset, problem in enumerate(chunk.problems):
+        index = chunk.index(offset)
+        tracer = SpanTracer() if obs.spans else None
+        profiler = cProfile.Profile() if obs.profile > 0 else None
+        with ExitStack() as stack:
+            span = None
+            if tracer is not None:
+                span = stack.enter_context(
+                    tracer.span(
+                        "worker.slot", index=index, solver=solver.name, worker=pid
+                    )
+                )
+            if profiler is not None:
+                profiler.enable()
+            try:
+                outcome = _solve_one(
+                    solver, index, problem, cache, structure_cache, certifier, pid
+                )
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+            if span is not None:
+                tele = outcome.telemetry
+                span.set(
+                    ok=outcome.ok,
+                    iterations=0 if tele is None else tele.iterations,
+                    converged=bool(tele is not None and tele.converged),
+                )
+        _attach_report(
+            outcome,
+            obs,
+            pid=pid,
+            host=host,
+            spans=tuple(tracer.to_dicts()) if tracer is not None else (),
+            profile=(
+                profile_hotspots(profiler, obs.profile)
+                if profiler is not None
+                else ()
+            ),
+        )
+        outcomes.append(outcome)
+    return outcomes
 
 
 def _solve_chunk_batched(
@@ -627,6 +802,55 @@ def _timeout_chunk_outcomes(
     return outcomes
 
 
+def _lost_chunk_outcomes(
+    chunk: _Chunk, exc: BaseException, solver_name: str
+) -> list[SlotOutcome]:
+    """Failed outcomes for a batch whose worker died mid-flight.
+
+    The socket client shrinks its fleet and keeps serving when a
+    worker vanishes; the batch that worker held comes back as one
+    :class:`~repro.exec.clients.WorkerLostError` per slot — a
+    structured failure, not a silent gap — while every completed
+    slot's merged metrics and spans survive untouched.
+    """
+    pid = os.getpid()
+    outcomes = []
+    for offset in range(len(chunk.problems)):
+        index = chunk.index(offset)
+        message = f"slot {index}: {exc}"
+        outcomes.append(
+            SlotOutcome(
+                index=index,
+                error=f"WorkerLostError: {message}",
+                error_type="WorkerLostError",
+                error_message=message,
+                telemetry=SlotTelemetry(
+                    solver=solver_name,
+                    wall_s=0.0,
+                    compile_s=0.0,
+                    iterations=0,
+                    converged=False,
+                    cache_hit=None,
+                    worker=pid,
+                    warm_start=False,
+                    error_type="WorkerLostError",
+                ),
+            )
+        )
+    return outcomes
+
+
+def _ledger_environment() -> dict[str, Any]:
+    """The run-ledger header's environment stamp (parent process)."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "host": local_host(),
+        "usable_cpus": usable_cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
 @dataclass
 class _ExecStats:
     """What the execution layer reports back into the run summary."""
@@ -707,6 +931,30 @@ class HorizonEngine:
             (and are re-certified in-process when ``certify`` is on),
             misses are solved and written back.  Degraded/fallback
             results are never stored.
+        tracer: optional :class:`~repro.obs.SpanTracer`.  Each run
+            opens an ``engine.run`` span, and worker-side spans shipped
+            back in :class:`~repro.obs.WorkerReport` payloads are
+            re-parented under it (:meth:`SpanTracer.adopt`), so one
+            trace covers local and remote work.
+        ledger: optional run ledger — a directory path (each run writes
+            a fresh :class:`~repro.obs.RunLedger` there) or a
+            :class:`~repro.obs.RunLedger` instance (single-use; the
+            engine finalizes it).  Every run persists its header
+            (config + input digests + environment), the per-slot
+            outcome stream in harvest order, and the final summary;
+            the path of the last finalized ledger is
+            :attr:`last_ledger_path`.
+        worker_obs: collect worker-side observability (metric samples,
+            spans, optional profiles) and attach a
+            :class:`~repro.obs.WorkerReport` to every outcome.  None
+            (default) auto-enables it exactly when there is a consumer
+            — ``metrics``, ``tracer`` or ``worker_profile`` — so the
+            observability-off path stays bit-identical; True/False
+            force it.
+        worker_profile: when > 0, run cProfile around each slot's solve
+            in the worker and ship the top-N hotspot rows back on the
+            report (per-slot on the scalar lane, per-chunk on the
+            batched/resilient lanes).
 
     After each :meth:`run`, :attr:`last_summary` holds the run's
     :class:`~repro.obs.HorizonSummary` (phase breakdown, executor
@@ -728,6 +976,10 @@ class HorizonEngine:
         client: str | ExecutionClient | None = None,
         max_pending: int | None = None,
         store: ResultStore | str | os.PathLike | None = None,
+        tracer: SpanTracer | None = None,
+        ledger: RunLedger | str | os.PathLike | None = None,
+        worker_obs: bool | None = None,
+        worker_profile: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -735,6 +987,8 @@ class HorizonEngine:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if max_pending is not None and max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if worker_profile < 0:
+            raise ValueError(f"worker_profile must be >= 0, got {worker_profile}")
         self.solver = create_solver(solver)
         self.workers = int(workers)
         self.chunk_size = chunk_size
@@ -757,7 +1011,17 @@ class HorizonEngine:
             self.certifier = None
         self.metrics = metrics
         self.resilience = resilience
+        self.tracer = tracer
+        self.ledger = ledger
+        self.worker_obs = worker_obs
+        self.worker_profile = int(worker_profile)
         self.last_summary: HorizonSummary | None = None
+        self.last_ledger_path: Any | None = None
+        # Per-run observability state (set up in run(), read on the
+        # harvest path); the engine is not reentrant, matching the
+        # existing last_summary contract.
+        self._run_ledger: RunLedger | None = None
+        self._run_trace: TraceContext | None = None
 
     def plan_workers(self, n_items: int) -> tuple[int, str, int]:
         """The pool-sizing decision for a horizon of ``n_items`` slots.
@@ -872,40 +1136,182 @@ class HorizonEngine:
                     "store: a store hit would break the chain's "
                     "warm-state hand-off"
                 )
-            outcomes = self._run_warm(problems)
-            executor, decision, effective = "serial-warm", "serial:warm-start", 1
-            usable, start_method = usable_cpu_count(), None
-            stats = _ExecStats()
-        else:
-            (
-                outcomes,
-                executor,
-                decision,
-                effective,
-                usable,
-                start_method,
-                stats,
-            ) = self._run_horizon(problems, batched)
-        wall_s = time.perf_counter() - start
-        summary = HorizonSummary.from_outcomes(
-            outcomes,
-            solver=self.solver.name,
-            wall_s=wall_s,
-            executor=executor,
-            decision=decision,
-            workers_requested=self.workers,
-            workers_effective=effective,
-            usable_cpus=usable,
-            mp_start_method=start_method,
-            client=stats.client,
-            max_pending_observed=stats.pending_max,
-            store_hits=stats.store_hits,
-            store_misses=stats.store_misses,
-        )
+        ledger = self._open_ledger()
+        self._run_ledger = ledger
+        try:
+            with ExitStack() as stack:
+                run_span = None
+                if self.tracer is not None:
+                    run_span = stack.enter_context(
+                        self.tracer.span(
+                            "engine.run",
+                            solver=self.solver.name,
+                            slots=len(problems),
+                            warm_start=warm_start,
+                            batched=batched,
+                        )
+                    )
+                if self._worker_obs_enabled():
+                    trace_id = (
+                        ledger.run_id if ledger is not None else new_run_id()
+                    )
+                    self._run_trace = TraceContext(
+                        trace_id=trace_id,
+                        parent_span_id=(
+                            None if run_span is None else run_span.span_id
+                        ),
+                    )
+                if ledger is not None:
+                    ledger.write_header(
+                        solver=self.solver.name,
+                        config=self._ledger_config(warm_start, batched),
+                        digests=self._ledger_digests(problems),
+                        environment=_ledger_environment(),
+                        slots_expected=len(problems),
+                    )
+                if warm_start:
+                    outcomes = self._run_warm(problems)
+                    executor, decision = "serial-warm", "serial:warm-start"
+                    effective = 1
+                    usable, start_method = usable_cpu_count(), None
+                    stats = _ExecStats()
+                else:
+                    (
+                        outcomes,
+                        executor,
+                        decision,
+                        effective,
+                        usable,
+                        start_method,
+                        stats,
+                    ) = self._run_horizon(problems, batched)
+                wall_s = time.perf_counter() - start
+                summary = HorizonSummary.from_outcomes(
+                    outcomes,
+                    solver=self.solver.name,
+                    wall_s=wall_s,
+                    executor=executor,
+                    decision=decision,
+                    workers_requested=self.workers,
+                    workers_effective=effective,
+                    usable_cpus=usable,
+                    mp_start_method=start_method,
+                    client=stats.client,
+                    max_pending_observed=stats.pending_max,
+                    store_hits=stats.store_hits,
+                    store_misses=stats.store_misses,
+                )
+                if run_span is not None:
+                    run_span.set(
+                        executor=summary.executor,
+                        failed=summary.failed_slots,
+                        store_hits=summary.store_hits,
+                    )
+        except BaseException:
+            if ledger is not None:
+                ledger.abandon()
+            raise
+        finally:
+            self._run_ledger = None
+            self._run_trace = None
         self.last_summary = summary
+        if ledger is not None:
+            self.last_ledger_path = ledger.finalize(summary.to_dict())
         self._emit(summary, outcomes)
         self._record_metrics(summary, outcomes)
         return outcomes
+
+    # -- observability plumbing ----------------------------------------------
+
+    def _worker_obs_enabled(self) -> bool:
+        """Whether workers should ship :class:`WorkerReport` payloads.
+
+        ``worker_obs=None`` auto-enables exactly when a consumer exists
+        (a metrics registry, a tracer, or profiling), so a bare engine
+        keeps the observability-off fast path bit-identical.
+        """
+        if self.worker_obs is not None:
+            return bool(self.worker_obs)
+        return (
+            self.metrics is not None
+            or self.tracer is not None
+            or self.worker_profile > 0
+        )
+
+    def _make_obs_plan(self) -> WorkerObsPlan | None:
+        """The per-run worker observability plan, or None when off."""
+        if not self._worker_obs_enabled():
+            return None
+        return WorkerObsPlan(
+            metrics=True,
+            spans=True,
+            trace=self._run_trace,
+            profile=self.worker_profile,
+        )
+
+    def _open_ledger(self) -> RunLedger | None:
+        """Materialize this run's ledger from the ``ledger`` setting.
+
+        A directory gets a fresh ledger per run; a
+        :class:`~repro.obs.RunLedger` instance is used as-is (and is
+        therefore single-use — the engine finalizes or abandons it).
+        """
+        if self.ledger is None:
+            return None
+        if isinstance(self.ledger, RunLedger):
+            return self.ledger
+        return RunLedger(self.ledger)
+
+    def _ledger_config(self, warm_start: bool, batched: bool) -> dict[str, Any]:
+        """The run's engine configuration, JSON-ready, for the header."""
+        client = self.client
+        if client is not None and not isinstance(client, str):
+            client = getattr(client, "name", type(client).__name__)
+        return {
+            "solver": self.solver.name,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "structure_cache": self.structure_cache,
+            "oversubscribe": self.oversubscribe,
+            "certify": self.certifier is not None,
+            "resilience": self.resilience is not None,
+            "client": client,
+            "max_pending": self.max_pending,
+            "store": self.store is not None,
+            "warm_start": warm_start,
+            "batched": batched,
+            "worker_profile": self.worker_profile,
+        }
+
+    def _ledger_digests(self, problems: list[UFCProblem]) -> dict[str, Any]:
+        """Input identity: per-slot digests folded into one run digest."""
+        hasher = hashlib.sha256()
+        for problem in problems:
+            hasher.update(problem_digest(problem, self.solver.name).encode())
+        return {"slots": len(problems), "inputs_sha256": hasher.hexdigest()}
+
+    def _absorb(self, outcome: SlotOutcome, pending: int | None = None) -> None:
+        """Fold one harvested outcome into the parent-side observers.
+
+        This is the single merge point for remote work: the worker
+        report's metric samples land in the engine's registry, its
+        spans are re-parented under the run span, and the outcome is
+        appended to the run ledger (with the live pending depth when
+        the scheduler knows it).
+        """
+        report = outcome.worker_report
+        if report is not None:
+            if report.metrics is not None and self.metrics is not None:
+                self.metrics.merge_samples(report.metrics)
+            if report.spans and self.tracer is not None:
+                parent = (
+                    report.trace.parent_span_id
+                    if report.trace is not None
+                    else None
+                )
+                self.tracer.adopt(report.spans, parent_id=parent)
+        if self._run_ledger is not None:
+            self._run_ledger.record_slot(outcome, pending=pending)
 
     def _emit(self, summary: HorizonSummary, outcomes: list[SlotOutcome]) -> None:
         """Stream the run's events to the telemetry sink (if enabled)."""
@@ -1098,6 +1504,7 @@ class HorizonEngine:
                         warm_start=had_warm,
                     )
                 )
+            self._absorb(outcomes[-1])
         return outcomes
 
     def _store_hit_outcome(
@@ -1189,6 +1596,7 @@ class HorizonEngine:
                     outcomes[index] = self._store_hit_outcome(
                         index, problem, result, load_s
                     )
+                    self._absorb(outcomes[index])
 
         # Client resolution: None keeps the classic worker plan and
         # its executor vocabulary; a name or instance takes over.
@@ -1232,13 +1640,13 @@ class HorizonEngine:
                 )
                 budget_fn = None
                 on_timeout = None
+                solver_name = self.solver.name
                 if (
                     self.resilience is not None
                     and self.resilience.slot_timeout_s is not None
                     and getattr(client, "asynchronous", False)
                 ):
                     timeout_s = self.resilience.slot_timeout_s
-                    solver_name = self.solver.name
 
                     def budget_fn(task: tuple[Any, ...]) -> float:
                         return timeout_s * len(task[1].problems)
@@ -1248,6 +1656,23 @@ class HorizonEngine:
                             task[1], budget_fn(task), solver_name
                         )
 
+                def on_error(
+                    task: tuple[Any, ...], exc: BaseException
+                ) -> list[SlotOutcome]:
+                    # A lost worker becomes structured per-slot failures
+                    # (the fleet already shrank); anything else is a
+                    # real bug and propagates as before.
+                    if isinstance(exc, WorkerLostError):
+                        return _lost_chunk_outcomes(task[1], exc, solver_name)
+                    raise exc
+
+                def on_harvest(
+                    task: tuple[Any, ...], result: Any, depth: int
+                ) -> None:
+                    for outcome in result:
+                        self._absorb(outcome, pending=depth)
+
+                plan = self._make_obs_plan()
                 for chunk_outcomes in scheduler.map(
                     _solve_chunk,
                     [
@@ -1258,11 +1683,14 @@ class HorizonEngine:
                             self.certifier,
                             self.resilience,
                             batched,
+                            plan,
                         )
                         for chunk in chunks
                     ],
                     budget_s=budget_fn,
                     on_timeout=on_timeout,
+                    on_result=on_harvest,
+                    on_error=on_error,
                 ):
                     for outcome in chunk_outcomes:
                         outcomes[outcome.index] = outcome

@@ -21,6 +21,7 @@ from repro.exec.clients import (
     InProcessClient,
     MultiprocessingClient,
     SocketClient,
+    WorkerLostError,
     available_clients,
     create_client,
     mp_context,
@@ -39,6 +40,7 @@ __all__ = [
     "SocketClient",
     "BatchScheduler",
     "ResultStore",
+    "WorkerLostError",
     "available_clients",
     "create_client",
     "mp_context",

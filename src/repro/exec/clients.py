@@ -55,6 +55,7 @@ __all__ = [
     "InProcessClient",
     "MultiprocessingClient",
     "SocketClient",
+    "WorkerLostError",
     "available_clients",
     "create_client",
     "register_client",
@@ -62,6 +63,21 @@ __all__ = [
     "mp_context",
     "usable_cpu_count",
 ]
+
+
+class WorkerLostError(ConnectionError):
+    """A worker died (or its connection broke) while holding a task.
+
+    Raised from :meth:`SocketClient.wait_next` for each task whose
+    worker vanished mid-flight.  The exception carries ``task_id`` so a
+    scheduler can attribute the loss to a specific batch and substitute
+    a structured per-slot failure instead of killing the run; surviving
+    workers keep serving.
+    """
+
+    def __init__(self, message: str, task_id: int | None = None) -> None:
+        super().__init__(message)
+        self.task_id = task_id
 
 
 def usable_cpu_count() -> int:
@@ -231,7 +247,14 @@ class MultiprocessingClient:
         # drain deterministically.
         ready = min(tid for tid, fut in self._futures.items() if fut in done)
         future = self._futures.pop(ready)
-        return ready, future.result()
+        try:
+            return ready, future.result()
+        except BaseException as exc:
+            # Attribute the failure so schedulers can absorb it per-task
+            # (a BrokenProcessPool fails every future; each re-raise
+            # names the task it belonged to).
+            exc.task_id = ready
+            raise
 
     def discard(self, task_id: int) -> None:
         """Abandon a pending task; a late result is dropped on arrival."""
@@ -397,27 +420,94 @@ class SocketClient:
         _send_msg(conn, ("task", task_id, fn, args))
         self._busy[conn] = task_id
 
+    def _fail_task(self, task_id: int, reason: str) -> None:
+        if task_id in self._discarded:
+            self._discarded.discard(task_id)
+            return
+        self._results[task_id] = (
+            "err",
+            WorkerLostError(reason, task_id=task_id),
+            None,
+        )
+
+    def _drop_worker(self, conn: socket.socket, reason: str) -> None:
+        """Remove a dead connection, failing its in-flight task.
+
+        The fleet shrinks and the run continues on survivors; only when
+        the *last* worker dies do queued tasks fail too (nothing is
+        left to run them).
+        """
+        task_id = self._busy.pop(conn, None)
+        if conn in self._conns:
+            self._conns.remove(conn)
+        try:
+            self._idle.remove(conn)
+        except ValueError:
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self.workers = len(self._conns)
+        if task_id is not None:
+            self._fail_task(task_id, f"worker died mid-task ({reason})")
+        if not self._conns:
+            while self._queue:
+                queued_id, _fn, _args = self._queue.popleft()
+                self._fail_task(
+                    queued_id, f"all socket workers lost ({reason}); task never ran"
+                )
+
     def submit(self, fn: Callable[..., Any], /, *args: Any) -> int:
         """Ship ``fn(*args)`` to an idle worker (or queue for one)."""
         task_id = self._next_id
         self._next_id += 1
-        if self._idle:
-            self._dispatch(self._idle.popleft(), task_id, fn, args)
-        else:
-            self._queue.append((task_id, fn, args))
+        if not self._conns:
+            self._fail_task(task_id, "all socket workers lost; task never ran")
+            return task_id
+        while self._idle:
+            conn = self._idle.popleft()
+            try:
+                self._dispatch(conn, task_id, fn, args)
+                return task_id
+            except OSError as exc:
+                # This task was neither busy nor queued, so _drop_worker
+                # could not have failed it; do so here if nothing is left.
+                self._drop_worker(conn, f"send failed: {exc}")
+                if not self._conns:
+                    self._fail_task(
+                        task_id, "all socket workers lost; task never ran"
+                    )
+                    return task_id
+        self._queue.append((task_id, fn, args))
         return task_id
 
     def _pump(self, timeout_s: float | None) -> bool:
-        """Receive at least one worker reply; True if any arrived."""
+        """Receive at least one worker reply; True if any progress was made.
+
+        A connection that errors mid-receive counts as progress: its
+        in-flight task lands in the result map as a
+        :class:`WorkerLostError` and the worker leaves the fleet.
+        """
         if not self._busy:
             return False
         ready, _, _ = select.select(list(self._busy), [], [], timeout_s)
         for conn in ready:
-            message = _recv_msg(conn)
-            kind, task_id, *rest = message
+            try:
+                message = _recv_msg(conn)
+                kind, task_id, *rest = message
+            except (ConnectionError, EOFError, OSError, pickle.UnpicklingError) as exc:
+                self._drop_worker(conn, f"recv failed: {exc}")
+                continue
             del self._busy[conn]
             if self._queue:
-                self._dispatch(conn, *self._queue.popleft())
+                queued = self._queue.popleft()
+                try:
+                    self._dispatch(conn, *queued)
+                except OSError as exc:
+                    # Requeue at the front, then retire the connection.
+                    self._queue.appendleft(queued)
+                    self._drop_worker(conn, f"send failed: {exc}")
             else:
                 self._idle.append(conn)
             if task_id in self._discarded:
@@ -434,7 +524,8 @@ class SocketClient:
 
         Delivers the lowest ready task id; a task that raised on its
         worker re-raises here with the remote traceback attached as a
-        note.
+        note and ``task_id`` set for scheduler attribution.  A task
+        whose worker died raises :class:`WorkerLostError` the same way.
         """
         while not self._results:
             if not self._busy and not self._queue:
@@ -447,6 +538,7 @@ class SocketClient:
             if remote_tb:
                 value.__notes__ = getattr(value, "__notes__", [])
                 value.__notes__.append(f"remote worker traceback:\n{remote_tb}")
+            value.task_id = task_id
             raise value
         return task_id, value
 

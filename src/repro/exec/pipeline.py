@@ -11,7 +11,9 @@ the whole horizon.
 Observability is built in: every submit/harvest emits an
 ``exec.submit`` / ``exec.harvest`` telemetry event carrying the
 pending depth, and a metrics registry (when attached) gains batch
-counters and a max-pending-depth gauge.
+counters plus two pending-depth series — a live gauge updated on both
+the submit and harvest paths (so drain phases are visible as the depth
+walks back to zero) and a high-water peak gauge.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Sequence
 
-from repro.obs import Telemetry, as_telemetry
+from repro.obs import MetricsRegistry, Telemetry, as_telemetry
 
 __all__ = ["BatchScheduler"]
 
@@ -36,8 +38,14 @@ class BatchScheduler:
             never materializes more than 4 batches of futures.
         telemetry: optional sink for ``exec.submit`` /
             ``exec.harvest`` events.
-        metrics: optional :class:`~repro.obs.MetricsRegistry` for
-            batch counters and the pending-depth gauge.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; when
+            attached the scheduler maintains
+            ``repro_exec_batches_total``,
+            ``repro_exec_pending_batches`` (live in-flight depth,
+            updated on submit *and* harvest),
+            ``repro_exec_pending_batches_peak`` (high-water depth),
+            ``repro_exec_batch_timeouts_total`` and
+            ``repro_exec_batch_errors_total``.
 
     After :meth:`map`, :attr:`pending_max_observed` holds the deepest
     in-flight window the run reached and :attr:`timed_out_batches` the
@@ -49,18 +57,28 @@ class BatchScheduler:
         client: Any,
         max_pending: int | None = None,
         telemetry: Telemetry | None = None,
-        metrics: Any | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_pending is not None and max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.client = client
         self.max_pending = max_pending
         self.telemetry = as_telemetry(telemetry)
-        self.metrics = metrics
+        self.metrics: MetricsRegistry | None = metrics
         self.pending_max_observed = 0
         self.timed_out_batches = 0
+        self.errored_batches = 0
 
     # -- internals -----------------------------------------------------------
+
+    def _set_depth(self, depth: int) -> None:
+        self.metrics.gauge(
+            "repro_exec_pending_batches", client=self.client.name
+        ).set(depth)
+        peak = self.metrics.gauge(
+            "repro_exec_pending_batches_peak", client=self.client.name
+        )
+        peak.set(max(peak.value, depth))
 
     def _emit_submit(self, task_id: int, depth: int) -> None:
         if self.telemetry.enabled:
@@ -71,13 +89,15 @@ class BatchScheduler:
             self.metrics.counter(
                 "repro_exec_batches_total", client=self.client.name
             ).inc()
-            gauge = self.metrics.gauge(
-                "repro_exec_pending_batches", client=self.client.name
-            )
-            gauge.set(max(gauge.value, depth))
+            self._set_depth(depth)
 
     def _emit_harvest(
-        self, task_id: int, depth: int, waited_s: float, timed_out: bool
+        self,
+        task_id: int,
+        depth: int,
+        waited_s: float,
+        timed_out: bool,
+        errored: bool = False,
     ) -> None:
         if self.telemetry.enabled:
             self.telemetry.timer(
@@ -87,11 +107,18 @@ class BatchScheduler:
                 pending=depth,
                 client=self.client.name,
                 timed_out=timed_out,
+                errored=errored,
             )
-        if timed_out and self.metrics is not None:
-            self.metrics.counter(
-                "repro_exec_batch_timeouts_total", client=self.client.name
-            ).inc()
+        if self.metrics is not None:
+            self._set_depth(depth)
+            if timed_out:
+                self.metrics.counter(
+                    "repro_exec_batch_timeouts_total", client=self.client.name
+                ).inc()
+            if errored:
+                self.metrics.counter(
+                    "repro_exec_batch_errors_total", client=self.client.name
+                ).inc()
 
     # -- the one entry point -------------------------------------------------
 
@@ -101,6 +128,8 @@ class BatchScheduler:
         tasks: Sequence[tuple[Any, ...]],
         budget_s: Callable[[tuple[Any, ...]], float | None] | None = None,
         on_timeout: Callable[[tuple[Any, ...]], Any] | None = None,
+        on_result: Callable[[tuple[Any, ...], Any, int], None] | None = None,
+        on_error: Callable[[tuple[Any, ...], BaseException], Any] | None = None,
     ) -> list[Any]:
         """Run ``fn(*task)`` for every task; results in task order.
 
@@ -115,10 +144,21 @@ class BatchScheduler:
                 blew its budget; required when ``budget_s`` is given.
                 The abandoned task is discarded on the client, so a
                 late result is dropped, not delivered.
+            on_result: called once per harvested batch, in *harvest*
+                order, with ``(task, result, pending_depth)`` — the
+                hook live consumers (run ledger, metrics merging) ride,
+                including timeout/error stand-ins.
+            on_error: called when a batch's harvest *raises* and the
+                client could attribute the exception to a task (the
+                exception carries a ``task_id``); returns the stand-in
+                result for that batch, or re-raises.  Without it, the
+                exception propagates exactly as before.
 
         A task that *raised* re-raises here (per-slot error capture
         belongs to the task function itself, exactly as with a plain
-        executor).
+        executor) — unless ``on_error`` absorbs it into a stand-in
+        result, which is how worker-loss surfaces as structured
+        per-slot failures instead of killing the run.
         """
         tasks = list(tasks)
         if budget_s is not None and on_timeout is None:
@@ -154,7 +194,27 @@ class BatchScheduler:
                 deadlines = [d for _, _, d in pending.values() if d is not None]
                 if deadlines:
                     timeout = max(0.0, min(deadlines) - time.monotonic())
-            got = self.client.wait_next(timeout_s=timeout)
+            try:
+                got = self.client.wait_next(timeout_s=timeout)
+            except Exception as exc:
+                failed_id = getattr(exc, "task_id", None)
+                if on_error is None or failed_id is None or failed_id not in pending:
+                    raise
+                now = time.monotonic()
+                index, submitted_at, _ = pending.pop(failed_id)
+                results[index] = on_error(tasks[index], exc)
+                harvested += 1
+                self.errored_batches += 1
+                self._emit_harvest(
+                    failed_id,
+                    len(pending),
+                    now - submitted_at,
+                    timed_out=False,
+                    errored=True,
+                )
+                if on_result is not None:
+                    on_result(tasks[index], results[index], len(pending))
+                continue
             now = time.monotonic()
             if got is None:
                 expired = [
@@ -171,6 +231,8 @@ class BatchScheduler:
                     self._emit_harvest(
                         task_id, len(pending), now - submitted_at, timed_out=True
                     )
+                    if on_result is not None:
+                        on_result(tasks[index], results[index], len(pending))
                 continue
             task_id, value = got
             if task_id not in pending:  # pragma: no cover - defensive
@@ -190,4 +252,6 @@ class BatchScheduler:
                     task_id, len(pending), now - submitted_at, timed_out=False
                 )
             harvested += 1
+            if on_result is not None:
+                on_result(tasks[index], results[index], len(pending))
         return results

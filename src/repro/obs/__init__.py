@@ -18,6 +18,16 @@ stays dependency-free; the dependency is one-way (nothing in
 ``repro.core`` imports obs).
 """
 
+from repro.obs.ledger import (
+    LedgerRun,
+    RunLedger,
+    diff_runs,
+    ledger_path,
+    list_runs,
+    load_run,
+    new_run_id,
+    resolve_run,
+)
 from repro.obs.metrics import (
     DEFAULT_ITERATION_BUCKETS,
     DEFAULT_RESIDUAL_BUCKETS,
@@ -40,6 +50,13 @@ from repro.obs.telemetry import (
     Telemetry,
     TelemetryEvent,
     as_telemetry,
+)
+from repro.obs.worker import (
+    TraceContext,
+    WorkerObsPlan,
+    WorkerReport,
+    profile_hotspots,
+    slot_metrics,
 )
 
 __all__ = [
@@ -67,6 +84,19 @@ __all__ = [
     "NullSpanTracer",
     "NULL_TRACER",
     "as_tracer",
+    "TraceContext",
+    "WorkerObsPlan",
+    "WorkerReport",
+    "profile_hotspots",
+    "slot_metrics",
+    "RunLedger",
+    "LedgerRun",
+    "new_run_id",
+    "ledger_path",
+    "list_runs",
+    "load_run",
+    "resolve_run",
+    "diff_runs",
     # lazy (pull numpy/scipy + repro.core on first touch):
     "Certificate",
     "certify_solution",

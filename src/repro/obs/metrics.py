@@ -328,10 +328,28 @@ class MetricsRegistry:
     def from_dict(cls, data: Mapping[str, Any]) -> "MetricsRegistry":
         """Reconstruct a registry from :meth:`to_dict` output."""
         reg = cls()
+        reg.merge_samples(data)
+        return reg
+
+    # -- cross-process merging ------------------------------------------------
+
+    def merge_samples(self, data: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_dict` payload into this registry.
+
+        This is how worker-side registries shipped back in
+        :class:`~repro.obs.worker.WorkerReport` payloads are folded into
+        the parent process:
+
+        - **counters** and **histograms** accumulate (counts, sums and
+          observation counts add element-wise);
+        - **gauges** are last-write-wins, matching their local semantics;
+        - kind / label-set / bucket mismatches against an already
+          registered family raise instead of silently splitting series.
+        """
         for entry in data.get("families", []):
             name, kind, help_ = entry["name"], entry["kind"], entry.get("help", "")
             buckets = tuple(entry["buckets"]) if "buckets" in entry else None
-            family = reg._family(
+            family = self._family(
                 name,
                 kind,
                 help_,
@@ -341,14 +359,23 @@ class MetricsRegistry:
             for child in entry.get("children", []):
                 metric = family.child(child["labels"])
                 if kind == "histogram":
-                    metric.counts = [int(c) for c in child["counts"]]
-                    metric.sum = float(child["sum"])
-                    metric.count = int(child["count"])
+                    counts = [int(c) for c in child["counts"]]
+                    if len(counts) != len(metric.counts):
+                        raise ValueError(
+                            f"histogram {name!r} merge: bucket count mismatch "
+                            f"({len(counts)} vs {len(metric.counts)})"
+                        )
+                    metric.counts = [a + b for a, b in zip(metric.counts, counts)]
+                    metric.sum += float(child["sum"])
+                    metric.count += int(child["count"])
                 elif kind == "counter":
                     metric.inc(float(child["value"]))
                 else:
                     metric.set(float(child["value"]))
-        return reg
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's state into this one (see :meth:`merge_samples`)."""
+        self.merge_samples(other.to_dict())
 
     # -- Prometheus text exposition -------------------------------------------
 
@@ -396,8 +423,18 @@ _SAMPLE_RE = re.compile(
 _LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
+_ESCAPE_SEQ_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"n": "\n", '"': '"', "\\": "\\"}
+
+
 def _unescape_label(value: str) -> str:
-    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    # A single left-to-right pass over escape sequences: chained
+    # ``str.replace`` calls are order-sensitive and corrupt values like
+    # ``\\n`` (an escaped backslash followed by a literal ``n``), which
+    # must decode to backslash + ``n``, not backslash + newline.
+    return _ESCAPE_SEQ_RE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(0)), value
+    )
 
 
 def parse_prometheus(
@@ -410,7 +447,10 @@ def parse_prometheus(
     expose identical registry state.
     """
     out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
-    for raw in text.splitlines():
+    # The exposition format is newline-delimited; str.splitlines would
+    # additionally break on \x0b/\x0c/\x85/… which are legal *inside*
+    # escaped label values.
+    for raw in text.split("\n"):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue

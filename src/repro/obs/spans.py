@@ -21,7 +21,7 @@ import itertools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.obs.telemetry import Telemetry, TelemetryEvent
 
@@ -124,6 +124,55 @@ class SpanTracer:
                     )
                 )
 
+    def adopt(
+        self,
+        spans: Iterable[Mapping[str, Any]],
+        parent_id: int | None = None,
+    ) -> list[Span]:
+        """Re-parent remote span dicts into this tracer's id space.
+
+        Worker processes trace their slots with their own tracer, whose
+        span ids collide with ours.  ``adopt`` takes the worker's
+        :meth:`to_dicts` output, allocates fresh local ids, rewrites the
+        internal parent links to match, and grafts any remote *root*
+        span (one whose parent is not in the batch) under ``parent_id``
+        — typically the engine span that submitted the work.  Adopted
+        spans land in :attr:`spans` and are forwarded to the telemetry
+        sink exactly like locally finished spans.
+        """
+        batch = [dict(s) for s in spans]
+        id_map = {
+            s["span_id"]: next(self._ids) for s in batch if "span_id" in s
+        }
+        adopted: list[Span] = []
+        for raw in batch:
+            remote_parent = raw.get("parent_id")
+            span = Span(
+                name=str(raw.get("name", "")),
+                span_id=id_map.get(raw.get("span_id"), next(self._ids)),
+                parent_id=id_map.get(remote_parent, parent_id),
+                wall_s=float(raw.get("wall_s", 0.0)),
+                cpu_s=float(raw.get("cpu_s", 0.0)),
+                attributes=dict(raw.get("attributes", {})),
+            )
+            self.spans.append(span)
+            adopted.append(span)
+            if self._telemetry is not None and self._telemetry.enabled:
+                self._telemetry.emit(
+                    TelemetryEvent(
+                        span.name,
+                        "span",
+                        span.wall_s,
+                        {
+                            "span_id": span.span_id,
+                            "parent_id": span.parent_id,
+                            "cpu_s": span.cpu_s,
+                            **span.attributes,
+                        },
+                    )
+                )
+        return adopted
+
     def by_name(self, name: str) -> list[Span]:
         """All finished spans with the given name, in finish order."""
         return [s for s in self.spans if s.name == name]
@@ -165,6 +214,14 @@ class NullSpanTracer:
     def span(self, name: str, **attributes: Any) -> Iterator[_NullSpan]:
         """Run the block untimed, yielding the shared inert span."""
         yield _NULL_SPAN
+
+    def adopt(
+        self,
+        spans: Iterable[Mapping[str, Any]],
+        parent_id: int | None = None,
+    ) -> list[Span]:
+        """Discard remote spans (tracing is off)."""
+        return []
 
     def by_name(self, name: str) -> list[Span]:
         """Always empty."""

@@ -18,6 +18,15 @@ from typing import Any, Iterable
 __all__ = ["HorizonSummary"]
 
 
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile over a small sample (0.0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[int(idx)]
+
+
 @dataclass
 class HorizonSummary:
     """One horizon run's timing, cache and convergence aggregate.
@@ -67,6 +76,12 @@ class HorizonSummary:
             scheduled).
         store_hits / store_misses: result-store probe counters for
             this run (both 0 when no store was attached).
+        worker_busy_s: summed per-slot busy seconds (solve + compile +
+            certify) keyed by worker pid — the per-worker utilization
+            view ``repro top`` renders and remote merges are checked
+            against.
+        slot_p50_s / slot_p99_s: per-slot solve-wall latency
+            percentiles over all slots that reported telemetry.
     """
 
     solver: str
@@ -100,6 +115,9 @@ class HorizonSummary:
     max_pending_observed: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    worker_busy_s: dict[str, float] = field(default_factory=dict)
+    slot_p50_s: float = 0.0
+    slot_p99_s: float = 0.0
 
     @classmethod
     def from_outcomes(
@@ -128,6 +146,8 @@ class HorizonSummary:
         suspect: list[int] = []
         degraded: list[int] = []
         error_types: dict[str, int] = {}
+        worker_busy: dict[str, float] = {}
+        walls: list[float] = []
         for outcome in outcomes:
             tele = getattr(outcome, "telemetry", None)
             if not outcome.ok:
@@ -151,6 +171,11 @@ class HorizonSummary:
                 continue
             compile_s += tele.compile_s
             solve_s += tele.wall_s
+            walls.append(tele.wall_s)
+            pid = str(tele.worker if tele.worker is not None else "?")
+            worker_busy[pid] = worker_busy.get(pid, 0.0) + (
+                tele.wall_s + tele.compile_s + tele.certify_s
+            )
             if tele.cache_hit is True:
                 hits += 1
             elif tele.cache_hit is False:
@@ -194,6 +219,9 @@ class HorizonSummary:
             max_pending_observed=max_pending_observed,
             store_hits=store_hits,
             store_misses=store_misses,
+            worker_busy_s={k: worker_busy[k] for k in sorted(worker_busy)},
+            slot_p50_s=_percentile(walls, 0.50),
+            slot_p99_s=_percentile(walls, 0.99),
         )
 
     @property
@@ -280,6 +308,12 @@ class HorizonSummary:
                     "store_misses": self.store_misses,
                 }
             )
+        out["slot_p50_s"] = round(self.slot_p50_s, 6)
+        out["slot_p99_s"] = round(self.slot_p99_s, 6)
+        if self.worker_busy_s:
+            out["worker_busy_s"] = {
+                k: round(v, 6) for k, v in self.worker_busy_s.items()
+            }
         return out
 
     def format_table(self) -> str:
@@ -307,9 +341,21 @@ class HorizonSummary:
             f"  overhead (IPC) : {self.overhead_s:8.3f} s  "
             f"{100 * self.overhead_s / self.wall_s if self.wall_s > 0 else 0.0:5.1f}% of wall",
             f"  slots          : {self.ok_slots} ok, {self.failed_slots} failed",
+            f"  slot latency   : p50 {1e3 * self.slot_p50_s:.2f} ms, "
+            f"p99 {1e3 * self.slot_p99_s:.2f} ms",
             f"  iterations     : total {self.iterations_total}, "
             f"converged {self.converged_slots}/{self.slots}",
         ]
+        if len(self.worker_busy_s) > 1:
+            busiest = sorted(
+                self.worker_busy_s.items(), key=lambda kv: -kv[1]
+            )
+            shown = ", ".join(f"{pid}={busy:.3f}s" for pid, busy in busiest[:4])
+            if len(busiest) > 4:
+                shown += ", ..."
+            lines.append(
+                f"  workers busy   : {len(busiest)} workers ({shown})"
+            )
         if self.certified_slots:
             verdict = (
                 "all passed"

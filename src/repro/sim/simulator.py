@@ -105,6 +105,16 @@ class Simulator:
         store: optional persistent result store (a
             :class:`~repro.exec.ResultStore` or directory path);
             repeated runs resolve unchanged slots from disk.
+        tracer: optional :class:`~repro.obs.SpanTracer`; every run
+            opens an ``engine.run`` span and adopts worker-side spans
+            under it (one trace across local and remote work).
+        ledger: optional run-ledger directory (or
+            :class:`~repro.obs.RunLedger`); every run persists its
+            header, per-slot outcome stream and summary as a JSONL
+            manifest that ``repro top`` / ``repro runs`` consume.
+        worker_profile: when > 0, profile each slot's solve in the
+            worker and ship the top-N cProfile hotspot rows back on
+            the outcome's :class:`~repro.obs.WorkerReport`.
     """
 
     def __init__(
@@ -121,6 +131,9 @@ class Simulator:
         client: str | ExecutionClient | None = None,
         max_pending: int | None = None,
         store: ResultStore | str | None = None,
+        tracer: object | None = None,
+        ledger: object | None = None,
+        worker_profile: int = 0,
     ) -> None:
         if model.num_datacenters != bundle.num_datacenters:
             raise ValueError(
@@ -150,6 +163,9 @@ class Simulator:
         self.client = client
         self.max_pending = max_pending
         self.store = store
+        self.tracer = tracer
+        self.ledger = ledger
+        self.worker_profile = int(worker_profile)
 
     def problem_for_slot(self, t: int, strategy: Strategy) -> UFCProblem:
         """The slot-``t`` UFC problem under ``strategy``."""
@@ -180,6 +196,9 @@ class Simulator:
             client=self.client,
             max_pending=self.max_pending,
             store=self.store,
+            tracer=self.tracer,
+            ledger=self.ledger,
+            worker_profile=self.worker_profile,
         )
 
     def _collect(

@@ -7,11 +7,14 @@ labelled line charts.  Everything returns plain strings.
 
 from repro.viz.ascii import bar_chart, line_chart, sparkline
 from repro.viz.health import health_dashboard, health_table
+from repro.viz.top import render_top, replay_frames
 
 __all__ = [
     "bar_chart",
     "health_dashboard",
     "health_table",
     "line_chart",
+    "render_top",
+    "replay_frames",
     "sparkline",
 ]

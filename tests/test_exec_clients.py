@@ -56,6 +56,53 @@ def _boom():
     raise ValueError("task exploded")
 
 
+def _maybe_boom(x):
+    if x == 1:
+        raise ValueError("poisoned")
+    return x
+
+
+class _LossyClient:
+    """Synchronous fake whose failed tasks raise *at harvest*, with the
+    exception attributed to its task id — the shape worker loss takes
+    on the socket client."""
+
+    name = "lossy"
+    asynchronous = False
+    workers = 1
+
+    def __init__(self):
+        self._next_id = 0
+        self._done = []
+
+    def submit(self, fn, /, *args):
+        task_id = self._next_id
+        self._next_id += 1
+        try:
+            self._done.append((task_id, fn(*args), None))
+        except Exception as exc:
+            self._done.append((task_id, None, exc))
+        return task_id
+
+    def wait_next(self, timeout_s=None):
+        if not self._done:
+            return None
+        task_id, value, exc = self._done.pop(0)
+        if exc is not None:
+            exc.task_id = task_id
+            raise exc
+        return task_id, value
+
+    def discard(self, task_id):
+        self._done = [item for item in self._done if item[0] != task_id]
+
+    def num_pending(self):
+        return len(self._done)
+
+    def close(self):
+        self._done.clear()
+
+
 class TestRegistry:
     def test_builtins_registered(self):
         names = available_clients()
@@ -177,6 +224,75 @@ class TestBatchScheduler:
             "repro_exec_batches_total", client="in-process"
         )
         assert counter.value == 2
+
+    def test_pending_gauge_walks_back_to_zero_on_harvest(self):
+        # The live depth gauge must be updated on the harvest path too,
+        # not just at submit: after map() returns, every batch has been
+        # harvested and the gauge reads 0 while the peak gauge keeps the
+        # high-water mark.
+        metrics = MetricsRegistry()
+        client = MultiprocessingClient(workers=2, oversubscribe=True)
+        try:
+            scheduler = BatchScheduler(client, max_pending=2, metrics=metrics)
+            scheduler.map(_square, [(x,) for x in range(6)])
+        finally:
+            client.close()
+        live = metrics.gauge("repro_exec_pending_batches", client=client.name)
+        peak = metrics.gauge(
+            "repro_exec_pending_batches_peak", client=client.name
+        )
+        assert live.value == 0
+        assert 1 <= peak.value <= 2
+        assert peak.value == scheduler.pending_max_observed
+
+    def test_metrics_attribute_accepts_none(self):
+        # BatchScheduler.metrics is typed MetricsRegistry | None; the
+        # None default must keep the whole metrics path inert.
+        scheduler = BatchScheduler(InProcessClient())
+        assert scheduler.metrics is None
+        assert scheduler.map(_square, [(3,)]) == [9]
+
+    def test_on_result_sees_every_harvest_in_harvest_order(self):
+        seen = []
+        scheduler = BatchScheduler(InProcessClient())
+        results = scheduler.map(
+            _square,
+            [(x,) for x in range(4)],
+            on_result=lambda task, result, depth: seen.append(
+                (task[0], result, depth)
+            ),
+        )
+        assert results == [0, 1, 4, 9]
+        assert [(t, r) for t, r, _ in seen] == [(x, x * x) for x in range(4)]
+        assert all(depth >= 0 for _, _, depth in seen)
+
+    def test_on_error_absorbs_attributed_failures(self):
+        # A harvest exception that carries a task_id can be absorbed
+        # into a stand-in result instead of killing the run.
+        metrics = MetricsRegistry()
+        seen = []
+        scheduler = BatchScheduler(_LossyClient(), metrics=metrics)
+        results = scheduler.map(
+            _maybe_boom,
+            [(0,), (1,), (2,)],
+            on_result=lambda task, result, depth: seen.append(result),
+            on_error=lambda task, exc: f"lost:{task[0]}",
+        )
+        assert results == [0, "lost:1", 2]
+        assert scheduler.errored_batches == 1
+        # The stand-in rode the on_result hook like any other harvest.
+        assert "lost:1" in seen
+        assert (
+            metrics.counter(
+                "repro_exec_batch_errors_total", client="lossy"
+            ).value
+            == 1
+        )
+
+    def test_on_error_absent_reraises(self):
+        scheduler = BatchScheduler(_LossyClient())
+        with pytest.raises(ValueError, match="poisoned"):
+            scheduler.map(_maybe_boom, [(1,)])
 
 
 class _StubSolver:

@@ -7,6 +7,8 @@ import math
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import (
     DEFAULT_ITERATION_BUCKETS,
@@ -15,6 +17,7 @@ from repro.obs import (
     MetricsRegistry,
     parse_prometheus,
 )
+from repro.obs.metrics import _escape_label, _unescape_label
 
 
 class TestCounterGauge:
@@ -139,6 +142,26 @@ class TestExposition:
         assert name == "repro_esc_total"
         assert dict(labels)["path"] == tricky
 
+    @given(st.text())
+    @settings(max_examples=200, deadline=None)
+    def test_escape_unescape_roundtrips_any_text(self, value):
+        assert _unescape_label(_escape_label(value)) == value
+
+    @given(st.text())
+    @settings(max_examples=200, deadline=None)
+    def test_exposition_roundtrips_any_label_value(self, value):
+        # The full pipeline: registry → exposition text → parser.  Any
+        # label value must survive, including chained backslashes
+        # followed by literal n/quote characters — the inputs that a
+        # replace-chain unescaper corrupts — and characters like form
+        # feed that str.splitlines would treat as line breaks.
+        reg = MetricsRegistry()
+        reg.counter("repro_prop_total", path=value).inc()
+        parsed = parse_prometheus(reg.to_prometheus())
+        ((name, labels),) = parsed.keys()
+        assert name == "repro_prop_total"
+        assert dict(labels)["path"] == value
+
     def test_infinite_values_survive_both_formats(self):
         reg = MetricsRegistry()
         reg.gauge("repro_inf").set(math.inf)
@@ -146,6 +169,65 @@ class TestExposition:
         assert clone.samples() == reg.samples()
         parsed = parse_prometheus(reg.to_prometheus())
         assert list(parsed.values()) == [math.inf]
+
+
+class TestMerge:
+    def test_counters_and_histograms_accumulate(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for reg, n in ((a, 2), (b, 3)):
+            reg.counter("repro_m_total", worker="7").inc(n)
+            h = reg.histogram("repro_m_seconds", buckets=(0.1, 1.0))
+            h.observe(0.05 * n)
+            h.observe(2.0)
+        a.merge_samples(b.to_dict())
+        assert a.counter("repro_m_total", worker="7").value == 5
+        merged = a.histogram("repro_m_seconds", buckets=(0.1, 1.0))
+        assert merged.count == 4
+        assert merged.sum == pytest.approx(0.1 + 0.15 + 4.0)
+        assert merged.cumulative() == [1, 2, 4]
+
+    def test_gauges_are_last_write_wins(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.gauge("repro_depth").set(5.0)
+        b.gauge("repro_depth").set(2.0)
+        a.merge_samples(b.to_dict())
+        assert a.gauge("repro_depth").value == 2.0
+
+    def test_merge_into_empty_reproduces_samples(self):
+        src = MetricsRegistry()
+        src.counter("repro_x_total", solver="ipqp").inc(3)
+        src.histogram("repro_x_seconds", buckets=(0.1,)).observe(0.04)
+        dst = MetricsRegistry()
+        dst.merge_samples(src.to_dict())
+        assert dst.samples() == src.samples()
+
+    def test_merge_convenience_equals_merge_samples(self):
+        a, b, c = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        src = MetricsRegistry()
+        src.counter("repro_y_total").inc(4)
+        for reg in (a, b, c):
+            reg.counter("repro_y_total").inc()
+        a.merge(src)
+        b.merge_samples(src.to_dict())
+        assert a.samples() == b.samples()
+
+    def test_bucket_mismatch_raises_instead_of_splitting(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("repro_h_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        b.histogram("repro_h_seconds", buckets=(0.1, 1.0, 10.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge_samples(b.to_dict())
+
+    def test_kind_mismatch_raises(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("repro_k").inc()
+        b.gauge("repro_k").set(1.0)
+        with pytest.raises(ValueError):
+            a.merge_samples(b.to_dict())
 
 
 class TestConcurrency:

@@ -75,6 +75,48 @@ class TestSpanTracer:
         assert as_tracer(real) is real
 
 
+class TestAdopt:
+    def _remote_dicts(self):
+        # A worker's tracer: a root span with one child, exported as
+        # plain dicts with worker-local ids.
+        remote = SpanTracer()
+        with remote.span("worker.slot", index=7):
+            with remote.span("worker.solve"):
+                pass
+        return remote.to_dicts()
+
+    def test_adopt_reparents_roots_and_remaps_ids(self):
+        parent = SpanTracer()
+        with parent.span("engine.run") as run_span:
+            adopted = parent.adopt(self._remote_dicts(), parent_id=run_span.span_id)
+        by_name = {s.name: s for s in adopted}
+        root = by_name["worker.slot"]
+        child = by_name["worker.solve"]
+        # Remote roots graft under the given parent; internal links are
+        # rewritten to the fresh local ids.
+        assert root.parent_id == run_span.span_id
+        assert child.parent_id == root.span_id
+        assert root.attributes["index"] == 7
+
+    def test_adopted_ids_never_collide_with_local_spans(self):
+        parent = SpanTracer()
+        with parent.span("local.a"):
+            pass
+        adopted = parent.adopt(self._remote_dicts())
+        local_ids = {s.span_id for s in parent.spans if s not in adopted}
+        assert not local_ids & {s.span_id for s in adopted}
+        # Without a parent_id, remote roots stay roots.
+        root = next(s for s in adopted if s.name == "worker.slot")
+        assert root.parent_id is None
+
+    def test_adopted_spans_flow_to_telemetry(self):
+        sink = RecordingTelemetry()
+        parent = SpanTracer(telemetry=sink)
+        parent.adopt(self._remote_dicts())
+        assert {e.name for e in sink.events} == {"worker.slot", "worker.solve"}
+        assert all(e.kind == "span" for e in sink.events)
+
+
 class TestDistributedSpans:
     def test_round_spans_match_iterations_and_bytes(self, slot_problem):
         tracer = SpanTracer()
