@@ -21,6 +21,12 @@ are never spent) must cost < 2 % over the plain engine and produce
 bit-identical solutions — fault tolerance is free until a fault
 happens.
 
+Another pair guards the fleet-supervision layer: ``supervision=None``
+(the default) must cost < 2 % over the plain engine and stay
+bit-identical, and ``supervision=True`` on the synchronous path must
+be a pure no-op — the supervisor only wraps asynchronous execution
+clients.
+
 A further pair guards the observability plane: the default engine
 (no metrics registry, no tracer, no run ledger) must cost < 2 % over
 the plain baseline and stay bit-identical — the worker-report
@@ -216,6 +222,62 @@ def _resilience_overhead(problems, repeats: int) -> dict:
         "fallbacks_total": armed_sum.fallbacks_total,
         "degraded_slots": list(armed_sum.degraded_slots),
         "bit_identical_with_resilience": _bit_identical(base, resilient),
+    }
+
+
+def _supervision_overhead(problems, repeats: int) -> dict:
+    """Cost of the fleet-supervision layer when disabled (the default).
+
+    ``supervision=None`` is the default engine configuration, so the
+    baseline/disabled pair times the same code twice and their delta
+    bounds timer noise: the self-healing machinery must be free until a
+    fleet exists to heal.  A third lane arms ``supervision=True`` on
+    the synchronous path, where the supervisor declines to wrap (it
+    supervises asynchronous clients only) — also gated < 2 %, and the
+    summary must carry no fleet block.
+
+    Rounds are order-balanced and the gate uses the minimum across
+    rounds, for the same noise-robustness reasons as the
+    certification pair (see :func:`_certification_overhead`).
+    """
+    reps = max(5, repeats)
+    base_s = off_s = armed_s = None
+    base = disabled = armed_out = armed_sum = None
+    off_deltas: list[float] = []
+    armed_deltas: list[float] = []
+    for _ in range(reps):
+        b1_s, b, _ = _time_engine(problems, 1, structure_cache=True)
+        f_s, f, _ = _time_engine(
+            problems, 1, structure_cache=True, supervision=None
+        )
+        a_s, a, a_sum = _time_engine(
+            problems, 1, structure_cache=True, supervision=True
+        )
+        b2_s, _, _ = _time_engine(problems, 1, structure_cache=True)
+        mid = (b1_s + b2_s) / 2.0
+        off_deltas.append(f_s / mid - 1.0)
+        armed_deltas.append(a_s / mid - 1.0)
+        if base_s is None or min(b1_s, b2_s) < base_s:
+            base_s, base = min(b1_s, b2_s), b
+        if off_s is None or f_s < off_s:
+            off_s, disabled = f_s, f
+        if armed_s is None or a_s < armed_s:
+            armed_s, armed_out, armed_sum = a_s, a, a_sum
+    return {
+        "repeats": reps,
+        "baseline_s": round(base_s, 4),
+        "disabled_s": round(off_s, 4),
+        "armed_noop_s": round(armed_s, 4),
+        "disabled_delta_fraction": round(statistics.median(off_deltas), 4),
+        "disabled_delta_floor": round(min(off_deltas), 4),
+        "armed_noop_delta_floor": round(min(armed_deltas), 4),
+        "fleet_summary_absent": armed_sum.fleet is None,
+        "bit_identical_with_supervision_disabled": _bit_identical(
+            base, disabled
+        ),
+        "bit_identical_with_supervision_armed": _bit_identical(
+            base, armed_out
+        ),
     }
 
 
@@ -418,6 +480,7 @@ def run_bench(
         },
         "certification": _certification_overhead(problems, repeats),
         "resilience": _resilience_overhead(problems, repeats),
+        "supervision": _supervision_overhead(problems, repeats),
         "observability": _observability_overhead(problems, repeats),
         "batched": batched,
         "batched_s": batched["batched_s"],
@@ -454,6 +517,15 @@ def test_engine_modes_agree(run_once, bench_workers):
     assert res["retries_total"] == 0
     assert res["fallbacks_total"] == 0
     assert res["degraded_slots"] == []
+    sup = summary["supervision"]
+    # Fleet supervision is strictly opt-in: disabled (the default) must
+    # be free and bit-identical, and arming it on a synchronous path is
+    # a no-op — no fleet block, no number changed.
+    assert sup["disabled_delta_floor"] < 0.02
+    assert sup["armed_noop_delta_floor"] < 0.02
+    assert sup["fleet_summary_absent"]
+    assert sup["bit_identical_with_supervision_disabled"]
+    assert sup["bit_identical_with_supervision_armed"]
     obs = summary["observability"]
     # The observability plane must be free when off (default knobs
     # short-circuit before anything is built) and must never perturb

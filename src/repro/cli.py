@@ -77,6 +77,13 @@ def _add_exec_args(cmd: argparse.ArgumentParser) -> None:
         help="persistent result store directory; repeated runs "
         "resolve unchanged slots from disk",
     )
+    cmd.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run under fleet supervision: lost or straggling slots "
+        "are resubmitted/hedged to surviving workers instead of "
+        "failing the run (asynchronous clients only)",
+    )
 
 
 def _exec_kwargs(args) -> dict:
@@ -85,6 +92,7 @@ def _exec_kwargs(args) -> dict:
         "client": args.client,
         "max_pending": args.max_pending,
         "store": args.store,
+        "supervision": True if args.supervise else None,
     }
 
 
@@ -499,11 +507,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list shipped scenarios and exit"
     )
     chaos.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="record the run to a ledger directory (worker-churn only: "
+        "the fleet run's retry lineage lands in the ledger)",
+    )
+    chaos.add_argument(
         "--json",
         default=None,
         metavar="PATH",
         help="also write the full report (slots, events, metrics) as "
         "JSON to PATH",
+    )
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted run from its torn .part ledger: "
+        "slots the crashed run completed resolve from the result "
+        "store (no re-solve), only the remainder solves, and a fresh "
+        "finalized ledger is written",
+    )
+    resume.add_argument(
+        "run",
+        metavar="RUN",
+        help="ledger file path, run id, or unique run-id prefix "
+        "(resolved under --ledger-dir; .part ledgers resolve too)",
+    )
+    resume.add_argument(
+        "--ledger-dir",
+        default=".",
+        metavar="DIR",
+        help="directory run ids are resolved in and the resume ledger "
+        "is written to (default: .)",
+    )
+    resume.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="override the recipe's result-store directory (e.g. when "
+        "the store moved); without any store every slot re-solves",
+    )
+    resume.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the remainder under fleet supervision",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect a persistent result store (verify: probe every "
+        "entry, quarantine the corrupt, report hit/miss/corrupt "
+        "counts; exit 1 if anything was corrupt)",
+    )
+    store.add_argument("action", choices=["verify"])
+    store.add_argument("dir", metavar="DIR", help="store directory")
+    store.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
     )
     return parser
 
@@ -725,6 +787,14 @@ def _cmd_chaos(args) -> int:
     if args.list:
         for name in available_scenarios():
             spec = scenario_spec(name)
+            if spec.get("kind") == "worker-churn":
+                detail = (
+                    f"process-level: {spec.get('workers', 2)} exec "
+                    f"workers, {spec.get('kills', 1)} kill(s), "
+                    f"{'respawn' if spec.get('respawn', True) else 'no respawn'}"
+                )
+                print(f"{name:<14} {detail}")
+                continue
             active = ", ".join(
                 key.replace("_probability", "")
                 for key, value in spec.items()
@@ -743,15 +813,37 @@ def _cmd_chaos(args) -> int:
         import json
 
         with open(args.spec, encoding="utf-8") as fh:
-            plan = FaultPlan.from_spec(json.load(fh))
+            spec = json.load(fh)
     else:
-        plan = FaultPlan.from_spec(args.scenario)
+        spec = dict(scenario_spec(args.scenario))
     if args.horizon is not None:
         hours = args.horizon
     else:
         # The global --hours default (168) is a full week — heavy for a
         # chaos run that also solves a fault-free baseline.
         hours = 24 if args.hours == 168 else args.hours
+    if spec.get("kind") == "worker-churn":
+        # Process-level chaos takes the fleet path, not FaultPlan.
+        from repro.faults.churn import run_worker_churn
+
+        report = run_worker_churn(
+            spec,
+            hours=hours,
+            seed=args.seed,
+            strategy=_STRATEGIES[args.strategy],
+            ledger=args.ledger,
+        )
+        print(report.render(max_events=args.events))
+        if args.json:
+            import json
+
+            payload = report.to_dict()
+            payload["metrics"] = report.metrics.to_dict()
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"\nwrote {args.json}")
+        return 0 if report.passed else 1
+    plan = FaultPlan.from_spec(spec)
     fallback = tuple(
         name.strip() for name in args.fallback.split(",") if name.strip()
     )
@@ -1215,6 +1307,23 @@ def _cmd_runs(args) -> int:
             for key, value in data.items():
                 print(f"  {section}.{key:<20}: {value}")
         print(f"  slots harvested: {len(run.slots)} ({len(run.failed)} failed)")
+        flagged = [s for s in run.slots if s.get("lineage")]
+        if flagged:
+            print("  retry lineage  : (slots that were not first-try-clean)")
+            for s in flagged:
+                li = s["lineage"]
+                hedge = ""
+                if li.get("hedged"):
+                    hedge = ", hedge " + (
+                        "won" if li.get("hedge_won") else "lost"
+                    )
+                workers = "->".join(li.get("workers") or []) or "?"
+                faults = ", ".join(li.get("faults") or []) or "clean"
+                print(
+                    f"    slot {s['index']:>4}: "
+                    f"{li.get('attempts', 1)} attempt(s) over {workers} "
+                    f"({faults}{hedge}) -> {li.get('outcome', '?')}"
+                )
         if run.summary is not None:
             for key in ("wall_s", "solve_s", "executor", "slot_p50_s", "slot_p99_s"):
                 if run.summary.get(key) is not None:
@@ -1252,6 +1361,59 @@ def _cmd_runs(args) -> int:
     return 0
 
 
+def _cmd_resume(args) -> int:
+    from repro.exec import SupervisorConfig
+    from repro.sim.resume import resume_run
+
+    try:
+        report = resume_run(
+            args.run,
+            args.ledger_dir,
+            store=args.store,
+            supervision=SupervisorConfig() if args.supervise else None,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"resume: {exc}", file=sys.stderr)
+        return 2
+    print(f"resumed {report.resumed_from} as {report.run_id}")
+    print(
+        f"  completed before crash : {report.completed_before}/"
+        f"{report.slots_total} slots"
+    )
+    print(
+        f"  resolved from store    : {report.store_hits} "
+        f"({report.store_misses} solved fresh)"
+    )
+    print(f"  failed slots           : {report.failed_slots}")
+    print(f"  final ledger           : {report.ledger_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_store(args) -> int:
+    import json
+
+    from repro.exec import ResultStore
+
+    store = ResultStore(args.dir)
+    report = store.verify()
+    if args.json:
+        print(json.dumps({**report, "root": str(store.root)}, indent=2))
+        return 0 if report["corrupt"] == 0 else 1
+    print(f"store   : {store.root}")
+    print(f"entries : {report['entries']}")
+    print(f"hits    : {report['ok']} (readable, current version)")
+    print(f"misses  : {report['corrupt']} (would re-solve)")
+    print(
+        f"corrupt : {report['corrupt']}"
+        + (
+            f"  (quarantined under {store.root / 'corrupt'})"
+            if report["corrupt"]
+            else ""
+        )
+    )
+    return 0 if report["corrupt"] == 0 else 1
+
+
 def _cmd_validate(args) -> int:
     from repro.experiments.validation import render_scorecard, run_validation
 
@@ -1275,6 +1437,8 @@ _COMMANDS = {
     "exec-worker": _cmd_exec_worker,
     "top": _cmd_top,
     "runs": _cmd_runs,
+    "resume": _cmd_resume,
+    "store": _cmd_store,
 }
 
 

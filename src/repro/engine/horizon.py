@@ -79,6 +79,12 @@ from repro.exec.clients import (
 )
 from repro.exec.pipeline import BatchScheduler
 from repro.exec.store import ResultStore, problem_digest
+from repro.exec.supervisor import (
+    FleetStats,
+    FleetSupervisor,
+    SupervisorConfig,
+    TaskTimeoutError,
+)
 from repro.obs import (
     HorizonSummary,
     RunLedger,
@@ -89,6 +95,7 @@ from repro.obs import (
     WorkerObsPlan,
     WorkerReport,
     as_telemetry,
+    interrupt_guard,
     new_run_id,
 )
 from repro.obs.worker import local_host, profile_hotspots, slot_metrics
@@ -149,6 +156,10 @@ class SlotOutcome:
             optional profile) when the engine ran with worker
             observability on; None otherwise (the default — the
             observability-off outcome is unchanged).
+        lineage: the fleet supervisor's retry lineage for this slot's
+            chunk (attempt count, workers tried, faults, hedge
+            outcome) when the slot was not first-try-clean under
+            supervision; None otherwise.
     """
 
     index: int
@@ -163,6 +174,7 @@ class SlotOutcome:
     fallback_solver: str | None = None
     chain_errors: tuple[str, ...] = ()
     worker_report: WorkerReport | None = None
+    lineage: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -859,6 +871,7 @@ class _ExecStats:
     pending_max: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    fleet: FleetStats | None = None
 
 
 class HorizonEngine:
@@ -909,6 +922,20 @@ class HorizonEngine:
             after ``slot_timeout_s x slots`` seconds is abandoned and
             every slot in it surfaces as a ``SlotTimeoutError``
             outcome.
+        supervision: optional
+            :class:`~repro.exec.supervisor.SupervisorConfig` (or
+            ``True`` for the defaults).  Wraps the run's client in a
+            :class:`~repro.exec.supervisor.FleetSupervisor`: lost or
+            timed-out batches are resubmitted to surviving workers
+            under a bounded retry budget, stragglers are hedged,
+            faulty workers quarantined, and (when configured) lost
+            loopback workers respawned.  Only asynchronous clients are
+            supervised — with a synchronous client (or ``None``,
+            default) the pre-supervision code path runs bit-identical.
+            With both ``resilience.slot_timeout_s`` and supervision
+            set, the supervisor owns the clock: each *attempt* gets
+            the per-batch budget, and only budget exhaustion surfaces
+            as ``SlotTimeoutError`` outcomes.
         client: execution backend the horizon runs through — a
             registry name (``"in-process"``, ``"mp"``, ``"socket"``;
             see :func:`repro.exec.clients.available_clients`) or an
@@ -973,6 +1000,7 @@ class HorizonEngine:
         certify: bool | Any = False,
         metrics: Any | None = None,
         resilience: ResilienceConfig | None = None,
+        supervision: SupervisorConfig | bool | None = None,
         client: str | ExecutionClient | None = None,
         max_pending: int | None = None,
         store: ResultStore | str | os.PathLike | None = None,
@@ -1011,6 +1039,12 @@ class HorizonEngine:
             self.certifier = None
         self.metrics = metrics
         self.resilience = resilience
+        if supervision is True:
+            self.supervision: SupervisorConfig | None = SupervisorConfig()
+        elif supervision:
+            self.supervision = supervision
+        else:
+            self.supervision = None
         self.tracer = tracer
         self.ledger = ledger
         self.worker_obs = worker_obs
@@ -1140,6 +1174,10 @@ class HorizonEngine:
         self._run_ledger = ledger
         try:
             with ExitStack() as stack:
+                if ledger is not None:
+                    # SIGINT/SIGTERM/atexit leave a flushed, resumable
+                    # .part ledger behind instead of an open handle.
+                    stack.enter_context(interrupt_guard(ledger))
                 run_span = None
                 if self.tracer is not None:
                     run_span = stack.enter_context(
@@ -1200,6 +1238,9 @@ class HorizonEngine:
                     max_pending_observed=stats.pending_max,
                     store_hits=stats.store_hits,
                     store_misses=stats.store_misses,
+                    fleet=(
+                        None if stats.fleet is None else stats.fleet.to_dict()
+                    ),
                 )
                 if run_span is not None:
                     run_span.set(
@@ -1275,6 +1316,7 @@ class HorizonEngine:
             "oversubscribe": self.oversubscribe,
             "certify": self.certifier is not None,
             "resilience": self.resilience is not None,
+            "supervised": self.supervision is not None,
             "client": client,
             "max_pending": self.max_pending,
             "store": self.store is not None,
@@ -1628,16 +1670,11 @@ class HorizonEngine:
             executor = client.name
         start_method = getattr(client, "start_method", None)
         stats.client = None if client is None else client.name
+        supervisor: FleetSupervisor | None = None
 
         try:
             if to_solve:
                 chunks = self._chunk_tasks(to_solve, len(problems), client, effective)
-                scheduler = BatchScheduler(
-                    client,
-                    max_pending=self.max_pending,
-                    telemetry=self.telemetry,
-                    metrics=self.metrics,
-                )
                 budget_fn = None
                 on_timeout = None
                 solver_name = self.solver.name
@@ -1656,39 +1693,93 @@ class HorizonEngine:
                             task[1], budget_fn(task), solver_name
                         )
 
+                if self.supervision is not None and getattr(
+                    client, "asynchronous", False
+                ):
+                    # The supervisor owns the clock: each *attempt* gets
+                    # the per-batch budget, and the scheduler's own
+                    # deadline enforcement is turned off — resubmission
+                    # extends a batch's life past any single attempt.
+                    supervisor = FleetSupervisor(
+                        client,
+                        self.supervision,
+                        budget_s=budget_fn,
+                        metrics=self.metrics,
+                    )
+                    stats.fleet = supervisor.stats
+                scheduler = BatchScheduler(
+                    supervisor if supervisor is not None else client,
+                    max_pending=self.max_pending,
+                    telemetry=self.telemetry,
+                    metrics=self.metrics,
+                )
+
                 def on_error(
                     task: tuple[Any, ...], exc: BaseException
                 ) -> list[SlotOutcome]:
                     # A lost worker becomes structured per-slot failures
-                    # (the fleet already shrank); anything else is a
-                    # real bug and propagates as before.
+                    # (the fleet already shrank); under supervision this
+                    # only fires once the retry budget is spent.  A
+                    # supervised batch whose every attempt blew its
+                    # budget gets the same timeout verdict the
+                    # scheduler's own enforcement would give.  Anything
+                    # else is a real bug and propagates as before.
                     if isinstance(exc, WorkerLostError):
                         return _lost_chunk_outcomes(task[1], exc, solver_name)
+                    if isinstance(exc, TaskTimeoutError) and supervisor is not None:
+                        budget = budget_fn(task) if budget_fn is not None else 0.0
+                        return _timeout_chunk_outcomes(task[1], budget, solver_name)
                     raise exc
+
+                plan = self._make_obs_plan()
+                tasks = [
+                    (
+                        self.solver,
+                        chunk,
+                        self.structure_cache,
+                        self.certifier,
+                        self.resilience,
+                        batched,
+                        plan,
+                    )
+                    for chunk in chunks
+                ]
+                # The supervisor assigns its task ids in submission
+                # order, which is list order here — that is what lets
+                # the harvest hook look a chunk's retry lineage up.
+                task_order = {id(task): i for i, task in enumerate(tasks)}
 
                 def on_harvest(
                     task: tuple[Any, ...], result: Any, depth: int
                 ) -> None:
+                    if supervisor is not None:
+                        lin = supervisor.lineage(task_order[id(task)])
+                        if lin is not None:
+                            for outcome in result:
+                                outcome.lineage = lin
                     for outcome in result:
                         self._absorb(outcome, pending=depth)
+                        # Write back at harvest, not at run end: a run
+                        # killed mid-horizon keeps every completed
+                        # slot's result on disk, which is what makes
+                        # `repro resume` skip the finished work.  Only
+                        # fresh, trustworthy results land (no degraded
+                        # or fallback allocations — a healthy re-run
+                        # should never inherit those).
+                        if (
+                            self.store is not None
+                            and keys[outcome.index] is not None
+                            and outcome.ok
+                            and outcome.result is not None
+                            and not outcome.degraded
+                        ):
+                            self.store.put(keys[outcome.index], outcome.result)
 
-                plan = self._make_obs_plan()
                 for chunk_outcomes in scheduler.map(
                     _solve_chunk,
-                    [
-                        (
-                            self.solver,
-                            chunk,
-                            self.structure_cache,
-                            self.certifier,
-                            self.resilience,
-                            batched,
-                            plan,
-                        )
-                        for chunk in chunks
-                    ],
-                    budget_s=budget_fn,
-                    on_timeout=on_timeout,
+                    tasks,
+                    budget_s=None if supervisor is not None else budget_fn,
+                    on_timeout=None if supervisor is not None else on_timeout,
                     on_result=on_harvest,
                     on_error=on_error,
                 ):
@@ -1698,19 +1789,6 @@ class HorizonEngine:
         finally:
             if owns and client is not None:
                 client.close()
-
-        # Write back fresh, trustworthy results (no degraded/fallback
-        # allocations — a healthy re-run should never inherit those).
-        if self.store is not None:
-            for index, _ in to_solve:
-                outcome = outcomes[index]
-                if (
-                    outcome is not None
-                    and outcome.ok
-                    and outcome.result is not None
-                    and not outcome.degraded
-                ):
-                    self.store.put(keys[index], outcome.result)
 
         if batched:
             executor = f"{executor}-batch"

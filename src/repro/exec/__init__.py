@@ -12,6 +12,10 @@ can stay a policy layer:
 - :mod:`repro.exec.store` — :class:`ResultStore`, the persistent
   (model digest, strategy, solver, slot) -> result store that lets
   sweeps and chaos runs warm-start from disk;
+- :mod:`repro.exec.supervisor` — :class:`FleetSupervisor`, the
+  self-healing wrapper: lost/straggling tasks are resubmitted or
+  hedged under a :class:`RetryBudget`, faulty workers quarantined,
+  lost loopback workers respawned;
 - :mod:`repro.exec.pmap` — :func:`parallel_map`, the sweep drivers'
   order-preserving map over the same clients.
 """
@@ -32,14 +36,26 @@ from repro.exec.clients import (
 from repro.exec.pipeline import BatchScheduler
 from repro.exec.pmap import parallel_map
 from repro.exec.store import ResultStore, problem_digest
+from repro.exec.supervisor import (
+    FleetStats,
+    FleetSupervisor,
+    RetryBudget,
+    SupervisorConfig,
+    TaskTimeoutError,
+)
 
 __all__ = [
     "ExecutionClient",
+    "FleetStats",
+    "FleetSupervisor",
     "InProcessClient",
     "MultiprocessingClient",
+    "RetryBudget",
     "SocketClient",
+    "SupervisorConfig",
     "BatchScheduler",
     "ResultStore",
+    "TaskTimeoutError",
     "WorkerLostError",
     "available_clients",
     "create_client",

@@ -45,6 +45,7 @@ import pickle
 import select
 import socket
 import struct
+import time
 import traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -327,6 +328,12 @@ def serve_worker(host: str, port: int) -> None:
                 return
             if message[0] == "stop":
                 return
+            if message[0] == "ping":
+                # Liveness probe: answered between tasks (the loop is
+                # serial, so a busy worker's pong waits — which is why
+                # the client only pings idle connections).
+                _send_msg(conn, ("pong",))
+                continue
             _, task_id, fn, args = message
             try:
                 _send_msg(conn, ("ok", task_id, fn(*args)))
@@ -397,10 +404,12 @@ class SocketClient:
             proc.start()
         self._conns: list[socket.socket] = []
         self._closed = False
+        self._worker_ids: dict[socket.socket, str] = {}
+        self._worker_seq = 0
         try:
             for _ in range(workers + external):
                 conn, _addr = self._listener.accept()
-                self._conns.append(conn)
+                self._register_conn(conn)
         except TimeoutError:
             self.close()
             raise TimeoutError(
@@ -414,11 +423,24 @@ class SocketClient:
         self._queue: deque[tuple[int, Callable[..., Any], tuple[Any, ...]]] = deque()
         self._results: dict[int, tuple[str, Any, str | None]] = {}
         self._discarded: set[int] = set()
+        self._task_worker: dict[int, str] = {}
+        self._quarantined: set[socket.socket] = set()
         self._next_id = 0
+
+    def _register_conn(self, conn: socket.socket) -> str:
+        """Admit a connection to the fleet under a stable worker id."""
+        worker_id = f"w{self._worker_seq}"
+        self._worker_seq += 1
+        self._conns.append(conn)
+        self._worker_ids[conn] = worker_id
+        return worker_id
 
     def _dispatch(self, conn: socket.socket, task_id: int, fn: Any, args: tuple) -> None:
         _send_msg(conn, ("task", task_id, fn, args))
         self._busy[conn] = task_id
+        worker_id = self._worker_ids.get(conn)
+        if worker_id is not None:
+            self._task_worker[task_id] = worker_id
 
     def _fail_task(self, task_id: int, reason: str) -> None:
         if task_id in self._discarded:
@@ -440,6 +462,8 @@ class SocketClient:
         task_id = self._busy.pop(conn, None)
         if conn in self._conns:
             self._conns.remove(conn)
+        self._worker_ids.pop(conn, None)
+        self._quarantined.discard(conn)
         try:
             self._idle.remove(conn)
         except ValueError:
@@ -500,7 +524,11 @@ class SocketClient:
                 self._drop_worker(conn, f"recv failed: {exc}")
                 continue
             del self._busy[conn]
-            if self._queue:
+            if conn in self._quarantined:
+                # Retired from the rotation: its last in-flight reply
+                # was honored, but it gets no further work.
+                self._retire_conn(conn)
+            elif self._queue:
                 queued = self._queue.popleft()
                 try:
                     self._dispatch(conn, *queued)
@@ -557,6 +585,132 @@ class SocketClient:
                 return
         if task_id in self._busy.values():
             self._discarded.add(task_id)
+
+    # -- fleet-health surface (used by FleetSupervisor, duck-typed) ----------
+
+    def _retire_conn(self, conn: socket.socket) -> None:
+        """Politely remove an idle connection from the fleet."""
+        try:
+            _send_msg(conn, ("stop",))
+        except OSError:
+            pass
+        self._drop_worker(conn, "retired")
+
+    def worker_for_task(self, task_id: int) -> str | None:
+        """The worker id a task was dispatched to (None while queued).
+
+        Attribution entries live for the client's lifetime — one
+        horizon run — so retry lineage can name every worker a slot
+        visited even after the task completed.
+        """
+        return self._task_worker.get(task_id)
+
+    def alive_workers(self) -> tuple[str, ...]:
+        """Stable ids of every connected worker, in admission order."""
+        return tuple(self._worker_ids[c] for c in self._conns)
+
+    def idle_workers(self) -> int:
+        """Connections with no task in flight."""
+        return len(self._idle)
+
+    def check_liveness(self, timeout_s: float = 1.0) -> list[str]:
+        """Ping idle workers; drop the unresponsive, return their ids.
+
+        Busy workers are *not* pinged — their liveness is established
+        by the reply (or connection error) :meth:`wait_next` is already
+        waiting on; a ping would just queue behind the running task.
+        """
+        if self._closed or not self._idle:
+            return []
+        dropped: list[str] = []
+        waiting: set[socket.socket] = set()
+        for conn in list(self._idle):
+            try:
+                _send_msg(conn, ("ping",))
+                waiting.add(conn)
+            except OSError as exc:
+                dropped.append(self._worker_ids.get(conn, "?"))
+                self._drop_worker(conn, f"ping send failed: {exc}")
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while waiting:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            ready, _, _ = select.select(list(waiting), [], [], remaining)
+            if not ready:
+                break
+            for conn in ready:
+                waiting.discard(conn)
+                try:
+                    message = _recv_msg(conn)
+                except (ConnectionError, EOFError, OSError, pickle.UnpicklingError) as exc:
+                    dropped.append(self._worker_ids.get(conn, "?"))
+                    self._drop_worker(conn, f"heartbeat recv failed: {exc}")
+                    continue
+                if message[0] != "pong":  # pragma: no cover - protocol breach
+                    dropped.append(self._worker_ids.get(conn, "?"))
+                    self._drop_worker(conn, f"unexpected heartbeat reply: {message[0]!r}")
+        for conn in waiting:
+            dropped.append(self._worker_ids.get(conn, "?"))
+            self._drop_worker(conn, "heartbeat timed out")
+        return dropped
+
+    def quarantine_worker(self, worker_id: str) -> bool:
+        """Retire a worker from the dispatch rotation; True if found.
+
+        An idle worker leaves immediately; a busy one finishes its
+        current task (the reply is still honored) and is retired at
+        harvest.  Refuses to quarantine the last worker — a fleet of
+        zero helps nobody.
+        """
+        conn = next(
+            (c for c, wid in self._worker_ids.items() if wid == worker_id), None
+        )
+        if conn is None or len(self._conns) <= 1:
+            return False
+        if conn in self._busy:
+            self._quarantined.add(conn)
+        else:
+            self._retire_conn(conn)
+        return True
+
+    def respawn_workers(self, count: int = 1, accept_timeout_s: float = 10.0) -> int:
+        """Spawn replacement loopback workers; returns how many joined.
+
+        The listener stays open for the client's lifetime precisely so
+        the fleet can grow back after losses.  Only loopback processes
+        are respawnable — externally launched workers are the
+        operator's to restart.
+        """
+        if self._closed or count < 1:
+            return 0
+        ctx = mp_context()
+        procs = [
+            ctx.Process(target=_spawned_worker, args=self.address, daemon=True)
+            for _ in range(count)
+        ]
+        for proc in procs:
+            proc.start()
+        self._procs.extend(procs)
+        self._listener.settimeout(accept_timeout_s)
+        joined = 0
+        for _ in range(count):
+            try:
+                conn, _addr = self._listener.accept()
+            except (TimeoutError, OSError):  # pragma: no cover - slow spawn
+                break
+            self._register_conn(conn)
+            self._idle.append(conn)
+            joined += 1
+        self.workers = len(self._conns)
+        # Put the new capacity to work immediately.
+        while self._queue and self._idle:
+            conn = self._idle.popleft()
+            queued = self._queue.popleft()
+            try:
+                self._dispatch(conn, *queued)
+            except OSError as exc:  # pragma: no cover - instant death
+                self._queue.appendleft(queued)
+                self._drop_worker(conn, f"send failed: {exc}")
+        return joined
 
     def num_pending(self) -> int:
         """Tasks in flight, queued, or completed but undelivered."""

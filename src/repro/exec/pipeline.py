@@ -216,11 +216,20 @@ class BatchScheduler:
                     on_result(tasks[index], results[index], len(pending))
                 continue
             now = time.monotonic()
-            if got is None:
+            if enforce:
+                # Expire over-deadline tasks on *every* pass, not only
+                # when the wait timed out: with a steady result stream a
+                # wedged task would otherwise keep its window slot for
+                # the rest of the run, silently shrinking concurrency.
+                # (A task that just delivered is handled below — its
+                # late arrival gets the same timeout verdict without a
+                # double harvest.)
                 expired = [
                     task_id
                     for task_id, (_, _, deadline) in pending.items()
-                    if deadline is not None and deadline <= now
+                    if deadline is not None
+                    and deadline <= now
+                    and (got is None or task_id != got[0])
                 ]
                 for task_id in expired:
                     index, submitted_at, _ = pending.pop(task_id)
@@ -233,6 +242,7 @@ class BatchScheduler:
                     )
                     if on_result is not None:
                         on_result(tasks[index], results[index], len(pending))
+            if got is None:
                 continue
             task_id, value = got
             if task_id not in pending:  # pragma: no cover - defensive

@@ -119,17 +119,35 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def path_for(self, key: str) -> Path:
         """Where ``key``'s entry lives (existing or not)."""
         return self.root / key[:2] / f"{key}.pkl"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry to ``corrupt/`` so it is never re-read.
+
+        Quarantining instead of deleting keeps the evidence for
+        post-mortems (``repro store verify`` reports the tally) while
+        taking the entry out of every future probe — a corrupt file
+        used to be re-read, and re-failed, on every single lookup.
+        """
+        graveyard = self.root / "corrupt"
+        try:
+            graveyard.mkdir(exist_ok=True)
+            os.replace(path, graveyard / path.name)
+        except OSError:  # pragma: no cover - concurrent quarantine
+            pass
+        self.corrupt += 1
 
     def get(self, key: str) -> Any | None:
         """The stored result for ``key``, or None (counted as a miss).
 
         A missing, truncated, corrupt or wrong-key entry is a miss —
         the caller re-solves and overwrites; the store never turns a
-        bad byte into a bad allocation.
+        bad byte into a bad allocation.  A corrupt entry is moved to
+        the ``corrupt/`` subdirectory on first detection.
         """
         path = self.path_for(key)
         try:
@@ -138,11 +156,44 @@ class ResultStore:
             if payload.get("key") != key:
                 raise ValueError("key mismatch")
             result = payload["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except Exception:
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def verify(self) -> dict[str, int]:
+        """Audit every entry; quarantine the corrupt, report the tally.
+
+        Returns ``{"entries", "ok", "corrupt"}`` — entries is the count
+        *before* quarantine, so ``entries == ok + corrupt``.  The
+        lifetime :attr:`hits`/:attr:`misses` counters are untouched
+        (an audit is not a lookup).
+        """
+        entries = ok = corrupt = 0
+        for path in list(self.root.glob("??/*.pkl")):
+            entries += 1
+            key = path.stem
+            try:
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+                if payload.get("key") != key:
+                    raise ValueError("key mismatch")
+                if payload.get("version") != STORE_VERSION:
+                    raise ValueError("version mismatch")
+                payload["result"]
+            except FileNotFoundError:  # pragma: no cover - concurrent clear
+                entries -= 1
+            except Exception:
+                self._quarantine(path)
+                corrupt += 1
+            else:
+                ok += 1
+        return {"entries": entries, "ok": ok, "corrupt": corrupt}
 
     def put(self, key: str, result: Any) -> None:
         """Persist ``result`` under ``key`` atomically.

@@ -29,6 +29,7 @@ __all__ = [
     "SCENARIOS",
     "ChaosDistributedSolver",
     "ChaosReport",
+    "ChurnReport",
     "CrashSpec",
     "FaultEvent",
     "FaultInjector",
@@ -39,6 +40,7 @@ __all__ = [
     "RetransmitPolicy",
     "available_scenarios",
     "run_chaos",
+    "run_worker_churn",
     "scenario_spec",
 ]
 
@@ -46,7 +48,9 @@ _LAZY = {
     "FaultyNetwork": ("repro.faults.network", "FaultyNetwork"),
     "ChaosDistributedSolver": ("repro.faults.solver", "ChaosDistributedSolver"),
     "ChaosReport": ("repro.faults.chaos", "ChaosReport"),
+    "ChurnReport": ("repro.faults.churn", "ChurnReport"),
     "run_chaos": ("repro.faults.chaos", "run_chaos"),
+    "run_worker_churn": ("repro.faults.churn", "run_worker_churn"),
 }
 
 

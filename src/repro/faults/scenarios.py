@@ -62,6 +62,19 @@ SCENARIOS: dict[str, Mapping[str, Any]] = {
         "crashes": [{"agent": "dc1", "round": 12, "revive_round": 20}],
         "partitions": [{"start": 30, "stop": 36, "isolate": ["fe0"]}],
     },
+    # Process-level chaos: SIGKILL-equivalent worker deaths in the
+    # execution fleet, not message faults in the algorithm.  The
+    # ``kind`` marker routes it to
+    # :func:`~repro.faults.churn.run_worker_churn` (a fleet of socket
+    # workers under supervision) instead of FaultPlan.
+    "worker-churn": {
+        "name": "worker-churn",
+        "kind": "worker-churn",
+        "seed": 0,
+        "workers": 2,
+        "kills": 1,
+        "respawn": True,
+    },
 }
 
 

@@ -22,6 +22,7 @@ from repro.obs.ledger import (
     LedgerRun,
     RunLedger,
     diff_runs,
+    interrupt_guard,
     ledger_path,
     list_runs,
     load_run,
@@ -92,6 +93,7 @@ __all__ = [
     "RunLedger",
     "LedgerRun",
     "new_run_id",
+    "interrupt_guard",
     "ledger_path",
     "list_runs",
     "load_run",

@@ -76,6 +76,11 @@ class HorizonSummary:
             scheduled).
         store_hits / store_misses: result-store probe counters for
             this run (both 0 when no store was attached).
+        fleet: the fleet supervisor's tally for this run —
+            ``resubmissions``, ``hedges_launched`` / ``hedges_won`` /
+            ``hedges_lost``, ``workers_lost`` / ``workers_revived`` /
+            ``workers_quarantined`` — or None when the run was not
+            supervised.
         worker_busy_s: summed per-slot busy seconds (solve + compile +
             certify) keyed by worker pid — the per-worker utilization
             view ``repro top`` renders and remote merges are checked
@@ -115,6 +120,7 @@ class HorizonSummary:
     max_pending_observed: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    fleet: dict[str, int] | None = None
     worker_busy_s: dict[str, float] = field(default_factory=dict)
     slot_p50_s: float = 0.0
     slot_p99_s: float = 0.0
@@ -136,6 +142,7 @@ class HorizonSummary:
         max_pending_observed: int = 0,
         store_hits: int = 0,
         store_misses: int = 0,
+        fleet: dict[str, int] | None = None,
     ) -> "HorizonSummary":
         """Aggregate outcome-like objects (``.ok``, ``.telemetry``)."""
         outcomes = list(outcomes)
@@ -219,6 +226,7 @@ class HorizonSummary:
             max_pending_observed=max_pending_observed,
             store_hits=store_hits,
             store_misses=store_misses,
+            fleet=fleet,
             worker_busy_s={k: worker_busy[k] for k in sorted(worker_busy)},
             slot_p50_s=_percentile(walls, 0.50),
             slot_p99_s=_percentile(walls, 0.99),
@@ -308,6 +316,8 @@ class HorizonSummary:
                     "store_misses": self.store_misses,
                 }
             )
+        if self.fleet is not None:
+            out["fleet"] = dict(self.fleet)
         out["slot_p50_s"] = round(self.slot_p50_s, 6)
         out["slot_p99_s"] = round(self.slot_p99_s, 6)
         if self.worker_busy_s:
@@ -378,6 +388,20 @@ class HorizonSummary:
                 f"{self.fallbacks_total} fallbacks, "
                 f"{len(self.degraded_slots)} degraded slots"
                 + (f" ({shown})" if shown else "")
+            )
+        if self.fleet is not None:
+            fleet = self.fleet
+            hedges = (
+                f"{fleet.get('hedges_launched', 0)} hedges "
+                f"({fleet.get('hedges_won', 0)} won, "
+                f"{fleet.get('hedges_lost', 0)} lost)"
+            )
+            lines.append(
+                f"  fleet          : {fleet.get('resubmissions', 0)} "
+                f"resubmissions, {hedges}, workers "
+                f"-{fleet.get('workers_lost', 0)}"
+                f"/+{fleet.get('workers_revived', 0)} "
+                f"({fleet.get('workers_quarantined', 0)} quarantined)"
             )
         rate = self.store_hit_rate
         if rate is not None:

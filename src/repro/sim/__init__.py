@@ -13,9 +13,11 @@ from repro.sim.metrics import (
     iteration_cdf,
 )
 from repro.sim.results import SimulationResult, StrategyComparison
+from repro.sim.resume import ResumeReport, resume_run
 from repro.sim.simulator import Simulator, build_model
 
 __all__ = [
+    "ResumeReport",
     "SimulationResult",
     "Simulator",
     "StrategyComparison",
@@ -23,4 +25,5 @@ __all__ = [
     "build_model",
     "improvement_series",
     "iteration_cdf",
+    "resume_run",
 ]

@@ -24,7 +24,7 @@ from repro.engine.horizon import HorizonEngine, SlotOutcome
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import create_solver
 from repro.exec import ExecutionClient, ResultStore
-from repro.obs import Telemetry
+from repro.obs import RunLedger, Telemetry
 from repro.sim.results import SimulationResult, StrategyComparison
 from repro.traces.datasets import TraceBundle
 
@@ -115,6 +115,11 @@ class Simulator:
         worker_profile: when > 0, profile each slot's solve in the
             worker and ship the top-N cProfile hotspot rows back on
             the outcome's :class:`~repro.obs.WorkerReport`.
+        supervision: fleet supervision policy (a
+            :class:`~repro.exec.SupervisorConfig`, or True for the
+            defaults); lost or straggling slots are resubmitted/hedged
+            to surviving workers instead of failing the run.  Only
+            takes effect with an asynchronous client.
     """
 
     def __init__(
@@ -134,6 +139,7 @@ class Simulator:
         tracer: object | None = None,
         ledger: object | None = None,
         worker_profile: int = 0,
+        supervision: object | None = None,
     ) -> None:
         if model.num_datacenters != bundle.num_datacenters:
             raise ValueError(
@@ -166,6 +172,7 @@ class Simulator:
         self.tracer = tracer
         self.ledger = ledger
         self.worker_profile = int(worker_profile)
+        self.supervision = supervision
 
     def problem_for_slot(self, t: int, strategy: Strategy) -> UFCProblem:
         """The slot-``t`` UFC problem under ``strategy``."""
@@ -183,6 +190,51 @@ class Simulator:
     def _horizon(self, hours: int | None) -> int:
         return self.bundle.hours if hours is None else min(hours, self.bundle.hours)
 
+    def _recipe(
+        self, strategies: Sequence[Strategy], horizon: int
+    ) -> dict[str, object]:
+        """The run-recipe context stamped into the ledger header.
+
+        These are the coordinates ``repro resume`` needs to rebuild an
+        interrupted run's exact problem set: the bundle generator's
+        inputs, the strategy block order, and the solver/store wiring.
+        Non-registry solvers and pre-built clients record their display
+        name — such runs are reproducible only by the code that built
+        them, and resume refuses them with a clear error.
+        """
+        store = self.store
+        if store is not None and not isinstance(store, str):
+            store = str(getattr(store, "root", store))
+        client = self.client
+        if client is not None and not isinstance(client, str):
+            client = getattr(client, "name", type(client).__name__)
+        return {
+            "kind": "simulate" if len(strategies) == 1 else "compare",
+            "hours": horizon,
+            "seed": self.bundle.seed,
+            "strategies": [s.name for s in strategies],
+            "solver": self.solver.name,
+            "workers": self.workers,
+            "client": client,
+            "max_pending": self.max_pending,
+            "store": store,
+            "certify": bool(self.certify),
+            "supervised": self.supervision is not None,
+        }
+
+    def _run_ledger(
+        self, strategies: Sequence[Strategy], horizon: int
+    ) -> RunLedger | None:
+        """Materialize this run's ledger, stamping the resume recipe.
+
+        A pre-built :class:`~repro.obs.RunLedger` is used as-is (its
+        own context wins); a directory path gets a fresh per-run ledger
+        carrying the recipe.
+        """
+        if self.ledger is None or isinstance(self.ledger, RunLedger):
+            return self.ledger
+        return RunLedger(self.ledger, context=self._recipe(strategies, horizon))
+
     def _engine(
         self, workers: int | None, telemetry: Telemetry | None = None
     ) -> HorizonEngine:
@@ -199,6 +251,7 @@ class Simulator:
             tracer=self.tracer,
             ledger=self.ledger,
             worker_profile=self.worker_profile,
+            supervision=self.supervision,
         )
 
     def _collect(
@@ -276,6 +329,7 @@ class Simulator:
         horizon = self._horizon(hours)
         problems = [self.problem_for_slot(t, strategy) for t in range(horizon)]
         engine = self._engine(workers, telemetry)
+        engine.ledger = self._run_ledger((strategy,), horizon)
         outcomes = engine.run(problems, warm_start=self.warm_start)
         result = self._collect(strategy, problems, outcomes)
         result.horizon_summary = engine.last_summary
@@ -310,6 +364,7 @@ class Simulator:
             for t in range(horizon)
         ]
         engine = self._engine(workers, telemetry)
+        engine.ledger = self._run_ledger(strategies, horizon)
         outcomes = engine.run(problems)
         results = {}
         for k, strategy in enumerate(strategies):

@@ -141,6 +141,20 @@ def render_top(
         f"outcomes   | failed {failed}, retries {retries}, "
         f"fallbacks {fallbacks}, degraded {degraded}, store hits {store_hits}"
     )
+    lineages = [s["lineage"] for s in slots if s.get("lineage")]
+    fleet = run.summary.get("fleet") if run.summary else None
+    if lineages or fleet:
+        resub = sum(max(0, int(li.get("attempts", 1)) - 1) for li in lineages)
+        hedged = sum(1 for li in lineages if li.get("hedged"))
+        hedge_won = sum(1 for li in lineages if li.get("hedge_won"))
+        fleet = fleet or {}
+        lines.append(
+            f"fleet      | resubmissions {fleet.get('resubmissions', resub)}, "
+            f"hedges {fleet.get('hedges_launched', hedged)} "
+            f"({fleet.get('hedges_won', hedge_won)} won), workers "
+            f"-{fleet.get('workers_lost', 0)}/+{fleet.get('workers_revived', 0)} "
+            f"({fleet.get('workers_quarantined', 0)} quarantined)"
+        )
     if run.finalized and upto is None and run.summary is not None:
         wall = run.summary.get("wall_s")
         if wall is not None:

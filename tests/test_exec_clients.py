@@ -406,6 +406,84 @@ class TestEngineThroughClients:
         assert "harvest budget" not in (outcomes[0].error_message or "")
 
 
+def _identity(x):
+    return x
+
+
+class _WedgeableClient:
+    """Asynchronous fake where one task wedges forever and the rest
+    complete at the next harvest pass.  Tracks the maximum number of
+    *live* (non-wedged) tasks in flight — the survivor concurrency."""
+
+    name = "wedgeable"
+    asynchronous = True
+    workers = 2
+
+    def __init__(self):
+        self._next_id = 0
+        self._ready: dict[int, object] = {}
+        self._wedged: set[int] = set()
+        self.discards: list[int] = []
+        self.max_live = 0
+
+    def submit(self, fn, /, *args):
+        task_id = self._next_id
+        self._next_id += 1
+        if args[0] == "wedge":
+            self._wedged.add(task_id)
+        else:
+            self._ready[task_id] = fn(*args)
+            self.max_live = max(self.max_live, len(self._ready))
+        return task_id
+
+    def wait_next(self, timeout_s=None):
+        # Results take a beat to come back — long enough that the
+        # wedged task's budget has expired by the first harvest.
+        time.sleep(0.05)
+        if self._ready:
+            task_id = next(iter(self._ready))
+            return task_id, self._ready.pop(task_id)
+        return None
+
+    def discard(self, task_id):
+        self.discards.append(task_id)
+        self._wedged.discard(task_id)
+        self._ready.pop(task_id, None)
+
+    def num_pending(self):
+        return len(self._ready) + len(self._wedged)
+
+    def close(self):
+        self._ready.clear()
+        self._wedged.clear()
+
+
+class TestPoisonedWindowRegression:
+    def test_wedged_task_releases_its_window_slot_mid_stream(self):
+        # Regression: a wedged task past its harvest budget used to
+        # keep its in-flight window slot for as long as other tasks
+        # kept delivering results (expiry only ran when the wait
+        # itself timed out), silently halving survivor concurrency
+        # with max_pending=2.  It must be expired on *every* harvest
+        # pass, so the window refills with live work.
+        client = _WedgeableClient()
+        scheduler = BatchScheduler(client, max_pending=2)
+        tasks = [("wedge",), ("a",), ("b",), ("c",), ("d",)]
+        results = scheduler.map(
+            _identity,
+            tasks,
+            budget_s=lambda task: 0.02 if task[0] == "wedge" else None,
+            on_timeout=lambda task: "timed-out",
+        )
+        assert results == ["timed-out", "a", "b", "c", "d"]
+        assert scheduler.timed_out_batches == 1
+        # The wedged task was discarded on the client, exactly once.
+        assert client.discards == [0]
+        # Survivor throughput: once the wedge expired, the window held
+        # two live tasks at once — the whole point of the fix.
+        assert client.max_live == 2
+
+
 class TestParallelMapMigration:
     def test_exec_parallel_map_parity(self):
         items = list(range(7))

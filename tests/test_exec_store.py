@@ -191,3 +191,62 @@ class TestEngineWarmRuns:
         assert all(
             o.certificate is not None and o.certificate.ok for o in outcomes
         )
+
+
+class TestQuarantineAndVerify:
+    def test_corrupt_entry_is_quarantined_on_first_read(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "1" * 62
+        store.put(key, {"ufc": -2.0})
+        store.path_for(key).write_bytes(b"\x80rotten")
+        assert store.get(key) is None
+        assert store.corrupt == 1
+        # Moved aside, so the next probe is a plain (cheap) miss...
+        assert not store.path_for(key).exists()
+        assert (tmp_path / "corrupt" / f"{key}.pkl").exists()
+        assert store.get(key) is None
+        assert store.corrupt == 1  # not re-counted
+        # ...and the key is writable again.
+        store.put(key, {"ufc": -2.0})
+        assert store.get(key) == {"ufc": -2.0}
+
+    def test_verify_tallies_and_quarantines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [f"{i:02d}" + "0" * 62 for i in range(4)]
+        for key in keys:
+            store.put(key, key)
+        store.path_for(keys[0]).write_bytes(b"\x80rotten")
+        hits_before, misses_before = store.hits, store.misses
+        tally = store.verify()
+        assert tally == {"entries": 4, "ok": 3, "corrupt": 1}
+        # An audit is not a lookup: the lifetime counters are untouched.
+        assert (store.hits, store.misses) == (hits_before, misses_before)
+        # The corrupt entry is gone from the rotation...
+        assert (tmp_path / "corrupt" / f"{keys[0]}.pkl").exists()
+        # ...so a re-audit is clean.
+        assert store.verify() == {"entries": 3, "ok": 3, "corrupt": 0}
+
+    def test_cli_store_verify(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ResultStore(tmp_path)
+        keys = [f"{i:02d}" + "0" * 62 for i in range(3)]
+        for key in keys:
+            store.put(key, key)
+        assert main(["store", "verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "corrupt" in out
+
+        store.path_for(keys[1]).write_bytes(b"\x80rotten")
+        assert main(["store", "verify", str(tmp_path)]) == 1
+
+    def test_cli_store_verify_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        ResultStore(tmp_path).put("cd" + "2" * 62, 1)
+        assert main(["store", "verify", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["corrupt"] == 0

@@ -366,3 +366,94 @@ class TestLedgerCli:
     def test_top_unknown_run_exits_2(self, tmp_path, capsys):
         assert main(["top", "nope", "--ledger-dir", str(tmp_path)]) == 2
         assert "no run ledger" in capsys.readouterr().err
+
+
+class TestInterruptGuard:
+    def test_guard_restores_handlers_and_chains(self, tmp_path):
+        import signal
+
+        from repro.obs import interrupt_guard
+
+        chained = []
+        previous = signal.signal(
+            signal.SIGTERM, lambda signum, frame: chained.append(signum)
+        )
+        try:
+            ledger = RunLedger(tmp_path, run_id="guarded-000001")
+            ledger.write_header(solver="centralized")
+            with interrupt_guard(ledger):
+                installed = signal.getsignal(signal.SIGTERM)
+                assert installed is not previous
+                # A signal mid-run abandons the ledger (flushed .part
+                # left behind) and chains to the previous handler.
+                installed(signal.SIGTERM, None)
+            assert chained == [signal.SIGTERM]
+            # The handler was restored on exit.
+            assert signal.getsignal(signal.SIGTERM) is not installed
+            # The abandoned .part is a loadable, resumable prefix.
+            run = load_run(ledger.part_path)
+            assert not run.finalized
+            assert run.run_id == "guarded-000001"
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def test_guard_is_transparent_on_clean_exit(self, tmp_path):
+        from repro.obs import interrupt_guard
+
+        ledger = RunLedger(tmp_path, run_id="clean-000001")
+        ledger.write_header(solver="centralized")
+        with interrupt_guard(ledger):
+            ledger.record_slot(_fake_outcome(0))
+        path = ledger.finalize({"slots": 1})
+        assert load_run(path).finalized
+
+
+class TestLedgerLineage:
+    def test_context_and_lineage_round_trip(self, tmp_path):
+        ledger = RunLedger(
+            tmp_path,
+            run_id="lineage-000001",
+            context={"hours": 6, "seed": 2014},
+        )
+        ledger.write_header(solver="centralized")
+        clean = _fake_outcome(0)
+        retried = _fake_outcome(1)
+        retried.lineage = {
+            "attempts": 2,
+            "workers": ["w1", "w0"],
+            "faults": ["WorkerLostError"],
+            "hedged": False,
+            "hedge_won": None,
+            "outcome": "ok",
+        }
+        ledger.record_slot(clean)
+        ledger.record_slot(retried)
+        run = load_run(ledger.finalize({"slots": 2}))
+        assert run.header["context"] == {"hours": 6, "seed": 2014}
+        assert "lineage" not in run.slots[0]
+        assert run.slots[1]["lineage"]["attempts"] == 2
+
+    def test_runs_show_renders_retry_lineage(self, tmp_path, capsys):
+        ledger = RunLedger(tmp_path, run_id="lineage-000002")
+        ledger.write_header(solver="centralized")
+        retried = _fake_outcome(3)
+        retried.lineage = {
+            "attempts": 2,
+            "workers": ["w1", "w0"],
+            "faults": ["WorkerLostError"],
+            "hedged": True,
+            "hedge_won": True,
+            "outcome": "ok",
+        }
+        ledger.record_slot(_fake_outcome(0))
+        ledger.record_slot(retried)
+        ledger.finalize({"slots": 2})
+        assert (
+            main(["runs", "show", "lineage-000002", "--ledger-dir", str(tmp_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "retry lineage" in out
+        assert "w1->w0" in out
+        assert "hedge won" in out
+        assert "WorkerLostError" in out
