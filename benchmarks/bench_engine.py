@@ -449,6 +449,10 @@ def run_bench(
         "centralized", workers=workers
     ).plan_workers(len(problems))
     batched = _batched_lane(problems, repeats)
+    # The warm lane with warm_start off must be a pure rename of the
+    # centralized path: the cold rung IS solve_qp, so every slot's
+    # allocation, UFC and iteration count are bit-identical.
+    warm_off = HorizonEngine("centralized-warm").run(problems)
     return {
         "hours": hours,
         "seed": seed,
@@ -477,6 +481,7 @@ def run_bench(
         "bit_identical": {
             "cached_vs_cold": _bit_identical(cold, cached),
             "parallel_vs_serial": _bit_identical(cached, pooled),
+            "warm_off_vs_serial": _bit_identical(cached, warm_off),
         },
         "certification": _certification_overhead(problems, repeats),
         "resilience": _resilience_overhead(problems, repeats),
@@ -496,6 +501,7 @@ def test_engine_modes_agree(run_once, bench_workers):
     print("\n" + json.dumps(summary, indent=2))
     assert summary["bit_identical"]["cached_vs_cold"]
     assert summary["bit_identical"]["parallel_vs_serial"]
+    assert summary["bit_identical"]["warm_off_vs_serial"]
     breakdown = summary["phase_breakdown"]["serial_cached"]
     # The profile must explain where the time goes: compile + solve
     # account for (almost) the whole serial wall clock.

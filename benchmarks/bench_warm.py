@@ -1,0 +1,93 @@
+"""Warm-start lane benchmarks: the temporal re-solve plane.
+
+Thin driver over :mod:`repro.experiments.warmbench` — the same lanes
+``python -m repro bench --warm`` runs:
+
+- the 168-slot three-strategy week solved cold (``centralized``,
+  serial cached) vs the warm chain (``centralized-warm`` with
+  ``warm_start=True``), gating wall-clock speedup, mean
+  interior-point iteration reduction, relative UFC parity and a fully
+  certified warm run;
+- the incumbent early-exit under tiny input perturbations;
+- the structured 20x100 lane in the perturbation re-solve regime
+  (warm iterates + per-iteration factor cache: builds avoided and
+  trajectory-matched reuses are both counted);
+- the ADM-G warm chain's outer-iteration reduction.
+
+Run standalone to write the JSON summary::
+
+    PYTHONPATH=src python benchmarks/bench_warm.py --out BENCH_warm.json
+
+or through pytest with the rest of the ``bench_*`` modules (a
+shortened horizon keeps the suite's runtime sane; the gates are the
+same ones CI smokes through ``repro bench --warm --quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.warmbench import render_report, run_warm_bench
+
+
+def test_warm_lane(run_once):
+    """Pytest entry: shortened horizon, same gates as the CI smoke."""
+    payload = run_once(
+        run_warm_bench,
+        hours=24,
+        repeats=1,
+        incumbent_resolves=12,
+        structured_slots=4,
+        admg_hours=8,
+    )
+    print("\n" + render_report(payload))
+    week = payload["week"]
+    # The warm chain must beat cold serial-cached on wall clock, cut
+    # mean interior-point iterations by >= 30%, agree with the cold
+    # reference to certification-grade relative UFC accuracy, and
+    # certify every slot.
+    assert week["speedup_floor"] >= 1.5
+    assert week["iteration_reduction"] >= 0.30
+    assert week["max_ufc_rel_delta_vs_cold"] <= 1e-6
+    assert week["converged_all"]
+    assert week["certified_all"]
+    # The ladder must actually fire: warm mechanisms on all but the
+    # chain-start slots.
+    assert week["mechanisms"].get("cold", 0) <= 3
+    incumbent = payload["incumbent"]
+    assert incumbent["incumbent_reuse_rate"] > 0.5
+    assert incumbent["certified_all"]
+    structured = payload["structured"]
+    assert structured["per_slot_resolve_speedup"] > 1.0
+    assert structured["factor_builds_avoided"] > 0
+    assert structured["factors_reused"] > 0
+    assert structured["converged_all"]
+    assert structured["certified_all"]
+    assert payload["admg"]["iteration_reduction"] > 0.0
+    assert payload["passed"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=168)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON summary here (default: stdout only)")
+    args = parser.parse_args(argv)
+    payload = run_warm_bench(
+        hours=args.hours, seed=args.seed, repeats=args.repeats
+    )
+    print(render_report(payload))
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

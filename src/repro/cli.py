@@ -355,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
         "12 with --quick)",
     )
     bench.add_argument(
+        "--warm",
+        action="store_true",
+        help="benchmark the warm-start lane instead: cold serial "
+        "cached vs the centralized-warm chain on the week, the "
+        "incumbent early-exit, the structured 20x100 factor-cache "
+        "re-solve regime, and the ADM-G warm chain (exit 1 unless "
+        "every gate passes; with --quick: 24 hours, 1 round)",
+    )
+    bench.add_argument(
         "--warm-floor",
         type=float,
         default=None,
@@ -1036,6 +1045,26 @@ def _bench_scale(args) -> int:
     return 0 if payload["passed"] else 1
 
 
+def _bench_warm(args) -> int:
+    """The ``bench --warm`` flavor: temporal warm-start lanes."""
+    import json
+
+    from repro.experiments.warmbench import render_report, run_warm_bench
+
+    hours = 24 if (args.quick and args.hours == 168) else args.hours
+    repeats = 1 if args.quick else max(1, args.rounds)
+    floor = args.floor if args.floor is not None else 1.5
+    payload = run_warm_bench(
+        hours=hours, seed=args.seed, repeats=repeats, floor=floor
+    )
+    print(render_report(payload))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if payload["passed"] else 1
+
+
 def _cmd_bench(args) -> int:
     import json
     import time
@@ -1043,6 +1072,8 @@ def _cmd_bench(args) -> int:
     from repro.core.strategies import ALL_STRATEGIES
     from repro.engine import HorizonEngine
 
+    if args.warm:
+        return _bench_warm(args)
     if args.scale:
         return _bench_scale(args)
     if args.client:

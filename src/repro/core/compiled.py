@@ -145,6 +145,12 @@ class CompiledQPStructure:
         if self.include_mu:
             q_base[self.mu_offset : self.mu_offset + n] += model.fuel_cell_price
         self._q_template = q_base
+        # Slot-invariant utility state (e.g. the latency outer products
+        # of Eq. (2)) hoisted once; per-slot emission touches only the
+        # arrival-dependent terms.
+        self._utility_eval = model.utility.neg_quad_form_compiled(
+            model.latency_ms, self.weight
+        )
 
     # -- per-slot emission -----------------------------------------------------
 
@@ -231,13 +237,14 @@ class CompiledQPStructure:
 
         p_mat = np.zeros((dim, dim))
         q_vec = self._q_template.copy()
+        # The cached evaluator is bit-identical to the scalar
+        # ``neg_quad_form`` per front-end (the batch form is asserted
+        # elementwise equal in the test suite).
+        h_blocks, g_blocks = self._utility_eval(arrivals[None])
         for i in range(m):
-            h_i, g_i = model.utility.neg_quad_form(
-                model.latency_ms[i], arrivals[i], self.weight
-            )
             sl = slice(i * n, (i + 1) * n)
-            p_mat[sl, sl] += h_i
-            q_vec[sl] += g_i
+            p_mat[sl, sl] += h_blocks[0, i]
+            q_vec[sl] += g_blocks[0, i]
         if self.include_nu:
             for j in range(n):
                 q_vec[self.nu_offset + j] += inputs.prices[j]
@@ -303,9 +310,7 @@ class CompiledQPStructure:
         arrivals = np.stack([inp.arrivals for inp in inputs_list]) / self.scale
         p_stack = np.zeros((batch, dim, dim))
         q_stack = np.tile(self._q_template, (batch, 1))
-        h_blocks, g_blocks = model.utility.neg_quad_form_batch(
-            model.latency_ms, arrivals, self.weight
-        )
+        h_blocks, g_blocks = self._utility_eval(arrivals)
         for i in range(m):
             sl = slice(i * n, (i + 1) * n)
             p_stack[:, sl, sl] += h_blocks[:, i]

@@ -92,6 +92,77 @@ class LatencyUtility(ABC):
                 )
         return h, g
 
+    def neg_quad_form_compiled(self, latency_ms: np.ndarray, weight: float):
+        """A slot-invariant evaluator for this utility's QP blocks.
+
+        The returned callable maps a (T, M) arrival stack to the same
+        ``(H, g)`` pair as :meth:`neg_quad_form_batch` on identical
+        inputs — everything that depends only on the latency matrix
+        and the weight is hoisted into the evaluator, so per-slot work
+        touches only the arrival-dependent terms.  Evaluators are
+        plain picklable objects (compiled QP structures ship to worker
+        processes).  This default defers to :meth:`neg_quad_form_batch`;
+        the closed-form utilities override it with genuinely cached
+        state.
+        """
+        return _BatchFormEvaluator(self, latency_ms, weight)
+
+
+class _BatchFormEvaluator:
+    """Fallback compiled evaluator: defers to ``neg_quad_form_batch``."""
+
+    def __init__(
+        self, utility: "LatencyUtility", latency_ms: np.ndarray, weight: float
+    ) -> None:
+        self.utility = utility
+        self.latency_ms = np.asarray(latency_ms, dtype=float)
+        self.weight = weight
+
+    def __call__(self, arrivals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.utility.neg_quad_form_batch(
+            self.latency_ms, arrivals, self.weight
+        )
+
+
+class _QuadraticFormEvaluator:
+    """Cached Eq. (2) blocks: the latency outer products are hoisted.
+
+    Per-slot work is one masked divide plus the coefficient broadcast —
+    bit-identical to :meth:`QuadraticLatencyUtility.neg_quad_form_batch`
+    because the hoisted ``outer`` holds exactly the floats that method
+    recomputes every call.
+    """
+
+    def __init__(self, latency_ms: np.ndarray, weight: float) -> None:
+        l_s = np.asarray(latency_ms, dtype=float) * _SECONDS_PER_MS
+        self.outer = l_s[:, :, None] * l_s[:, None, :]
+        self.n = l_s.shape[1]
+        self.weight = weight
+
+    def __call__(self, arrivals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        arrivals = np.asarray(arrivals, dtype=float)
+        positive = arrivals > 0
+        coeff = np.zeros_like(arrivals)
+        np.divide(2.0 * self.weight, arrivals, out=coeff, where=positive)
+        h = coeff[:, :, None, None] * self.outer[None, :, :, :]
+        g = np.zeros((*arrivals.shape, self.n))
+        return h, g
+
+
+class _LinearFormEvaluator:
+    """Cached linear blocks: the ``g`` row template is hoisted."""
+
+    def __init__(self, latency_ms: np.ndarray, weight: float) -> None:
+        latency_ms = np.asarray(latency_ms, dtype=float)
+        self.g_row = weight * (latency_ms * _SECONDS_PER_MS)
+
+    def __call__(self, arrivals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        arrivals = np.asarray(arrivals, dtype=float)
+        batch, m = arrivals.shape
+        n = self.g_row.shape[1]
+        g = np.broadcast_to(self.g_row, (batch, m, n)).copy()
+        return np.zeros((batch, m, n, n)), g
+
 
 class QuadraticLatencyUtility(LatencyUtility):
     """Paper Eq. (2): ``U = -A_i (avg latency in s)^2``.
@@ -133,6 +204,10 @@ class QuadraticLatencyUtility(LatencyUtility):
         g = np.zeros((*arrivals.shape, l_s.shape[1]))
         return h, g
 
+    def neg_quad_form_compiled(self, latency_ms: np.ndarray, weight: float):
+        """Evaluator with the latency outer products precomputed."""
+        return _QuadraticFormEvaluator(latency_ms, weight)
+
 
 class LinearLatencyUtility(LatencyUtility):
     """Linear utility ``U = -A_i * (avg latency in s) = -(sum lambda L) in s``.
@@ -163,3 +238,7 @@ class LinearLatencyUtility(LatencyUtility):
             weight * (latency_ms * _SECONDS_PER_MS), (batch, m, n)
         ).copy()
         return np.zeros((batch, m, n, n)), g
+
+    def neg_quad_form_compiled(self, latency_ms: np.ndarray, weight: float):
+        """Evaluator with the linear ``g`` template precomputed."""
+        return _LinearFormEvaluator(latency_ms, weight)

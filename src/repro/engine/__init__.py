@@ -19,9 +19,10 @@ from repro.engine.adapters import (
 from repro.engine.batch import CentralizedBatchSlotSolver
 from repro.engine.horizon import CompileCache, HorizonEngine, SlotOutcome
 
-# Re-exported from their new home in the execution layer; the
-# `repro.engine.horizon.parallel_map` shim still exists but warns.
+# Re-exported from their home in the execution layer (the old
+# `repro.engine.horizon.parallel_map` shim is now a hard error).
 from repro.exec import parallel_map, usable_cpu_count
+from repro.engine.warm import CentralizedWarmSlotSolver, WarmPayload
 from repro.engine.protocol import SlotResult, SlotSolver
 from repro.engine.registry import available_solvers, create_solver, register_solver
 
@@ -35,9 +36,11 @@ __all__ = [
     "usable_cpu_count",
     "CentralizedBatchSlotSolver",
     "CentralizedSlotSolver",
+    "CentralizedWarmSlotSolver",
     "DistributedSlotSolver",
     "DualSubgradientSlotSolver",
     "HeuristicSlotSolver",
+    "WarmPayload",
     "available_solvers",
     "create_solver",
     "register_solver",

@@ -60,7 +60,6 @@ import platform
 import sys
 import time
 import traceback
-import warnings
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
@@ -387,6 +386,84 @@ def _solve_chunk(
         )
         for offset, problem in enumerate(chunk.problems)
     ]
+
+
+def _solve_chunk_warm(
+    solver: SlotSolver,
+    chunk: _Chunk,
+    structure_cache: bool,
+    certifier: Any | None,
+    warm: Any | None,
+) -> list[SlotOutcome]:
+    """Solve a warm-chained chunk shipped through an execution client.
+
+    Module-level so process and socket clients can pickle it.  The
+    previous slot's warm payload rides the task arguments and the new
+    payload rides back on ``SlotResult.warm``, so the chain's state
+    crosses worker boundaries with the task itself.  A slot failure is
+    captured per slot exactly as in the scalar path and ships no
+    payload, which cold-restarts the chain on the next submission.
+    """
+    cache = CompileCache(solver)
+    pid = os.getpid()
+    outcomes: list[SlotOutcome] = []
+    for offset, problem in enumerate(chunk.problems):
+        index = chunk.index(offset)
+        compiled = None
+        cache_hit: bool | None = None
+        compile_s = 0.0
+        had_warm = warm is not None
+        start = time.perf_counter()
+        try:
+            if structure_cache:
+                compiled, cache_hit, compile_s = cache.lookup(
+                    problem.model, problem.strategy
+                )
+            solve_start = time.perf_counter()
+            result = solver.solve(problem, compiled=compiled, warm=warm)
+            wall_s = time.perf_counter() - solve_start
+            warm = result.warm
+            certificate = (
+                _certify_result(certifier, problem, result, solver.name, index)
+                if certifier is not None
+                else None
+            )
+            outcomes.append(
+                SlotOutcome(
+                    index=index,
+                    result=result,
+                    certificate=certificate,
+                    telemetry=SlotTelemetry(
+                        solver=solver.name,
+                        wall_s=wall_s,
+                        compile_s=compile_s,
+                        iterations=result.iterations,
+                        converged=result.converged,
+                        cache_hit=cache_hit,
+                        worker=pid,
+                        warm_start=had_warm,
+                        certify_s=(
+                            certificate.certify_s
+                            if certificate is not None
+                            else 0.0
+                        ),
+                    ),
+                )
+            )
+        except Exception as exc:
+            warm = None
+            outcomes.append(
+                _failed_outcome(
+                    index,
+                    exc,
+                    solver.name,
+                    wall_s=time.perf_counter() - start,
+                    compile_s=compile_s,
+                    cache_hit=cache_hit,
+                    warm_start=had_warm,
+                )
+            )
+    return outcomes
 
 
 def _synth_slot_span(outcome: SlotOutcome, pid: int) -> dict[str, Any]:
@@ -1127,6 +1204,10 @@ class HorizonEngine:
             warm_start: chain each slot from the previous slot's warm
                 payload.  Requires a warm-start-capable solver and
                 ``workers=1`` (the chain is sequential by nature).
+                With an execution client attached the chain routes
+                through it at pipeline depth one: slot ``t + 1``'s
+                submission carries slot ``t``'s harvested payload, so
+                warm hints survive process and socket boundaries.
             batch: take the vectorized ``solve_batch`` lane.  None
                 (default) auto-enables it for batch-capable solvers
                 (see :meth:`_plan_batch`); True forces it (raising on
@@ -1157,12 +1238,6 @@ class HorizonEngine:
                 raise ValueError(
                     "warm-start chaining is sequential; use workers=1 "
                     "(the Fig. 11 iteration counts are cold-started anyway)"
-                )
-            if self.client is not None:
-                raise ValueError(
-                    "warm-start chaining is sequential by nature; it "
-                    "cannot route through an execution client — run "
-                    "with client=None"
                 )
             if self.store is not None:
                 raise ValueError(
@@ -1208,11 +1283,21 @@ class HorizonEngine:
                         slots_expected=len(problems),
                     )
                 if warm_start:
-                    outcomes = self._run_warm(problems)
-                    executor, decision = "serial-warm", "serial:warm-start"
+                    if self.client is not None:
+                        (
+                            outcomes,
+                            executor,
+                            decision,
+                            start_method,
+                            stats,
+                        ) = self._run_warm_client(problems)
+                    else:
+                        outcomes = self._run_warm(problems)
+                        executor, decision = "serial-warm", "serial:warm-start"
+                        start_method = None
+                        stats = _ExecStats()
                     effective = 1
-                    usable, start_method = usable_cpu_count(), None
-                    stats = _ExecStats()
+                    usable = usable_cpu_count()
                 else:
                     (
                         outcomes,
@@ -1466,6 +1551,24 @@ class HorizonEngine:
             if tele is not None:
                 solve_hist.observe(tele.wall_s)
                 iter_hist.observe(tele.iterations)
+                if tele.warm_start:
+                    reg.counter(
+                        "repro_warm_starts_total", solver=solver
+                    ).inc()
+            result = outcome.result
+            extras = result.extras if result is not None else None
+            if extras:
+                if extras.get("incumbent_reuse"):
+                    reg.counter(
+                        "repro_incumbent_reuse_total", solver=solver
+                    ).inc()
+                saved = extras.get("iterations_saved")
+                if saved is not None:
+                    reg.histogram(
+                        "repro_warm_iterations_saved",
+                        buckets=DEFAULT_ITERATION_BUCKETS,
+                        solver=solver,
+                    ).observe(saved)
             cert = outcome.certificate
             if cert is not None:
                 reg.histogram(
@@ -1548,6 +1651,77 @@ class HorizonEngine:
                 )
             self._absorb(outcomes[-1])
         return outcomes
+
+    def _run_warm_client(
+        self, problems: list[UFCProblem]
+    ) -> tuple[list[SlotOutcome], str, str, str | None, _ExecStats]:
+        """Warm-chain a horizon through the attached execution client.
+
+        Warm chaining is a sequential dependency, so the chain
+        pipelines at depth one: each single-slot chunk is submitted
+        only after the previous one is harvested, and the submission
+        carries the harvested :attr:`SlotResult.warm` payload as the
+        next slot's hint.  The solves themselves run wherever the
+        client puts them (pool worker, socket worker), which lets a
+        warm chain share a long-lived remote fleet with cold runs.  A
+        failed slot — including a lost worker — ships no payload, so
+        the next slot cold-restarts the chain exactly as the
+        in-process loop does.
+
+        Returns ``(outcomes, executor, decision, start_method, stats)``.
+        """
+        stats = _ExecStats()
+        spec = self.client
+        owns = False
+        if isinstance(spec, str):
+            client = create_client(
+                spec, workers=self.workers, oversubscribe=self.oversubscribe
+            )
+            owns = True
+        else:
+            client = spec
+        stats.client = client.name
+        outcomes: list[SlotOutcome] = []
+        warm = None
+        try:
+            for index, problem in enumerate(problems):
+                chunk = _Chunk(start=index, problems=[problem])
+                try:
+                    client.submit(
+                        _solve_chunk_warm,
+                        self.solver,
+                        chunk,
+                        self.structure_cache,
+                        self.certifier,
+                        warm,
+                    )
+                    got = None
+                    while got is None:
+                        got = client.wait_next(None)
+                    chunk_outcomes = got[1]
+                except WorkerLostError as exc:
+                    chunk_outcomes = _lost_chunk_outcomes(
+                        chunk, exc, self.solver.name
+                    )
+                outcome = chunk_outcomes[0]
+                warm = (
+                    outcome.result.warm
+                    if outcome.ok and outcome.result is not None
+                    else None
+                )
+                outcomes.append(outcome)
+                self._absorb(outcome)
+        finally:
+            if owns:
+                client.close()
+        name = client.name
+        return (
+            outcomes,
+            f"{name}-warm",
+            f"client:{name}:warm-chain",
+            getattr(client, "start_method", None),
+            stats,
+        )
 
     def _store_hit_outcome(
         self,
@@ -1849,26 +2023,18 @@ def parallel_map(
     telemetry: Telemetry | None = None,
     oversubscribe: bool = False,
 ) -> list[_R]:
-    """Deprecated alias for :func:`repro.exec.parallel_map`.
+    """Removed — the sweep map lives at :func:`repro.exec.parallel_map`.
 
-    The order-preserving sweep map lives in the execution layer now,
-    where it shares mp-context pinning, CPU clamping and pipelining
-    with the horizon engine's clients.  This shim forwards verbatim
-    and will be removed once the callers migrate.
+    The order-preserving sweep map moved to the execution layer, where
+    it shares mp-context pinning, CPU clamping and pipelining with the
+    horizon engine's clients.  This name forwarded with a
+    ``DeprecationWarning`` for one release; it is now a hard error so
+    stale imports fail loudly instead of silently diverging from the
+    exec-layer behavior.
     """
-    warnings.warn(
-        "repro.engine.horizon.parallel_map is deprecated; use "
+    del fn, items, workers, telemetry, oversubscribe
+    raise RuntimeError(
+        "repro.engine.horizon.parallel_map was removed; use "
         "repro.exec.parallel_map (same signature, plus client/"
-        "max_pending support)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.exec.pmap import parallel_map as _exec_parallel_map
-
-    return _exec_parallel_map(
-        fn,
-        items,
-        workers=workers,
-        telemetry=telemetry,
-        oversubscribe=oversubscribe,
+        "max_pending support)"
     )

@@ -1,0 +1,405 @@
+"""Warm-start lane benchmark: cross-slot re-solve vs cold per-slot.
+
+Measures the temporal warm-start plane end to end and gates the
+properties the lane promises:
+
+- **Week lane** — the default three-strategy week solved cold
+  (``centralized``, serial cached) against the warm chain
+  (``centralized-warm`` with ``warm_start=True``).  Gated: wall-clock
+  speedup at :data:`WEEK_SPEEDUP_FLOOR`, mean interior-point
+  iteration reduction at :data:`ITERATION_REDUCTION_FLOOR`, relative
+  UFC parity at :data:`UFC_PARITY_RTOL`, and a fully certified warm
+  run (every slot's a-posteriori KKT certificate passes).
+- **Incumbent lane** — repeated re-solves of one slot under tiny
+  input perturbations with the incumbent early-exit armed
+  (``incumbent_tol > 0``): most slots must be resolved by
+  re-certifying the incumbent allocation (zero solver iterations),
+  and every slot must still be certified.
+- **Structured lane** — the 20x100 hyperscale shape in the
+  perturbation re-solve regime: each slot is solved cold once, then
+  re-solved after a small input perturbation both cold and warm
+  (previous iterates plus the per-iteration factor cache).  Gated:
+  per-slot re-solve speedup above 1 and strictly fewer KKT factor
+  builds on the warm path.
+- **ADM-G lane** — the distributed solver chained warm across a day
+  (multiplier/allocation hand-off): mean outer-iteration reduction
+  must be positive.
+
+Parity is judged *relative* (``|ufc_w - ufc_c| / (1 + |ufc_c|)``):
+week UFC magnitudes sit near 1e3, so the 1e-6 relative bound is the
+certification-grade statement the absolute spread cannot express.
+
+Used by ``python -m repro bench --warm`` and
+``benchmarks/bench_warm.py`` (which writes ``BENCH_warm.json``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.core.problem import UFCProblem
+from repro.core.strategies import ALL_STRATEGIES, HYBRID
+from repro.engine import HorizonEngine, create_solver
+from repro.instances import ScaleSpec, generate_instance
+from repro.obs.certify import certify_structured_solution
+from repro.optim.kkt import (
+    StructuredQPCompiler,
+    StructuredWarmState,
+    solve_structured_qp,
+)
+from repro.sim.simulator import Simulator, build_model
+from repro.traces.datasets import default_bundle
+
+__all__ = ["run_warm_bench", "render_report"]
+
+#: Warm-chain wall-clock speedup the smoke gate demands over the cold
+#: serial cached path on the week lane (worst round).
+WEEK_SPEEDUP_FLOOR = 1.5
+
+#: Minimum fractional reduction in mean interior-point iterations the
+#: warm chain must deliver on the week lane.
+ITERATION_REDUCTION_FLOOR = 0.30
+
+#: Relative per-slot UFC disagreement tolerated between the warm chain
+#: and the cold reference.
+UFC_PARITY_RTOL = 1e-6
+
+#: Interior-point tolerance for the structured 20x100 lane (matches
+#: the scale benchmark's choice and rationale).
+STRUCTURED_TOL = 1e-8
+
+
+def _week_problems(hours: int, seed: int):
+    """The 3 x ``hours`` slot problems of the default comparison."""
+    bundle = default_bundle(hours=hours, seed=seed)
+    model = build_model(bundle)
+    sim = Simulator(model, bundle)
+    return [
+        sim.problem_for_slot(t, strategy)
+        for strategy in ALL_STRATEGIES
+        for t in range(hours)
+    ]
+
+
+def _timed_run(problems, solver, *, warm_start=False, **kwargs):
+    engine = HorizonEngine(create_solver(solver), workers=1, **kwargs)
+    start = time.perf_counter()
+    outcomes = engine.run(problems, warm_start=warm_start)
+    return time.perf_counter() - start, outcomes, engine.last_summary
+
+
+def _week_lane(problems, repeats: int) -> dict:
+    """Cold serial cached vs the in-process warm chain, order-balanced."""
+    reps = max(1, repeats)
+    cold_best = warm_best = None
+    cold_out = warm_out = warm_sum = None
+    round_speedups: list[float] = []
+    for _ in range(reps):
+        c1_s, out_c, _ = _timed_run(problems, "centralized")
+        w_s, out_w, summary = _timed_run(
+            problems, "centralized-warm", warm_start=True
+        )
+        c2_s, _, _ = _timed_run(problems, "centralized")
+        round_speedups.append((c1_s + c2_s) / 2.0 / w_s)
+        if cold_best is None or min(c1_s, c2_s) < cold_best:
+            cold_best, cold_out = min(c1_s, c2_s), out_c
+        if warm_best is None or w_s < warm_best:
+            warm_best, warm_out, warm_sum = w_s, out_w, summary
+
+    cold_iters = [o.result.iterations for o in cold_out]
+    warm_iters = [o.result.iterations for o in warm_out]
+    mean_cold = float(np.mean(cold_iters))
+    mean_warm = float(np.mean(warm_iters))
+    max_rel_ufc = max(
+        abs(w.result.ufc - c.result.ufc) / (1.0 + abs(c.result.ufc))
+        for w, c in zip(warm_out, cold_out)
+    )
+    mechanisms: dict[str, int] = {}
+    for o in warm_out:
+        mech = o.result.extras.get("warm_mechanism", "cold")
+        mechanisms[mech] = mechanisms.get(mech, 0) + 1
+
+    certified = HorizonEngine(
+        create_solver("centralized-warm"), workers=1, certify=True
+    ).run(problems, warm_start=True)
+    return {
+        "repeats": reps,
+        "slots": len(problems),
+        "cold_serial_cached_s": round(cold_best, 4),
+        "warm_chain_s": round(warm_best, 4),
+        "warm_speedup_vs_cold": round(cold_best / warm_best, 4),
+        "round_speedups": [round(s, 4) for s in round_speedups],
+        "speedup_floor": round(min(round_speedups), 4),
+        "mean_iterations_cold": round(mean_cold, 3),
+        "mean_iterations_warm": round(mean_warm, 3),
+        "iteration_reduction": round(1.0 - mean_warm / mean_cold, 4),
+        "warm_started_slots": warm_sum.warm_started_slots,
+        "warm_iterations_saved": warm_sum.warm_iterations_saved,
+        "mechanisms": mechanisms,
+        "max_ufc_rel_delta_vs_cold": float(max_rel_ufc),
+        "converged_all": all(
+            o.ok and o.result.converged for o in warm_out
+        ),
+        "certified_all": all(
+            o.ok and o.certificate is not None and o.certificate.ok
+            for o in certified
+        ),
+    }
+
+
+def _incumbent_lane(problem, resolves: int, seed: int) -> dict:
+    """Tiny-perturbation re-solves with the incumbent early-exit armed."""
+    rng = np.random.default_rng(seed)
+    problems = [problem]
+    for _ in range(resolves):
+        inputs = problem.inputs
+        arrivals = inputs.arrivals * (
+            1.0 + 1e-8 * rng.standard_normal(inputs.arrivals.shape)
+        )
+        problems.append(
+            UFCProblem(
+                problem.model,
+                dataclasses.replace(inputs, arrivals=arrivals),
+                strategy=problem.strategy,
+            )
+        )
+    solver = create_solver("centralized-warm", incumbent_tol=1e-6)
+    engine = HorizonEngine(solver, workers=1, certify=True)
+    outcomes = engine.run(problems, warm_start=True)
+    summary = engine.last_summary
+    reused = summary.incumbent_reuse_slots
+    return {
+        "resolves": resolves,
+        "incumbent_tol": 1e-6,
+        "perturbation_rel": 1e-8,
+        "incumbent_reuse_slots": reused,
+        "incumbent_reuse_rate": round(reused / max(1, resolves), 4),
+        "warm_iterations_saved": summary.warm_iterations_saved,
+        "certified_all": all(
+            o.ok and o.certificate is not None and o.certificate.ok
+            for o in outcomes
+        ),
+    }
+
+
+def _structured_lane(slots: int, seed: int) -> dict:
+    """20x100 perturbation re-solves: warm iterates + factor-cache reuse."""
+    inst = generate_instance(
+        ScaleSpec(
+            num_datacenters=20,
+            num_frontends=100,
+            hours=slots,
+            fan_in=6,
+            seed=seed,
+        )
+    )
+    sc = StructuredQPCompiler(inst.model, HYBRID, reach=inst.reach)
+    rng = np.random.default_rng(seed + 1)
+
+    cold_s = warm_s = 0.0
+    builds_cold = builds_warm = reused = 0
+    iters_cold = iters_warm = 0
+    converged_all = True
+    certified_all = True
+    max_rel_ufc = 0.0
+    for t in range(slots):
+        inputs = inst.inputs(t)
+        sqp = sc.structured_qp_for(inputs)
+        seed_cache: dict = {}
+        seed_res = solve_structured_qp(
+            sqp, tol=STRUCTURED_TOL, factor_cache=seed_cache
+        )
+
+        perturbed = dataclasses.replace(
+            inputs,
+            arrivals=inputs.arrivals
+            * (1.0 + 1e-4 * rng.standard_normal(inputs.arrivals.shape)),
+            prices=inputs.prices
+            * (1.0 + 1e-4 * rng.standard_normal(inputs.prices.shape)),
+        )
+        sqp_p = sc.structured_qp_for(perturbed)
+
+        cold_cache: dict = {}
+        start = time.perf_counter()
+        res_c = solve_structured_qp(
+            sqp_p, tol=STRUCTURED_TOL, factor_cache=cold_cache
+        )
+        cold_s += time.perf_counter() - start
+        builds_cold += cold_cache.get("built", 0)
+
+        # Trajectory-matched factor reuse: a cold re-solve seeded with
+        # the original slot's per-iteration factors tracks the same
+        # barrier-weight trajectory early on, so drift-gated reuse
+        # fires on those iterations.
+        reuse_cache = {"factors": dict(seed_cache.get("factors", {}))}
+        solve_structured_qp(sqp_p, tol=STRUCTURED_TOL, factor_cache=reuse_cache)
+        reused += reuse_cache.get("reused", 0)
+
+        warm = StructuredWarmState(
+            x=seed_res.x,
+            y=seed_res.eq_dual,
+            s=sqp.ineq_slack(seed_res.x),
+            z=seed_res.ineq_dual,
+        )
+        # The warm path's build economy: count only the re-solve's own
+        # builds (the seeding solve's are sunk either way).
+        seed_cache["built"] = 0
+        seed_cache["reused"] = 0
+        start = time.perf_counter()
+        res_w = solve_structured_qp(
+            sqp_p,
+            tol=STRUCTURED_TOL,
+            initial=warm,
+            factor_cache=seed_cache,
+        )
+        warm_s += time.perf_counter() - start
+        builds_warm += seed_cache.get("built", 0)
+        reused += seed_cache.get("reused", 0)
+
+        iters_cold += res_c.iterations
+        iters_warm += res_w.iterations
+        converged_all &= bool(res_c.converged and res_w.converged)
+        problem = UFCProblem(inst.model, perturbed, strategy=HYBRID)
+        ufc_c = problem.ufc(sqp_p.extract(res_c.x))
+        ufc_w = problem.ufc(sqp_p.extract(res_w.x))
+        max_rel_ufc = max(
+            max_rel_ufc, abs(ufc_w - ufc_c) / (1.0 + abs(ufc_c))
+        )
+        cert = certify_structured_solution(
+            sqp_p,
+            problem,
+            sqp_p.extract(res_w.x),
+            x=res_w.x,
+            duals=(res_w.eq_dual, res_w.ineq_dual),
+            solver="centralized-structured",
+            slot=t,
+        )
+        certified_all &= cert.ok
+    return {
+        "shape": "20x100",
+        "slots": slots,
+        "cold_resolve_s": round(cold_s, 4),
+        "warm_resolve_s": round(warm_s, 4),
+        "per_slot_resolve_speedup": round(cold_s / warm_s, 4),
+        "factor_builds_cold": builds_cold,
+        "factor_builds_warm": builds_warm,
+        "factor_builds_avoided": builds_cold - builds_warm,
+        "factors_reused": reused,
+        "mean_iterations_cold": round(iters_cold / slots, 2),
+        "mean_iterations_warm": round(iters_warm / slots, 2),
+        "converged_all": converged_all,
+        "certified_all": certified_all,
+        "max_ufc_rel_delta_vs_cold": float(max_rel_ufc),
+    }
+
+
+def _admg_lane(hours: int, seed: int) -> dict:
+    """ADM-G multiplier/allocation warm chain vs cold, one strategy."""
+    bundle = default_bundle(hours=hours, seed=seed)
+    model = build_model(bundle)
+    sim = Simulator(model, bundle)
+    problems = [sim.problem_for_slot(t, HYBRID) for t in range(hours)]
+    cold = HorizonEngine(create_solver("distributed"), workers=1).run(problems)
+    warm = HorizonEngine(create_solver("distributed"), workers=1).run(
+        problems, warm_start=True
+    )
+    mean_cold = float(np.mean([o.result.iterations for o in cold]))
+    mean_warm = float(np.mean([o.result.iterations for o in warm]))
+    return {
+        "hours": hours,
+        "mean_iterations_cold": round(mean_cold, 2),
+        "mean_iterations_warm": round(mean_warm, 2),
+        "iteration_reduction": round(1.0 - mean_warm / mean_cold, 4),
+        "converged_all": all(o.ok and o.result.converged for o in warm),
+    }
+
+
+def run_warm_bench(
+    hours: int = 168,
+    seed: int = 2014,
+    repeats: int = 3,
+    incumbent_resolves: int = 24,
+    structured_slots: int = 12,
+    admg_hours: int = 24,
+    floor: float = WEEK_SPEEDUP_FLOOR,
+) -> dict:
+    """Run every warm lane and summarize as a JSON-ready dict."""
+    problems = _week_problems(hours, seed)
+    week = _week_lane(problems, repeats)
+    incumbent = _incumbent_lane(problems[0], incumbent_resolves, seed)
+    structured = _structured_lane(structured_slots, seed)
+    admg = _admg_lane(admg_hours, seed)
+    passed = (
+        week["speedup_floor"] >= floor
+        and week["iteration_reduction"] >= ITERATION_REDUCTION_FLOOR
+        and week["max_ufc_rel_delta_vs_cold"] <= UFC_PARITY_RTOL
+        and week["converged_all"]
+        and week["certified_all"]
+        and incumbent["incumbent_reuse_rate"] > 0.5
+        and incumbent["certified_all"]
+        and structured["per_slot_resolve_speedup"] > 1.0
+        and structured["factor_builds_avoided"] > 0
+        and structured["converged_all"]
+        and structured["certified_all"]
+        and admg["iteration_reduction"] > 0.0
+    )
+    return {
+        "hours": hours,
+        "seed": seed,
+        "floor": floor,
+        "iteration_reduction_floor": ITERATION_REDUCTION_FLOOR,
+        "ufc_parity_rtol": UFC_PARITY_RTOL,
+        "week": week,
+        "incumbent": incumbent,
+        "structured": structured,
+        "admg": admg,
+        "passed": passed,
+    }
+
+
+def render_report(payload: dict) -> str:
+    """The human-readable block ``repro bench --warm`` prints."""
+    week = payload["week"]
+    incumbent = payload["incumbent"]
+    structured = payload["structured"]
+    admg = payload["admg"]
+    lines = [
+        f"warm-start lane ({payload['hours']}h week, "
+        f"{week['slots']} slots, seed {payload['seed']})",
+        f"  week     : cold {week['cold_serial_cached_s']:.3f} s, warm "
+        f"{week['warm_chain_s']:.3f} s  ->  "
+        f"{week['warm_speedup_vs_cold']:.2f}x (worst round "
+        f"{week['speedup_floor']:.2f}x, floor {payload['floor']:.1f}x)",
+        f"  iters    : {week['mean_iterations_cold']:.2f} -> "
+        f"{week['mean_iterations_warm']:.2f} mean "
+        f"(-{100 * week['iteration_reduction']:.1f}%, "
+        f"{week['warm_iterations_saved']} saved; floor "
+        f"{100 * payload['iteration_reduction_floor']:.0f}%)",
+        f"  parity   : max rel UFC delta "
+        f"{week['max_ufc_rel_delta_vs_cold']:.2e} "
+        f"(tol {payload['ufc_parity_rtol']:.0e}); certified "
+        f"{'all' if week['certified_all'] else 'FAIL'}",
+        f"  ladder   : " + ", ".join(
+            f"{k} x{v}" for k, v in sorted(week["mechanisms"].items())
+        ),
+        f"  incumbent: {incumbent['incumbent_reuse_slots']}/"
+        f"{incumbent['resolves']} reuses "
+        f"({100 * incumbent['incumbent_reuse_rate']:.0f}%) at drift "
+        f"{incumbent['perturbation_rel']:.0e} <= tol "
+        f"{incumbent['incumbent_tol']:.0e}; certified "
+        f"{'all' if incumbent['certified_all'] else 'FAIL'}",
+        f"  20x100   : re-solve {structured['cold_resolve_s']:.3f} s -> "
+        f"{structured['warm_resolve_s']:.3f} s "
+        f"({structured['per_slot_resolve_speedup']:.2f}x/slot); factor "
+        f"builds {structured['factor_builds_cold']} -> "
+        f"{structured['factor_builds_warm']} "
+        f"({structured['factors_reused']} reused)",
+        f"  adm-g    : {admg['mean_iterations_cold']:.1f} -> "
+        f"{admg['mean_iterations_warm']:.1f} mean outer iterations "
+        f"(-{100 * admg['iteration_reduction']:.1f}%)",
+        f"  verdict  : {'PASS' if payload['passed'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)

@@ -70,7 +70,15 @@ class HorizonSummary:
             over all slots (0 on the non-resilient path).
         fallbacks_total: slots rescued by a fallback solver.
         client: execution-client name the run solved through (None for
-            warm-chained runs, which bypass the client layer).
+            runs that bypassed the client layer, including in-process
+            warm chains).
+        warm_started_slots: slots solved with a warm hint from the
+            previous slot (0 for cold runs).
+        incumbent_reuse_slots: slots resolved by re-certifying the
+            incumbent allocation instead of solving.
+        warm_iterations_saved: summed solver iterations avoided by
+            warm starts, measured against each chain's most recent
+            cold-solve iteration count.
         max_pending_observed: deepest in-flight batch window the
             pipelined scheduler reached (0 when nothing was
             scheduled).
@@ -117,6 +125,9 @@ class HorizonSummary:
     retries_total: int = 0
     fallbacks_total: int = 0
     client: str | None = None
+    warm_started_slots: int = 0
+    incumbent_reuse_slots: int = 0
+    warm_iterations_saved: int = 0
     max_pending_observed: int = 0
     store_hits: int = 0
     store_misses: int = 0
@@ -150,6 +161,7 @@ class HorizonSummary:
         hits = misses = iterations = converged = failed = certified = 0
         worst_violation = worst_kkt = 0.0
         retries = fallbacks = 0
+        warm_started = incumbent_reuse = warm_saved = 0
         suspect: list[int] = []
         degraded: list[int] = []
         error_types: dict[str, int] = {}
@@ -174,8 +186,15 @@ class HorizonSummary:
                 worst_kkt = max(worst_kkt, cert.kkt_residual)
                 if not cert.ok:
                     suspect.append(getattr(outcome, "index", cert.slot))
+            result = getattr(outcome, "result", None)
+            extras = getattr(result, "extras", None) if result is not None else None
+            if extras:
+                if extras.get("incumbent_reuse"):
+                    incumbent_reuse += 1
+                warm_saved += int(extras.get("iterations_saved") or 0)
             if tele is None:
                 continue
+            warm_started += bool(tele.warm_start)
             compile_s += tele.compile_s
             solve_s += tele.wall_s
             walls.append(tele.wall_s)
@@ -223,6 +242,9 @@ class HorizonSummary:
             retries_total=retries,
             fallbacks_total=fallbacks,
             client=client,
+            warm_started_slots=warm_started,
+            incumbent_reuse_slots=incumbent_reuse,
+            warm_iterations_saved=warm_saved,
             max_pending_observed=max_pending_observed,
             store_hits=store_hits,
             store_misses=store_misses,
@@ -316,6 +338,14 @@ class HorizonSummary:
                     "store_misses": self.store_misses,
                 }
             )
+        if self.warm_started_slots or self.incumbent_reuse_slots:
+            out.update(
+                {
+                    "warm_started_slots": self.warm_started_slots,
+                    "incumbent_reuse_slots": self.incumbent_reuse_slots,
+                    "warm_iterations_saved": self.warm_iterations_saved,
+                }
+            )
         if self.fleet is not None:
             out["fleet"] = dict(self.fleet)
         out["slot_p50_s"] = round(self.slot_p50_s, 6)
@@ -356,6 +386,12 @@ class HorizonSummary:
             f"  iterations     : total {self.iterations_total}, "
             f"converged {self.converged_slots}/{self.slots}",
         ]
+        if self.warm_started_slots or self.incumbent_reuse_slots:
+            lines.append(
+                f"  warm starts    : {self.warm_started_slots} slots, "
+                f"{self.incumbent_reuse_slots} incumbent reuses, "
+                f"{self.warm_iterations_saved} iterations saved"
+            )
         if len(self.worker_busy_s) > 1:
             busiest = sorted(
                 self.worker_busy_s.items(), key=lambda kv: -kv[1]

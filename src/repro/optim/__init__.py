@@ -44,6 +44,7 @@ from repro.optim.kkt import (
     StructuredIPQPResult,
     StructuredQPCompiler,
     StructuredSlotQP,
+    StructuredWarmState,
     full_reach,
     solve_structured_qp,
 )
@@ -55,6 +56,7 @@ from repro.optim.scalar import (
     prox_nonneg,
 )
 from repro.optim.simplex import minimize_qp_simplex, project_box, project_simplex
+from repro.optim.warm import WarmSolve, WarmSolveInfo, WarmState, solve_qp_warm
 
 __all__ = [
     "ADMGEngine",
@@ -69,6 +71,10 @@ __all__ = [
     "StructuredIPQPResult",
     "StructuredQPCompiler",
     "StructuredSlotQP",
+    "StructuredWarmState",
+    "WarmSolve",
+    "WarmSolveInfo",
+    "WarmState",
     "full_reach",
     "minimize_convex_on_interval",
     "minimize_qp_simplex",
@@ -80,5 +86,6 @@ __all__ = [
     "solve_capped_rank_one_qp_batch",
     "solve_qp",
     "solve_qp_batch",
+    "solve_qp_warm",
     "solve_structured_qp",
 ]

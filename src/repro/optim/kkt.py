@@ -64,6 +64,8 @@ __all__ = [
     "StructuredSlotQP",
     "StructuredIPQPResult",
     "StructuredQPCompiler",
+    "StructuredWarmState",
+    "FACTOR_DRIFT_TOL",
     "solve_structured_qp",
     "full_reach",
 ]
@@ -475,6 +477,7 @@ class StructuredIPQPResult:
     iterations: int
     converged: bool
     gap: float
+    warm_used: bool = False
 
 
 class _BlockKKTFactor:
@@ -544,6 +547,40 @@ class _BlockKKTFactor:
         # :meth:`enable_extended`.
         self._ld_lu: tuple[np.ndarray, np.ndarray] | None = None
         self.use_extended = False
+        # Signature of the system this factorization was built from,
+        # used by :meth:`drift` to gate cross-slot reuse.
+        self._sig_w = w.copy()
+        self._sig_h = sqp.h_blocks
+
+    def drift(self, sqp: StructuredSlotQP, w: np.ndarray) -> float:
+        """Worst per-entry relative drift of the condensed system's
+        defining data (barrier weights and Hessian blocks) since this
+        factorization was built."""
+        dw = np.abs(w - self._sig_w) / (1.0 + np.abs(self._sig_w))
+        dh = np.abs(sqp.h_blocks - self._sig_h) / (1.0 + np.abs(self._sig_h))
+        return max(float(dw.max(initial=0.0)), float(dh.max(initial=0.0)))
+
+    def rebind(self, sqp: StructuredSlotQP, w: np.ndarray) -> None:
+        """Retarget this factorization at a drifted slot's system.
+
+        The expensive pieces — the batched per-front-end inverses and
+        the Schur LU — are kept as a *preconditioner*; the cheap
+        diagonals (``w_cap``, ``w_lam``, ``d_mu``, ``d_nu``) and the
+        ``sqp`` reference are re-pointed at the current slot so
+        :meth:`residual_vec` measures the residual of the *true*
+        current system.  :meth:`solve_refined` then converges to the
+        exact Newton direction whenever the drift keeps the error
+        contraction below one; callers gate on :meth:`drift` and fall
+        back to a fresh factorization when refinement cannot meet its
+        residual target."""
+        self.sqp = sqp
+        w_cap, w_lam, w_mulo, w_muhi, w_nulo = sqp.split_ineq(w)
+        self.w_cap = w_cap
+        self.w_lam = w_lam
+        if sqp.include_mu:
+            self.d_mu = w_mulo + w_muhi + self.reg
+        if sqp.include_nu:
+            self.d_nu = sqp.p_nu + w_nulo + self.reg
 
     def enable_extended(self) -> None:
         """Switch the Schur solve to an extended-precision LU.
@@ -737,11 +774,54 @@ def _build_factor(
         return None
 
 
+#: Maximum per-entry relative drift of the condensed-system data under
+#: which a cached factorization from an earlier slot is rebound and
+#: reused as a refinement preconditioner instead of rebuilt.  The gate
+#: is deliberately tight: refinement contracts the error by roughly
+#: the drift per sweep, and one sweep costs about as much as a fresh
+#: build (the build is batched small inverses plus a 2N x 2N LU, the
+#: sweep is batched solves plus scatter/gather matvecs), so reuse only
+#: pays when a sweep or two recovers full accuracy.
+FACTOR_DRIFT_TOL = 0.02
+
+#: Warm-start safeguards for :func:`solve_structured_qp` — the ladder
+#: of :mod:`repro.optim.warm` (kept local to avoid an import cycle):
+#: reject a warm point whose relative KKT residual exceeds the cap,
+#: floor carried duals, and push iterates at least the shift floor off
+#: the boundary.  The cap is far looser than the dense solver's 0.25:
+#: the structured path runs on raw data with per-step refinement, and
+#: measured on the 20x100 scale lane a warm point even at relative
+#: residual ~1 both cuts iterations by a third and *restores*
+#: convergence on slots where the cold start stalls at its accuracy
+#: floor (the shift re-centers, so a far point degrades gracefully
+#: into roughly the cold iteration count).
+_WARM_REJECT_REL = 4.0
+_WARM_DUAL_FLOOR = 1e-10
+_WARM_SHIFT_FLOOR = 1e-7
+
+
+@dataclass
+class StructuredWarmState:
+    """Iterates slot ``t`` hands slot ``t+1`` — plain arrays, picklable.
+
+    The factorization cache travels separately (a ``factor_cache``
+    dict threaded by the caller) because LU factors are in-process
+    state, not something to ship over an RPC boundary.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    s: np.ndarray
+    z: np.ndarray
+
+
 def solve_structured_qp(
     sqp: StructuredSlotQP,
     tol: float = 1e-9,
     max_iter: int = 120,
     metrics=None,
+    initial: StructuredWarmState | None = None,
+    factor_cache: dict | None = None,
 ) -> StructuredIPQPResult:
     """Solve a reach-sparse UFC slot QP by block-elimination Mehrotra.
 
@@ -758,6 +838,19 @@ def solve_structured_qp(
 
     ``metrics`` is the same duck-typed registry the dense solver
     accepts; structured solves share its counters.
+
+    With ``initial`` (a :class:`StructuredWarmState` from the previous
+    slot) the iteration starts from the shifted previous iterates when
+    their relative KKT residual on the current data is below the warm
+    acceptance cap; a farther point silently falls back to the cold
+    start, so warm solves are never worse than cold ones.  With
+    ``factor_cache`` (a plain dict the caller threads across related
+    solves) each iteration reuses the same-index factorization from
+    the seeding solve as a refinement preconditioner while its
+    :meth:`~_BlockKKTFactor.drift` stays under
+    :data:`FACTOR_DRIFT_TOL`; the cache records ``reused`` /
+    ``built`` counters.  Both default to None, which is bit-identical
+    to the legacy cold path.
     """
     m, n = sqp.num_frontends, sqp.num_datacenters
     mm = sqp.num_ineq
@@ -781,6 +874,34 @@ def solve_structured_qp(
         float(np.abs(sqp.alphas).max(initial=0.0)),
     )
     scale = 1.0 + max(q_max, h_max, b_max)
+
+    warm_used = False
+    if (
+        initial is not None
+        and initial.x.shape == x.shape
+        and initial.y.shape == y.shape
+        and initial.z.shape == z.shape
+    ):
+        x_w = np.asarray(initial.x, dtype=float)
+        y_w = np.asarray(initial.y, dtype=float)
+        z_w = np.maximum(np.asarray(initial.z, dtype=float), _WARM_DUAL_FLOOR)
+        slack_w = sqp.ineq_slack(x_w)
+        viol = max(
+            float(np.abs(sqp.obj_grad(x_w) + sqp.at_mul(y_w)
+                         + sqp.gt_mul(z_w)).max(initial=0.0)),
+            float(np.abs(sqp.eq_residual(x_w)).max(initial=0.0)),
+            max(0.0, -float(slack_w.min(initial=0.0))),
+        )
+        rel0 = viol / scale
+        if np.isfinite(rel0) and rel0 <= _WARM_REJECT_REL:
+            # Centering shift proportional to how far the drift moved
+            # the KKT point — same rule as the dense warm solver.
+            delta = min(1.0, max(_WARM_SHIFT_FLOOR, rel0))
+            x = x_w.copy()
+            y = y_w.copy()
+            s = np.maximum(slack_w, delta)
+            z = np.maximum(z_w, delta)
+            warm_used = True
 
     step_work = np.empty(mm)
     step_mask = np.empty(mm, dtype=bool)
@@ -833,7 +954,32 @@ def solve_structured_qp(
         diag_scale = 1.0 + max(
             float(w.max(initial=0.0)), float(np.abs(sqp.h_blocks).max(initial=0.0))
         )
-        factor = _build_factor(sqp, w, 0.0, diag_scale)
+        factor = None
+        if factor_cache is not None:
+            # Factors are keyed by iteration index: a re-solve of a
+            # drifted slot walks nearly the same barrier-weight
+            # trajectory as the solve that seeded the cache, so
+            # iteration k's weights here resemble iteration k's
+            # weights there — while a factor from a *different*
+            # iteration is orders of magnitude away in w and never
+            # passes the drift gate.
+            cached = factor_cache.setdefault("factors", {}).get(it)
+            if (
+                cached is not None
+                and cached._sig_w.shape == w.shape
+                and cached.drift(sqp, w) <= FACTOR_DRIFT_TOL
+            ):
+                # Reuse the cached factorization as a refinement
+                # preconditioner.  solve_newton's residual gate and
+                # regularization ladder still apply, so a stale factor
+                # that fails to contract is replaced, not trusted.
+                cached.rebind(sqp, w)
+                factor = cached
+                factor_cache["reused"] = factor_cache.get("reused", 0) + 1
+        if factor is None:
+            factor = _build_factor(sqp, w, 0.0, diag_scale)
+            if factor_cache is not None:
+                factor_cache["built"] = factor_cache.get("built", 0) + 1
         if factor is None:
             for reg in _REG_LEVELS:
                 factor = _build_factor(sqp, w, reg, diag_scale)
@@ -878,6 +1024,11 @@ def solve_structured_qp(
             return dx, dy, ds, dz
 
         dx_a, dy_a, ds_a, dz_a = solve_newton(-s * z)
+        if factor_cache is not None:
+            # Cache whatever factorization actually survived the
+            # residual gate (a reused factor that had to be replaced
+            # inside solve_newton self-heals the cache here).
+            factor_cache["factors"][it] = factor
         alpha_p = _step_length(s, ds_a, fraction=1.0, work=step_work, mask=step_mask)
         alpha_d = _step_length(z, dz_a, fraction=1.0, work=step_work, mask=step_mask)
         mu_aff = float((s + alpha_p * ds_a) @ (z + alpha_d * dz_a)) / mm
@@ -922,6 +1073,7 @@ def solve_structured_qp(
         iterations=it,
         converged=converged,
         gap=float(s @ z) / mm,
+        warm_used=warm_used,
     )
 
 
@@ -980,6 +1132,12 @@ class StructuredQPCompiler:
         self.latency_reach_ms = np.take_along_axis(
             model.latency_ms, reach, axis=1
         )
+        # Slot-invariant utility state hoisted once (the latency outer
+        # products of Eq. (2)); per-slot emission only touches the
+        # arrival-dependent coefficients.
+        self._utility_eval = model.utility.neg_quad_form_compiled(
+            self.latency_reach_ms, self.weight
+        )
 
     @property
     def dim(self) -> int:
@@ -1003,9 +1161,7 @@ class StructuredQPCompiler:
         """
         model, n = self.model, self.model.num_datacenters
         arrivals = inputs.arrivals / self.scale
-        h_blocks, g_blocks = model.utility.neg_quad_form_batch(
-            self.latency_reach_ms, arrivals[None], self.weight
-        )
+        h_blocks, g_blocks = self._utility_eval(arrivals[None])
         q_mu = mu_max = p_nu = q_nu = None
         if self.include_mu:
             q_mu = np.full(n, float(model.fuel_cell_price))

@@ -1,0 +1,513 @@
+"""Cross-slot warm-started interior-point re-solves.
+
+Consecutive slots of the paper's horizon share the QP structure (the
+constraint pattern comes from the model geometry) and differ only in
+the slowly-drifting linear data: arrivals move ``b`` and the utility
+coefficients, prices and carbon rates move ``q``.  A cold
+:func:`~repro.optim.ipqp.solve_qp` pays for that drift twice — a full
+Ruiz equilibration pass and an interior-point run from the generic
+well-centered start.  :func:`solve_qp_warm` reuses what temporal
+coherence preserves, strongest mechanism first:
+
+* **Active-set reuse.**  Hour-over-hour drift rarely changes *which*
+  inequality constraints bind at the optimum.  Fixing the previous
+  slot's active set turns the QP into one equality-constrained KKT
+  system: a single linear solve on the raw (unscaled) current data.
+  The candidate is accepted only after explicit verification — the
+  dropped constraints must hold, the kept multipliers must be
+  non-negative, and the KKT residual must sit at solver precision —
+  with one refinement round (swap in violated constraints, drop
+  negative multipliers) before giving up.  A verified hit is an
+  *exact* KKT point, costs one factorization, and reports
+  ``iterations`` equal to the number of KKT solves (1 or 2).
+* **Shift-initialized interior point.**  When the active set moved,
+  the Mehrotra iteration is started from the previous iterates
+  re-expressed in the cached Ruiz scalings (re-applying the diagonals
+  to current data is exact algebra for any drift; only equilibration
+  quality degrades).  Slacks and inequality duals are floored at a
+  centering shift ``delta`` proportional to the warm point's relative
+  KKT residual, so the run starts near the central path instead of
+  jammed against the boundary.
+
+Safeguard ladder (each rung falls through to the next, ending at the
+plain cold solve):
+
+1. an active-set candidate that fails verification — residual, primal
+   feasibility of dropped rows, or dual feasibility of kept rows —
+   after one refinement round is discarded;
+2. a non-finite or shape-incompatible warm point is rejected outright;
+3. a warm point whose relative KKT residual exceeds
+   :data:`WARM_REJECT_REL` is rejected — at that distance the cold
+   start converges just as fast and is more robust;
+4. a warm interior-point run that fails to converge is discarded and
+   the slot is re-solved cold, so a warm answer is never of lower
+   quality than the cold one it replaced.
+
+The cold path *is* :func:`~repro.optim.ipqp.solve_qp`, bit-for-bit —
+including its equilibration-retry semantics — plus one extra
+equilibration pass to harvest the scalings for the next slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optim.ipqp import (
+    IPQPResult,
+    _record_metrics,
+    _ruiz_equilibrate,
+    _solve_kkt,
+    _step_length,
+    solve_qp,
+)
+
+__all__ = ["WarmState", "WarmSolveInfo", "WarmSolve", "solve_qp_warm",
+           "WARM_REJECT_REL", "ACTIVE_SET_TOL"]
+
+
+#: Reject a warm point whose max KKT residual exceeds this fraction of
+#: the (scaled) problem scale.  A cold start's initial residual is of
+#: order the scale itself, so beyond this the warm point carries no
+#: useful information.
+WARM_REJECT_REL = 0.25
+
+#: Verification tolerance for the active-set predictor, relative to
+#: ``1 + max(|q|, |h|, |b|)``: dropped constraints may be violated and
+#: kept multipliers negative by at most this much, and the KKT system
+#: must be solved to this residual.  Matches the default interior-point
+#: tolerance, so a verified hit is never looser than a converged IP run.
+ACTIVE_SET_TOL = 1e-9
+
+#: Tiny negative regularization on the multiplier block of the
+#: active-set KKT matrix, so a redundant row degrades the residual
+#: check instead of raising ``LinAlgError``.
+_ACTIVE_REG = -1e-12
+
+#: Floor applied to inequality duals before the warm-point residual is
+#: measured (previous inactive duals underflow toward zero).
+_DUAL_FLOOR = 1e-10
+
+#: Smallest centering shift: even a perfectly coherent warm point is
+#: pushed this far off the boundary so the first Mehrotra step is not
+#: crushed by zero slacks.
+_SHIFT_FLOOR = 1e-7
+
+
+@dataclass
+class WarmState:
+    """Everything slot ``t`` hands slot ``t+1`` — plain arrays, picklable.
+
+    Attributes:
+        d, r_a, r_g, gamma: Ruiz scalings harvested at the last cold
+            solve (variable, equality-row, inequality-row diagonals and
+            the objective normalization).
+        x, eq_dual, ineq_dual: the previous slot's solution in
+            *unscaled* units.
+        slack: the previous slot's inequality slacks ``h - G x`` in
+            unscaled units; ``ineq_dual > slack`` is the active-set
+            guess for the next slot.
+        gap: the previous solve's final complementarity in scaled
+            units (diagnostic; the shift is residual-driven).
+    """
+
+    d: np.ndarray
+    r_a: np.ndarray
+    r_g: np.ndarray
+    gamma: float
+    x: np.ndarray
+    eq_dual: np.ndarray
+    ineq_dual: np.ndarray
+    slack: np.ndarray
+    gap: float
+
+
+@dataclass
+class WarmSolveInfo:
+    """How one :func:`solve_qp_warm` call actually ran.
+
+    Attributes:
+        warm_used: True when a warm mechanism produced the returned
+            result; False on any cold path.
+        mechanism: which rung answered — ``"active-set"``,
+            ``"warm-ipm"``, or ``"cold"``.
+        fallback_reason: why warmer rungs were skipped (None when the
+            first applicable rung hit).
+    """
+
+    warm_used: bool
+    mechanism: str = "cold"
+    fallback_reason: str | None = None
+
+
+@dataclass
+class WarmSolve:
+    """Result triple of :func:`solve_qp_warm`."""
+
+    result: IPQPResult
+    state: WarmState | None
+    info: WarmSolveInfo
+
+
+def _try_active_set(
+    P: np.ndarray,
+    q: np.ndarray,
+    A: np.ndarray,
+    b: np.ndarray,
+    G: np.ndarray,
+    h: np.ndarray,
+    active: np.ndarray,
+    tol: float,
+) -> tuple[bool, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+    """One equality-KKT solve with the inequality rows in ``active`` bound.
+
+    Returns ``None`` when the linear system is singular or its residual
+    is above solver precision; otherwise ``(ok, x, y, z, slack)`` where
+    ``ok`` reports whether the candidate passed primal/dual
+    verification.  ``z`` is the full-length multiplier vector (zeros on
+    inactive rows, negatives clipped) and ``slack = h - G x``, so a
+    failed candidate still seeds one refinement round.
+    """
+    n = len(q)
+    p = A.shape[0]
+    g_act = G[active]
+    h_act = h[active]
+    n_act = g_act.shape[0]
+    dim = n + p + n_act
+    kkt = np.zeros((dim, dim))
+    kkt[:n, :n] = P
+    kkt[:n, n:n + p] = A.T
+    kkt[:n, n + p:] = g_act.T
+    kkt[n:n + p, :n] = A
+    kkt[n + p:, :n] = g_act
+    idx = np.arange(n, dim)
+    kkt[idx, idx] = _ACTIVE_REG
+    rhs = np.concatenate([-q, b, h_act])
+    try:
+        sol = np.linalg.solve(kkt, rhs)
+    except np.linalg.LinAlgError:
+        return None
+    resid = np.abs(kkt @ sol - rhs).max(initial=0.0)
+    resid /= 1.0 + np.abs(rhs).max(initial=0.0)
+    if not np.isfinite(resid) or resid > tol:
+        return None
+    x = sol[:n]
+    y = sol[n:n + p]
+    z_act = sol[n + p:]
+    scale = 1.0 + max(np.abs(q).max(initial=0.0), np.abs(h).max(initial=0.0),
+                      np.abs(b).max(initial=0.0))
+    slack = h - G @ x
+    ok = bool(
+        slack.min(initial=0.0) >= -tol * scale
+        and z_act.min(initial=0.0) >= -tol * scale
+    )
+    z = np.zeros(G.shape[0])
+    z[active] = np.maximum(z_act, 0.0)
+    return ok, x, y, z, slack
+
+
+def _ip_iterate(
+    P: np.ndarray,
+    q: np.ndarray,
+    A: np.ndarray,
+    b: np.ndarray,
+    G: np.ndarray,
+    h: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    s: np.ndarray,
+    z: np.ndarray,
+    tol: float,
+    max_iter: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, bool]:
+    """The Mehrotra loop of :func:`~repro.optim.ipqp.solve_qp`, run
+    from caller-supplied iterates.
+
+    Same residual definitions, same ``scale = 1 + max(|q|, |h|, |b|)``
+    convergence test, same predictor-corrector step rule as the cold
+    loop — only the starting point differs, so a converged warm run
+    meets exactly the cold run's acceptance criteria.
+    """
+    n, p, m = len(q), A.shape[0], G.shape[0]
+    scale = 1.0 + max(np.abs(q).max(initial=0.0), np.abs(h).max(initial=0.0),
+                      np.abs(b).max(initial=0.0))
+    converged = False
+    it = 0
+    kkt = np.zeros((n + p, n + p))
+    rhs = np.empty(n + p)
+    step_work = np.empty(m)
+    step_mask = np.empty(m, dtype=bool)
+    for it in range(1, max_iter + 1):
+        r_dual = P @ x + q + A.T @ y + G.T @ z
+        r_eq = A @ x - b
+        r_ineq = G @ x + s - h
+        mu = float(s @ z) / m
+
+        if (
+            np.abs(r_dual).max() < tol * scale
+            and (p == 0 or np.abs(r_eq).max() < tol * scale)
+            and np.abs(r_ineq).max() < tol * scale
+            and mu < tol * scale
+        ):
+            converged = True
+            break
+
+        w = z / s
+        kkt.fill(0.0)
+        kkt[:n, :n] = P + G.T @ (w[:, None] * G)
+        kkt[:n, n:] = A.T
+        kkt[n:, :n] = A
+        kkt[n:, n:].flat[:: p + 1] = -1e-12
+
+        def solve_newton(r_comp: np.ndarray) -> tuple[np.ndarray, ...]:
+            rhs[:n] = -r_dual - G.T @ ((r_comp + z * r_ineq) / s)
+            np.negative(r_eq, out=rhs[n:])
+            sol = _solve_kkt(kkt, rhs)
+            dx = sol[:n]
+            dy = sol[n:]
+            ds = -r_ineq - G @ dx
+            dz = (r_comp - z * ds) / s
+            return dx, dy, ds, dz
+
+        dx_a, dy_a, ds_a, dz_a = solve_newton(-s * z)
+        alpha_p = _step_length(s, ds_a, fraction=1.0, work=step_work, mask=step_mask)
+        alpha_d = _step_length(z, dz_a, fraction=1.0, work=step_work, mask=step_mask)
+        mu_aff = float((s + alpha_p * ds_a) @ (z + alpha_d * dz_a)) / m
+        sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.0
+
+        r_comp = -s * z + sigma * mu - ds_a * dz_a
+        dx, dy, ds, dz = solve_newton(r_comp)
+        alpha = min(
+            _step_length(s, ds, work=step_work, mask=step_mask),
+            _step_length(z, dz, work=step_work, mask=step_mask),
+        )
+
+        x = x + alpha * dx
+        s = s + alpha * ds
+        y = y + alpha * dy
+        z = z + alpha * dz
+    return x, y, s, z, it, converged
+
+
+def _cold_solve(
+    P: np.ndarray,
+    q: np.ndarray,
+    A: np.ndarray,
+    b: np.ndarray,
+    G: np.ndarray,
+    h: np.ndarray,
+    tol: float,
+    max_iter: int,
+    metrics,
+    reason: str | None,
+) -> WarmSolve:
+    """Plain :func:`solve_qp` plus a scaling harvest for the next slot."""
+    res = solve_qp(
+        P, q, A=A, b=b, G=G, h=h, tol=tol, max_iter=max_iter, metrics=metrics
+    )
+    state = None
+    if res.converged and G.shape[0]:
+        # One extra equilibration pass to capture the diagonals the
+        # next slot will re-apply.  Cold slots are rare in steady
+        # warm-chained operation (slot 0 plus safeguard fallbacks), so
+        # the duplicate pass is paid where it does not matter.
+        scalings = _ruiz_equilibrate(P, q, A, b, G, h)
+        d, r_a, r_g, gamma = scalings[6], scalings[7], scalings[8], scalings[9]
+        state = WarmState(
+            d=d,
+            r_a=r_a,
+            r_g=r_g,
+            gamma=gamma,
+            x=res.x,
+            eq_dual=res.eq_dual,
+            ineq_dual=res.ineq_dual,
+            slack=h - G @ res.x,
+            gap=res.gap / gamma,
+        )
+    return WarmSolve(result=res, state=state,
+                     info=WarmSolveInfo(False, "cold", reason))
+
+
+def solve_qp_warm(
+    P: np.ndarray,
+    q: np.ndarray,
+    A: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    G: np.ndarray | None = None,
+    h: np.ndarray | None = None,
+    *,
+    state: WarmState | None = None,
+    tol: float = 1e-9,
+    max_iter: int = 100,
+    metrics=None,
+) -> WarmSolve:
+    """Solve a QP, warm-started from the previous slot when possible.
+
+    With ``state=None`` (or a rejected warm point) this is exactly
+    :func:`~repro.optim.ipqp.solve_qp` plus a scaling harvest.  With a
+    state, the previous active set is tried first (one verified
+    equality-KKT solve); if the active set moved, the interior-point
+    iteration starts from the shifted previous iterates on the
+    cached-scaling data.  The returned :class:`WarmSolve` carries the
+    solver result, the state to pass to the next slot (None when no
+    reusable state exists), and a :class:`WarmSolveInfo` describing
+    which path ran.
+
+    Raises:
+        ValueError: on inconsistent shapes (same contract as
+            :func:`~repro.optim.ipqp.solve_qp`).
+    """
+    P = np.asarray(P, dtype=float)
+    q = np.asarray(q, dtype=float)
+    n = len(q)
+    if P.shape != (n, n):
+        raise ValueError(f"P shape {P.shape} incompatible with q length {n}")
+    if A is None or len(np.atleast_2d(A)) == 0 or (b is not None and len(b) == 0):
+        A = np.zeros((0, n))
+        b = np.zeros(0)
+    else:
+        A = np.atleast_2d(np.asarray(A, dtype=float))
+        b = np.atleast_1d(np.asarray(b, dtype=float))
+    if G is None or (h is not None and len(h) == 0):
+        G = np.zeros((0, n))
+        h = np.zeros(0)
+    else:
+        G = np.atleast_2d(np.asarray(G, dtype=float))
+        h = np.atleast_1d(np.asarray(h, dtype=float))
+    p, m = A.shape[0], G.shape[0]
+
+    if m == 0:
+        # No barrier, nothing to warm-start: the cold path solves these
+        # in one KKT solve already.
+        return _cold_solve(P, q, A, b, G, h, tol, max_iter, metrics,
+                           "no inequality constraints")
+    if state is None:
+        return _cold_solve(P, q, A, b, G, h, tol, max_iter, metrics, None)
+    if (
+        state.d.shape != (n,)
+        or state.r_a.shape != (p,)
+        or state.r_g.shape != (m,)
+        or state.x.shape != (n,)
+        or state.eq_dual.shape != (p,)
+        or state.ineq_dual.shape != (m,)
+        or state.slack.shape != (m,)
+    ):
+        return _cold_solve(P, q, A, b, G, h, tol, max_iter, metrics,
+                           "warm state shape mismatch")
+
+    # --- Rung 1: active-set reuse -------------------------------------
+    # `ineq_dual > slack` separates rows that ended the previous slot
+    # bound (dual dominates) from rows that ended slack; hour-over-hour
+    # drift usually leaves that partition intact.
+    atol = min(tol, ACTIVE_SET_TOL)
+    kkt_solves = 1
+    candidate = _try_active_set(P, q, A, b, G, h,
+                                state.ineq_dual > state.slack, atol)
+    if candidate is not None and not candidate[0]:
+        # One refinement round: bind the violated rows, release the
+        # rows whose multiplier went negative.
+        _, _, _, z_c, slack_c = candidate
+        kkt_solves = 2
+        candidate = _try_active_set(P, q, A, b, G, h,
+                                    (z_c > 0.0) | (slack_c < 0.0), atol)
+    if candidate is not None and candidate[0]:
+        _, x, y, z, slack = candidate
+        gap = float(np.maximum(slack, 0.0) @ z) / m
+        iterations = kkt_solves
+        result = IPQPResult(
+            x=x,
+            eq_dual=y,
+            ineq_dual=z,
+            value=float(0.5 * x @ P @ x + q @ x),
+            iterations=iterations,
+            converged=True,
+            gap=gap,
+        )
+        _record_metrics(metrics, iterations, True)
+        new_state = WarmState(
+            d=state.d, r_a=state.r_a, r_g=state.r_g, gamma=state.gamma,
+            x=x, eq_dual=y, ineq_dual=z, slack=slack, gap=gap,
+        )
+        return WarmSolve(result=result, state=new_state,
+                         info=WarmSolveInfo(True, "active-set", None))
+    active_reason = "active set changed"
+
+    # --- Rung 2: shift-initialized interior point ---------------------
+    # Re-apply the cached Ruiz diagonals to the *current* data.  This
+    # is exact for arbitrary drift — the scaled problem is equivalent —
+    # and costs a few elementwise passes instead of 15 sweeps.
+    d, r_a, r_g, gamma = state.d, state.r_a, state.r_g, state.gamma
+    dd = d[:, None] * d[None, :]
+    P_s = P * dd / gamma
+    q_s = (d * q) / gamma
+    A_s = A * (r_a[:, None] * d[None, :]) if p else A
+    b_s = r_a * b
+    G_s = G * (r_g[:, None] * d[None, :])
+    h_s = r_g * h
+
+    x0 = state.x / d
+    y0 = state.eq_dual / (gamma * r_a) if p else state.eq_dual.copy()
+    z0 = np.maximum(state.ineq_dual / (gamma * r_g), _DUAL_FLOOR)
+    s_raw = h_s - G_s @ x0
+
+    scale_s = 1.0 + max(
+        np.abs(q_s).max(initial=0.0),
+        np.abs(h_s).max(initial=0.0),
+        np.abs(b_s).max(initial=0.0),
+    )
+    r_dual0 = P_s @ x0 + q_s + A_s.T @ y0 + G_s.T @ z0
+    r_eq0 = A_s @ x0 - b_s
+    viol = max(
+        float(np.abs(r_dual0).max(initial=0.0)),
+        float(np.abs(r_eq0).max(initial=0.0)),
+        max(0.0, -float(s_raw.min(initial=0.0))),
+    )
+    if not np.isfinite(viol):
+        return _cold_solve(P, q, A, b, G, h, tol, max_iter, metrics,
+                           f"{active_reason}; non-finite warm point")
+    rel0 = viol / scale_s
+    if rel0 > WARM_REJECT_REL:
+        return _cold_solve(
+            P, q, A, b, G, h, tol, max_iter, metrics,
+            f"{active_reason}; warm point too far (relative residual {rel0:.3g})",
+        )
+
+    # Centering shift: push slacks and duals at least `delta` off the
+    # boundary, with `delta` proportional to how far the perturbation
+    # moved the KKT point.  A tiny drift starts almost converged; a
+    # larger (but accepted) drift starts with a commensurate barrier.
+    delta = min(1.0, max(_SHIFT_FLOOR, rel0))
+    s0 = np.maximum(s_raw, delta)
+    z0 = np.maximum(z0, delta)
+
+    x_h, y_h, s_h, z_h, it, converged = _ip_iterate(
+        P_s, q_s, A_s, b_s, G_s, h_s, x0, y0, s0, z0, tol, max_iter
+    )
+    if not converged:
+        return _cold_solve(
+            P, q, A, b, G, h, tol, max_iter, metrics,
+            f"{active_reason}; warm iteration did not converge in {it} iterations",
+        )
+
+    x = d * x_h
+    eq_dual = gamma * r_a * y_h
+    ineq_dual = gamma * r_g * z_h
+    gap_s = float(s_h @ z_h) / m
+    result = IPQPResult(
+        x=x,
+        eq_dual=eq_dual,
+        ineq_dual=ineq_dual,
+        value=float(0.5 * x @ P @ x + q @ x),
+        iterations=it,
+        converged=True,
+        gap=gap_s * gamma,
+    )
+    _record_metrics(metrics, it, True)
+    new_state = WarmState(
+        d=d, r_a=r_a, r_g=r_g, gamma=gamma,
+        x=x, eq_dual=eq_dual, ineq_dual=ineq_dual,
+        slack=s_h / r_g, gap=gap_s,
+    )
+    return WarmSolve(result=result, state=new_state,
+                     info=WarmSolveInfo(True, "warm-ipm", None))

@@ -135,6 +135,14 @@ def health_dashboard(
                     line += f", max {pending} pending"
                 line += ")"
             lines.append(line)
+        warm = getattr(summary, "warm_started_slots", 0)
+        reused = getattr(summary, "incumbent_reuse_slots", 0)
+        if warm or reused:
+            lines.append(
+                f"warm starts         : {warm} slots, {reused} incumbent "
+                f"reuses, {getattr(summary, 'warm_iterations_saved', 0)} "
+                "iterations saved"
+            )
         hits = getattr(summary, "store_hits", 0)
         misses = getattr(summary, "store_misses", 0)
         if hits or misses:

@@ -141,6 +141,14 @@ def render_top(
         f"outcomes   | failed {failed}, retries {retries}, "
         f"fallbacks {fallbacks}, degraded {degraded}, store hits {store_hits}"
     )
+    warm = sum(1 for s in slots if s.get("warm_start"))
+    if warm:
+        reused = sum(1 for s in slots if s.get("incumbent_reuse"))
+        saved = sum(int(s.get("iterations_saved", 0)) for s in slots)
+        lines.append(
+            f"warm chain | {warm} warm slots, {reused} incumbent reuses, "
+            f"{saved} iterations saved"
+        )
     lineages = [s["lineage"] for s in slots if s.get("lineage")]
     fleet = run.summary.get("fleet") if run.summary else None
     if lineages or fleet:

@@ -9,7 +9,6 @@ through every client, and the ``parallel_map`` migration.
 from __future__ import annotations
 
 import time
-import warnings
 
 import pytest
 
@@ -365,10 +364,17 @@ class TestEngineThroughClients:
         with pytest.raises(ValueError):
             HorizonEngine("centralized", max_pending=0)
 
-    def test_warm_start_rejects_client_and_store(self, problems, tmp_path):
+    def test_warm_start_chains_through_client_but_rejects_store(
+        self, problems, tmp_path
+    ):
+        # Warm chaining routes through execution clients at pipeline
+        # depth one (the payload rides each next submission); only the
+        # result store remains incompatible with a sequential chain.
         engine = HorizonEngine("distributed", client="in-process")
-        with pytest.raises(ValueError, match="client"):
-            engine.run(problems[:2], warm_start=True)
+        outcomes = engine.run(problems[:2], warm_start=True)
+        assert all(o.ok for o in outcomes)
+        assert engine.last_summary.executor == "in-process-warm"
+        assert engine.last_summary.decision == "client:in-process:warm-chain"
         engine = HorizonEngine("distributed", store=tmp_path)
         with pytest.raises(ValueError, match="store"):
             engine.run(problems[:2], warm_start=True)
@@ -506,13 +512,11 @@ class TestParallelMapMigration:
         (event,) = rec.by_name("parallel_map.decision")
         assert event.tags["client"] == "in-process"
 
-    def test_legacy_horizon_shim_warns(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert legacy_parallel_map(_square, [3]) == [9]
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
+    def test_legacy_horizon_shim_is_a_hard_error(self):
+        # The DeprecationWarning shim expired: stale imports must fail
+        # loudly, with the pointer to the exec-layer map.
+        with pytest.raises(RuntimeError, match="repro.exec.parallel_map"):
+            legacy_parallel_map(_square, [3])
 
     def test_engine_reexport_is_the_exec_map(self):
         from repro.engine import parallel_map as engine_map
